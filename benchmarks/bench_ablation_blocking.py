@@ -1,0 +1,64 @@
+"""Ablation: register blocking factor sweep under the 63-register limit.
+
+Section 4.4's argument made executable: the bound rises with the blocking
+factor, but Equation 4 caps the factor at 6 on Fermi/GK104 — the ISA's
+63-register limit, not the SM resources, is what stops SGEMM short of peak.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError, ResourceLimitError
+from repro.microbench import PerfDatabase
+from repro.model import UpperBoundModel, register_requirement
+from repro.model.params import SgemmConfig
+
+from conftest import print_series
+
+
+def _database_for_all_ratios(gpu_key: str, ipc: float) -> PerfDatabase:
+    """A flat database so the sweep isolates the blocking-factor effect."""
+    database = PerfDatabase("flat")
+    for blocking in range(1, 11):
+        ratio = blocking / 2.0  # FFMA:LDS.64 ratio for this blocking factor
+        for threads in (256, 512, 1024):
+            database.add_measurement(gpu_key, 64, ratio, threads, ipc, ipc * ratio / (ratio + 1))
+    return database
+
+
+def test_ablation_register_blocking_sweep(benchmark, fermi):
+    """Bound and register cost for blocking factors 2-8 on the GTX580."""
+    database = _database_for_all_ratios("gtx580", 30.8)
+
+    def compute():
+        rows = {}
+        model = UpperBoundModel(fermi, database, gpu_key="gtx580")
+        for blocking in range(2, 9):
+            config = SgemmConfig(
+                register_blocking=blocking,
+                lds_width_bits=64,
+                threads_per_block=256,
+                stride=16,
+            )
+            registers = register_requirement(config)
+            try:
+                breakdown = model.analyse(config)
+                rows[blocking] = (registers, breakdown.potential_fraction)
+            except (ModelError, ResourceLimitError) as error:
+                rows[blocking] = (registers, None)
+        return rows
+
+    rows = benchmark(compute)
+
+    lines = []
+    for blocking, (registers, fraction) in rows.items():
+        outcome = f"{100 * fraction:5.1f}% of peak" if fraction is not None else "infeasible (>63 regs)"
+        lines.append(f"B_R={blocking}   registers/thread {registers:3d}   {outcome}")
+    print_series("Ablation — blocking factor under the 63-register limit", lines)
+
+    feasible = {b: f for b, (_, f) in rows.items() if f is not None}
+    # The bound improves monotonically with the blocking factor...
+    ordered = [feasible[b] for b in sorted(feasible)]
+    assert ordered == sorted(ordered)
+    # ...and 6 is the largest feasible factor (7 and 8 blow the register budget).
+    assert max(feasible) == 6
+    assert rows[7][1] is None and rows[8][1] is None

@@ -1,0 +1,60 @@
+"""Ablation: LDS width choice at fixed blocking factor (DESIGN.md §5).
+
+The paper's Section 4.2/4.5 argument: on Fermi, LDS.128's low instruction
+throughput makes it a loss despite the higher FFMA share, while on Kepler
+LDS.128 is the best choice.  This ablation recomputes the bound for all three
+widths on both GPUs from the paper throughput database.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.model import UpperBoundModel
+from repro.model.params import SgemmConfig
+
+from conftest import print_series
+
+
+def _bounds_for(gpu, gpu_key, database):
+    results = {}
+    for width, stride in ((32, 16), (64, 16), (128, 8)):
+        config = SgemmConfig(
+            register_blocking=6, lds_width_bits=width, threads_per_block=256, stride=stride
+        )
+        try:
+            results[width] = UpperBoundModel(gpu, database, gpu_key=gpu_key).analyse(config)
+        except ModelError:
+            results[width] = None
+    return results
+
+
+def test_ablation_lds_width_choice(benchmark, fermi, kepler, paper_db):
+    """Bound vs LDS width on both GPUs (who should use wide loads, and why)."""
+
+    def compute():
+        return {
+            "gtx580": _bounds_for(fermi, "gtx580", paper_db),
+            "gtx680": _bounds_for(kepler, "gtx680", paper_db),
+        }
+
+    results = benchmark(compute)
+
+    lines = []
+    for gpu_key, by_width in results.items():
+        for width, breakdown in by_width.items():
+            if breakdown is None:
+                lines.append(f"{gpu_key}  LDS.{width:<4d} infeasible / not measured")
+                continue
+            lines.append(
+                f"{gpu_key}  LDS.{width:<4d} bound {100 * breakdown.potential_fraction:5.1f}% "
+                f"({breakdown.potential_gflops:6.0f} GFLOPS)"
+            )
+    print_series("Ablation — LDS width at B_R = 6", lines)
+
+    fermi_bounds = results["gtx580"]
+    kepler_bounds = results["gtx680"]
+    # Fermi: LDS.64 is the right choice; LDS.128 is clearly worse (Section 4.2).
+    assert fermi_bounds[64].potential_fraction > fermi_bounds[128].potential_fraction
+    assert fermi_bounds[64].potential_fraction > fermi_bounds[32].potential_fraction
+    # Kepler: LDS.128 edges out LDS.64 (57.6 % vs 54.6 %, Section 4.5).
+    assert kepler_bounds[128].potential_fraction > kepler_bounds[64].potential_fraction

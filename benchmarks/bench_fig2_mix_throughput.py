@@ -1,0 +1,57 @@
+"""Figure 2: thread-instruction throughput mixing FFMA and LDS.X."""
+
+from __future__ import annotations
+
+from repro.microbench import figure2_curves
+from repro.microbench.paper_data import PAPER_SECTION42_THROUGHPUTS
+
+from conftest import print_series
+
+#: A reduced ratio sweep keeps the benchmark fast while covering the figure's range.
+RATIOS = (0, 2, 6, 12, 24)
+
+
+def _render(curves, ratios) -> list[str]:
+    lines = ["ratio   " + "".join(f"LDS.{width:<9d}" for width in sorted(curves))]
+    for index, ratio in enumerate(ratios):
+        row = f"{ratio:5d}   "
+        for width in sorted(curves):
+            row += f"{curves[width][index].instructions_per_cycle:8.1f}     "
+        lines.append(row)
+    return lines
+
+
+def test_fig2_fermi_mix_throughput(benchmark, fermi):
+    """Fermi half of Figure 2 (the paper's 6:1 / 12:1 operating points)."""
+    curves = benchmark.pedantic(
+        lambda: figure2_curves(fermi, ratios=RATIOS, groups=24), rounds=1, iterations=1
+    )
+    print_series("Figure 2 (GTX580) — throughput vs FFMA:LDS.X ratio", _render(curves, RATIOS))
+
+    at_ratio6_lds64 = curves[64][RATIOS.index(6)].instructions_per_cycle
+    at_ratio12_lds128 = curves[128][RATIOS.index(12)].instructions_per_cycle
+    # Paper Section 4.2 measures 30.4 and 24.5 at these operating points.
+    assert abs(at_ratio6_lds64 - PAPER_SECTION42_THROUGHPUTS[64]) < 2.5
+    assert abs(at_ratio12_lds128 - PAPER_SECTION42_THROUGHPUTS[128]) < 3.0
+    # The overall throughput approaches the 32/cycle issue limit as the FFMA
+    # share grows, for LDS and LDS.64 alike.
+    assert curves[64][-1].instructions_per_cycle > 29.0
+    assert curves[32][-1].instructions_per_cycle > 29.0
+
+
+def test_fig2_kepler_mix_throughput(benchmark, kepler):
+    """Kepler half of Figure 2."""
+    curves = benchmark.pedantic(
+        lambda: figure2_curves(kepler, ratios=RATIOS, groups=24), rounds=1, iterations=1
+    )
+    print_series("Figure 2 (GTX680) — throughput vs FFMA:LDS.X ratio", _render(curves, RATIOS))
+
+    at_ratio6_lds64 = curves[64][RATIOS.index(6)].instructions_per_cycle
+    at_ratio12_lds128 = curves[128][RATIOS.index(12)].instructions_per_cycle
+    # Paper Section 4.5 uses 122.4 (6:1, LDS.64) and 119.9 (12:1, LDS.128); the
+    # simulator's conservative in-order issue sits ~10 % under the hardware,
+    # so the accepted band is the same regime rather than the exact value.
+    assert 100.0 < at_ratio6_lds64 < 140.0
+    assert 95.0 < at_ratio12_lds128 < 140.0
+    # Pure-LDS streams sit far below the mixed streams on Kepler as well.
+    assert curves[64][0].instructions_per_cycle < at_ratio6_lds64

@@ -1,0 +1,30 @@
+"""Figure 3: FFMA instruction percentage vs register blocking factor."""
+
+from __future__ import annotations
+
+from repro.model.blocking import figure3_series
+
+from conftest import print_series
+
+#: The three reference points the paper annotates on the figure (B_R = 6).
+PAPER_POINTS = {32: 75.0, 64: 85.7, 128: 92.3}
+
+
+def test_fig3_ffma_percentage_vs_blocking(benchmark):
+    """Regenerate the three Figure 3 curves for blocking factors 1-15."""
+    series = benchmark(figure3_series, 15)
+
+    lines = ["B_R : " + "  ".join(f"{b:5d}" for b in range(1, 16))]
+    for width in (32, 64, 128):
+        values = "  ".join(f"{series[width][b]:5.1f}" for b in range(1, 16))
+        lines.append(f"LDS.{width:<4d} {values}")
+    print_series("Figure 3 — FFMA percentage in the SGEMM main loop", lines)
+
+    for width, expected in PAPER_POINTS.items():
+        assert abs(series[width][6] - expected) < 0.1
+    # The curves are monotone in the blocking factor and ordered by LDS width.
+    for width in (32, 64, 128):
+        values = [series[width][b] for b in range(1, 16)]
+        assert values == sorted(values)
+    for blocking in range(1, 16):
+        assert series[32][blocking] < series[64][blocking] < series[128][blocking]

@@ -1,0 +1,52 @@
+"""Figure 4: FFMA:LDS.64 = 6:1 throughput vs active threads per SM."""
+
+from __future__ import annotations
+
+from repro.microbench import figure4_curves
+
+from conftest import print_series
+
+FERMI_THREADS = (64, 128, 256, 512, 1024)
+KEPLER_THREADS = (128, 256, 512, 1024, 2048)
+
+
+def _render(curves) -> list[str]:
+    lines = ["threads   independent   dependent"]
+    for independent, dependent in zip(curves["independent"], curves["dependent"]):
+        lines.append(
+            f"{int(independent.x):7d}   {independent.instructions_per_cycle:11.1f}"
+            f"   {dependent.instructions_per_cycle:9.1f}"
+        )
+    return lines
+
+
+def test_fig4_fermi_active_thread_sensitivity(benchmark, fermi):
+    """Fermi: 512 active threads already sit close to the best throughput."""
+    curves = benchmark.pedantic(
+        lambda: figure4_curves(fermi, thread_counts=FERMI_THREADS, groups=24),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 4 (GTX580) — 6:1 mix vs active threads", _render(curves))
+
+    dependent = {int(p.x): p.instructions_per_cycle for p in curves["dependent"]}
+    assert dependent[512] > 0.9 * dependent[1024]
+    assert dependent[128] < dependent[512]
+
+
+def test_fig4_kepler_active_thread_sensitivity(benchmark, kepler):
+    """Kepler: the dependent mix keeps improving up to ~1024+ active threads."""
+    curves = benchmark.pedantic(
+        lambda: figure4_curves(kepler, thread_counts=KEPLER_THREADS, groups=24),
+        rounds=1,
+        iterations=1,
+    )
+    print_series("Figure 4 (GTX680) — 6:1 mix vs active threads", _render(curves))
+
+    dependent = {int(p.x): p.instructions_per_cycle for p in curves["dependent"]}
+    independent = {int(p.x): p.instructions_per_cycle for p in curves["independent"]}
+    # Below ~1024 threads the dependent stream is well short of saturation...
+    assert dependent[256] < 0.8 * dependent[2048]
+    # ...and more sensitive to dependences than the independent stream.
+    assert dependent[256] <= independent[256] + 1e-6
+    assert dependent[1024] > dependent[256]

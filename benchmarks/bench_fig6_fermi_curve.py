@@ -1,0 +1,47 @@
+"""Figure 6: SGEMM NN GFLOPS vs matrix size on the GTX580."""
+
+from __future__ import annotations
+
+from repro.microbench import paper_database
+from repro.model import UpperBoundModel
+from repro.model.params import FERMI_PAPER_CONFIG
+from repro.sgemm import AsmPerformanceModel, cublas_model, magma_model, performance_curve
+
+from conftest import print_series
+
+SIZES = [512, 960, 1440, 1920, 2400, 2880, 3360, 3840, 4320, 4800]
+
+
+def test_fig6_sgemm_nn_performance_on_gtx580(benchmark, fermi):
+    """Regenerate the three curves of Figure 6 (assembly, CUBLAS 4.1, MAGMA)."""
+
+    def compute():
+        bound = UpperBoundModel(fermi, paper_database(), gpu_key="gtx580").analyse(
+            FERMI_PAPER_CONFIG
+        )
+        asm = AsmPerformanceModel(fermi, bound)
+        return performance_curve(SIZES, asm, [cublas_model(fermi), magma_model(fermi)])
+
+    curves = benchmark(compute)
+
+    lines = ["size     assembly   cublas_4.1   magma"]
+    for index, size in enumerate(SIZES):
+        lines.append(
+            f"{size:5d}   {curves['assembly'][index].gflops:8.0f}   "
+            f"{curves['cublas_4.1'][index].gflops:10.0f}   "
+            f"{curves['magma_sgemm_fermi'][index].gflops:5.0f}"
+        )
+    print_series("Figure 6 — SGEMM NN on GTX580 (GFLOPS)", lines)
+
+    assembly = [point.gflops for point in curves["assembly"]]
+    cublas = [point.gflops for point in curves["cublas_4.1"]]
+    magma = [point.gflops for point in curves["magma_sgemm_fermi"]]
+
+    # Shape checks from the figure: the assembly kernel leads CUBLAS by a few
+    # percent across the size range, MAGMA trails CUBLAS, all three rise with
+    # size, and the large-size assembly level is ~1150-1200 GFLOPS.
+    for index in range(len(SIZES)):
+        assert assembly[index] > cublas[index] > magma[index]
+    assert assembly[-1] > assembly[0]
+    assert 1.02 < assembly[-1] / cublas[-1] < 1.12
+    assert 1050.0 < assembly[-1] < 1250.0

@@ -1,0 +1,29 @@
+"""Table 1: architecture evolution GT200 → Fermi → Kepler."""
+
+from __future__ import annotations
+
+from repro.arch import architecture_evolution_table
+
+from conftest import print_series
+
+#: The theoretical peaks Table 1 reports, for the side-by-side comparison.
+PAPER_PEAKS = {"GT200": 933.0, "GF110": 1581.0, "GK104": 3090.0}
+
+
+def test_table1_architecture_evolution(benchmark):
+    """Regenerate Table 1 and check the headline quantities against the paper."""
+    rows = benchmark(architecture_evolution_table)
+
+    lines = []
+    for row in rows:
+        lines.append(
+            f"{row['gpu']:18s} core {row['core_clock_mhz']:6.0f} MHz  shader "
+            f"{row['shader_clock_mhz']:6.0f} MHz  SPs/SM {row['sp_per_sm']:3d}  "
+            f"regs/SM {row['registers_per_sm']:6d}  peak {row['theoretical_peak_gflops']:7.1f} GFLOPS "
+            f"(paper {PAPER_PEAKS[row['chip']]:.0f})"
+        )
+    print_series("Table 1 — Architecture Evolution", lines)
+
+    for row in rows:
+        published = PAPER_PEAKS[row["chip"]]
+        assert abs(row["theoretical_peak_gflops"] - published) / published < 0.01

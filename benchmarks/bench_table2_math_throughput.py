@@ -1,0 +1,35 @@
+"""Table 2: Kepler math-instruction throughput vs operand register indices."""
+
+from __future__ import annotations
+
+from repro.microbench.instruction_table import PAPER_TABLE2_FFMA, table2_rows
+
+from conftest import print_series
+
+
+def test_table2_ffma_operand_register_throughput(benchmark, kepler):
+    """Regenerate the FFMA rows of Table 2 on the simulated GTX680."""
+    rows = benchmark.pedantic(
+        lambda: table2_rows(kepler, active_threads=1024, instruction_count=256),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = []
+    for row in rows:
+        paper = PAPER_TABLE2_FFMA.get(row.instruction)
+        lines.append(
+            f"{row.instruction:28s} banks={row.conflict_degree}  "
+            f"measured {row.measured_per_cycle:6.1f}/cycle   paper {paper:6.1f}/cycle"
+        )
+    print_series("Table 2 — FFMA throughput vs operand registers (GTX680)", lines)
+
+    by_label = {row.instruction: row for row in rows}
+    clean = by_label["FFMA R0, R1, R4, R5"].measured_per_cycle
+    two_way = by_label["FFMA R0, R1, R3, R5"].measured_per_cycle
+    three_way = by_label["FFMA R0, R1, R3, R9"].measured_per_cycle
+
+    # Shape checks mirroring the paper: ~132 / ~66 / ~44 per cycle.
+    assert 100.0 < clean < 140.0
+    assert 0.4 < two_way / clean < 0.65
+    assert 0.25 < three_way / clean < 0.45

@@ -1,0 +1,90 @@
+"""Section 4.5 headline results: the SGEMM performance upper bounds.
+
+Two variants are regenerated:
+
+* from the paper's published throughput measurements (exact reproduction of
+  the 82.5 % / 54.6 % / 57.6 % numbers), and
+* from throughputs measured on the simulator (the full methodology without
+  any hardware numbers), which must land in the same regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microbench import MicrobenchRunner
+from repro.microbench.paper_data import PAPER_UPPER_BOUNDS
+from repro.model import UpperBoundModel
+from repro.model.params import (
+    FERMI_PAPER_CONFIG,
+    KEPLER_LDS64_CONFIG,
+    KEPLER_LDS128_CONFIG,
+)
+
+from conftest import print_series
+
+
+def test_upper_bounds_from_paper_measurements(benchmark, fermi, kepler, paper_db):
+    """Recompute Equations 6-9 from the paper's own measured throughputs."""
+
+    def compute():
+        fermi_model = UpperBoundModel(fermi, paper_db, gpu_key="gtx580")
+        kepler_model = UpperBoundModel(kepler, paper_db, gpu_key="gtx680")
+        return {
+            ("gtx580", 64): fermi_model.analyse(FERMI_PAPER_CONFIG),
+            ("gtx680", 64): kepler_model.analyse(KEPLER_LDS64_CONFIG),
+            ("gtx680", 128): kepler_model.analyse(KEPLER_LDS128_CONFIG),
+        }
+
+    breakdowns = benchmark(compute)
+
+    lines = []
+    for key, breakdown in breakdowns.items():
+        published = PAPER_UPPER_BOUNDS[key]
+        lines.append(
+            f"{breakdown.gpu_name:18s} LDS.{key[1]:<4d} bound "
+            f"{100 * breakdown.potential_fraction:5.1f}% of peak "
+            f"({breakdown.potential_gflops:6.0f} GFLOPS)   paper {100 * published:5.1f}%"
+        )
+    print_series("Section 4.5 — SGEMM upper bounds (paper measurements)", lines)
+
+    for key, breakdown in breakdowns.items():
+        assert breakdown.potential_fraction == pytest.approx(PAPER_UPPER_BOUNDS[key], abs=0.002)
+        assert breakdown.limited_by == "sm_throughput"
+
+
+def test_upper_bounds_from_simulator_measurements(benchmark, fermi, kepler):
+    """The same bounds with F_T measured on the simulator instead of hardware."""
+
+    def compute():
+        results = {}
+        for gpu, config, key in (
+            (fermi, FERMI_PAPER_CONFIG, ("gtx580", 64)),
+            (kepler, KEPLER_LDS64_CONFIG, ("gtx680", 64)),
+        ):
+            runner = MicrobenchRunner(gpu)
+            database = runner.populate_database(ratios=(6,), widths=(64,), groups=48)
+            model = UpperBoundModel(gpu, database, gpu_key=runner.gpu_key)
+            results[key] = model.analyse(config)
+        return results
+
+    breakdowns = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = []
+    for key, breakdown in breakdowns.items():
+        published = PAPER_UPPER_BOUNDS[key]
+        lines.append(
+            f"{breakdown.gpu_name:18s} LDS.{key[1]:<4d} bound "
+            f"{100 * breakdown.potential_fraction:5.1f}% of peak   paper {100 * published:5.1f}%"
+        )
+    print_series("Section 4.5 — SGEMM upper bounds (simulator measurements)", lines)
+
+    # The Fermi bound reproduces closely; the simulator's Kepler mixed
+    # throughput sits ~10 % under the hardware measurement (conservative
+    # in-order issue model), so its bound is accepted within a wider band.
+    assert breakdowns[("gtx580", 64)].potential_fraction == pytest.approx(
+        PAPER_UPPER_BOUNDS[("gtx580", 64)], abs=0.06
+    )
+    assert breakdowns[("gtx680", 64)].potential_fraction == pytest.approx(
+        PAPER_UPPER_BOUNDS[("gtx680", 64)], abs=0.10
+    )

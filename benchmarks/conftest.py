@@ -1,0 +1,42 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+modules use ``pytest-benchmark`` to time the regeneration and print the
+reproduced rows/series next to the paper's published values, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces both the timing table and the experiment data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import fermi_gtx580, kepler_gtx680
+from repro.microbench import paper_database
+
+
+@pytest.fixture(scope="session")
+def fermi():
+    """The GTX580 machine description."""
+    return fermi_gtx580()
+
+
+@pytest.fixture(scope="session")
+def kepler():
+    """The GTX680 machine description."""
+    return kepler_gtx680()
+
+
+@pytest.fixture(scope="session")
+def paper_db():
+    """The paper-reported throughput database."""
+    return paper_database()
+
+
+def print_series(title: str, rows: list[str]) -> None:
+    """Print a titled block of result rows (visible with ``-s``)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(f"  {row}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's micro-benchmark tables and curves on the simulator.
+
+Produces text renderings of:
+
+* Table 2  — Kepler FFMA throughput vs operand register indices,
+* Figure 2 — throughput of FFMA/LDS.X mixes vs the mix ratio,
+* Figure 4 — throughput of the 6:1 FFMA/LDS.64 mix vs active threads
+             (independent and dependent variants).
+
+Run:  python examples/microbenchmark_suite.py            (several minutes)
+      python examples/microbenchmark_suite.py --quick    (coarser sweeps)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch import get_gpu_spec
+from repro.microbench import figure2_curves, figure4_curves, table2_rows
+from repro.microbench.instruction_table import format_table2
+
+
+def print_figure2(gpu_name: str, quick: bool) -> None:
+    gpu = get_gpu_spec(gpu_name)
+    ratios = (0, 2, 6, 12, 24) if quick else (0, 1, 2, 4, 6, 8, 12, 16, 24, 32)
+    curves = figure2_curves(gpu, ratios=ratios, groups=16 if quick else 32)
+    print(f"\nFigure 2 — {gpu.name}: thread-instruction throughput vs FFMA/LDS.X ratio")
+    header = "  ratio  " + "".join(f"LDS.{width:<9d}" for width in sorted(curves))
+    print(header)
+    for index, ratio in enumerate(ratios):
+        row = f"  {ratio:5d}  "
+        for width in sorted(curves):
+            row += f"{curves[width][index].instructions_per_cycle:8.1f}     "
+        print(row)
+
+
+def print_figure4(gpu_name: str, quick: bool) -> None:
+    gpu = get_gpu_spec(gpu_name)
+    thread_counts = (128, 256, 512, 1024) if quick else None
+    curves = figure4_curves(gpu, thread_counts=thread_counts, groups=16 if quick else 32)
+    print(f"\nFigure 4 — {gpu.name}: FFMA:LDS.64 = 6:1 throughput vs active threads")
+    print("  threads   independent   dependent")
+    for independent, dependent in zip(curves["independent"], curves["dependent"]):
+        print(
+            f"  {int(independent.x):7d}   {independent.instructions_per_cycle:11.1f}"
+            f"   {dependent.instructions_per_cycle:9.1f}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="coarser, faster sweeps")
+    args = parser.parse_args()
+
+    kepler = get_gpu_spec("gtx680")
+    print("Table 2 — Kepler FFMA throughput vs operand register indices")
+    rows = table2_rows(kepler, instruction_count=128 if args.quick else 384)
+    print(format_table2(rows))
+
+    for gpu_name in ("gtx580", "gtx680"):
+        print_figure2(gpu_name, args.quick)
+    for gpu_name in ("gtx580", "gtx680"):
+        print_figure4(gpu_name, args.quick)
+
+
+if __name__ == "__main__":
+    main()

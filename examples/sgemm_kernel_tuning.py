@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Generate, analyse and validate SASS-level SGEMM kernels (paper Section 5).
+
+Walks through the paper's kernel-engineering story on the simulator:
+
+1. generate the 6-register-blocking SGEMM kernel for the GTX580 and show that
+   it spends exactly 63 registers per thread with zero spills (Section 5.2);
+2. compare the register-bank-conflict statistics of the naive allocation and
+   the bank-conflict-free allocation of Figure 9 (the Figure 8 comparison);
+3. run the kernel functionally on the simulator and validate it against
+   NumPy;
+4. measure the sustained main-loop throughput with the Fermi occupancy
+   (two resident 256-thread blocks) and project achieved GFLOPS.
+
+Run:  python examples/sgemm_kernel_tuning.py          (takes a few minutes)
+      python examples/sgemm_kernel_tuning.py --quick  (single block, shorter K)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch import get_gpu_spec
+from repro.microbench import paper_database
+from repro.model import UpperBoundModel
+from repro.model.params import FERMI_PAPER_CONFIG
+from repro.sgemm import (
+    SgemmKernelConfig,
+    analyse_ffma_conflicts,
+    fermi_register_budget,
+    generate_sgemm_kernel,
+)
+from repro.sgemm.conflict_analysis import format_conflict_table
+from repro.sgemm.runner import run_sgemm
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="simulate a single block only")
+    args = parser.parse_args()
+
+    fermi = get_gpu_spec("gtx580")
+
+    print("== 1. Register budget (Section 5.2) ==")
+    budget = fermi_register_budget()
+    for item, count in budget.as_dict().items():
+        print(f"  {item:24s} {count:3d}")
+    print(f"  fits the 63-register ISA limit with no spills: {budget.fits(63)}")
+
+    print("\n== 2. Register-bank conflicts (Figure 8) ==")
+    size = 96
+    k_extent = 16 if args.quick else 32
+    conflict_free = generate_sgemm_kernel(
+        SgemmKernelConfig(m=size, n=size, k=k_extent, conflict_free_allocation=True)
+    )
+    naive = generate_sgemm_kernel(
+        SgemmKernelConfig(m=size, n=size, k=k_extent, conflict_free_allocation=False)
+    )
+    reports = [analyse_ffma_conflicts(naive), analyse_ffma_conflicts(conflict_free)]
+    print(format_conflict_table(reports))
+    print("  (paper: MAGMA ~30% 2-way; first asm version 68.8%/10.6%; final version ~0%)")
+
+    print("\n== 3. Functional validation against NumPy ==")
+    run = run_sgemm(fermi, SgemmKernelConfig(m=size, n=size, k=k_extent), validate=True)
+    print(f"  kernel instructions : {run.kernel.instruction_count}")
+    print(f"  registers per thread: {run.kernel.register_count}")
+    print(f"  max |error| vs NumPy: {run.max_error:.2e}")
+
+    print("\n== 4. Sustained throughput and projected GFLOPS ==")
+    blocks = [(0, 0)] if args.quick else [(0, 0), (1, 0)]
+    measured = run_sgemm(
+        fermi,
+        SgemmKernelConfig(m=192, n=192, k=k_extent),
+        blocks=blocks,
+        validate=False,
+    )
+    result = measured.result
+    gflops = result.gflops(fermi)
+    bound = UpperBoundModel(fermi, paper_database(), gpu_key="gtx580").analyse(FERMI_PAPER_CONFIG)
+    print(f"  resident blocks simulated : {len(blocks)}")
+    print(f"  FFMA throughput per SM    : {result.ffma_per_cycle:.1f} thread instr/cycle")
+    print(f"  projected whole-GPU rate  : {gflops:.0f} GFLOPS")
+    print(f"  analytic upper bound      : {bound.potential_gflops:.0f} GFLOPS")
+    print(f"  fraction of the bound     : {gflops / bound.potential_gflops:.1%}")
+    print("  (paper: the hand-written kernel reaches ~90% of the bound on the GTX580)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Full methodology walk-through on the simulated GPUs.
+
+Reproduces the paper's workflow end to end without its hardware:
+
+1. micro-benchmark the simulated GTX580 and GTX680 (FFMA/LDS.X mixes at the
+   ratios produced by register blocking) and collect the results in a
+   PerfDatabase;
+2. run the register-blocking analysis (Equations 2-5, Figure 3);
+3. feed the measured throughputs into the bound equations (Equations 6-9);
+4. sweep the design space and print the best configurations, i.e. the
+   parameters an auto-tuner should start from (Section 5.5).
+
+Run:  python examples/upper_bound_analysis.py          (takes a minute or two)
+      python examples/upper_bound_analysis.py --quick  (coarser micro-benchmarks)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.arch import get_gpu_spec
+from repro.microbench import MicrobenchRunner
+from repro.model import DesignSpaceSweep, UpperBoundModel, ffma_percentage, max_blocking_factor
+from repro.model.blocking import figure3_series
+from repro.model.params import FERMI_PAPER_CONFIG, KEPLER_LDS64_CONFIG
+from repro.model.report import format_report
+
+
+def analyse_gpu(name: str, *, groups: int) -> None:
+    gpu = get_gpu_spec(name)
+    runner = MicrobenchRunner(gpu)
+    print(f"\n=== {gpu.name} ({gpu.chip}) ===")
+    print(f"theoretical peak: {gpu.theoretical_peak_gflops:.0f} GFLOPS")
+
+    print("\n-- step 1: micro-benchmark the FFMA/LDS.X mixes on the simulator --")
+    database = runner.populate_database(groups=groups)
+    for record in database.records():
+        key = record.key
+        print(
+            f"  ratio {key.ffma_per_lds:4.0f}:1  LDS.{key.lds_width_bits:<3d} "
+            f"threads {key.active_threads:4d}  ->  {record.instructions_per_cycle:6.1f} "
+            "thread instr/cycle"
+        )
+
+    print("\n-- step 2: register blocking analysis (Fig 3 / Eq 2-5) --")
+    limit = gpu.register_file.max_registers_per_thread
+    print(f"  max blocking factor under the {limit}-register limit "
+          f"(strict, with prefetch): {max_blocking_factor(limit)}")
+    for width in (32, 64, 128):
+        print(f"  FFMA share at B_R=6 with LDS.{width}: {ffma_percentage(6, width):.1f}%")
+
+    print("\n-- step 3: upper bound (Eq 6-9) --")
+    model = UpperBoundModel(gpu, database, gpu_key=runner.gpu_key)
+    config = FERMI_PAPER_CONFIG if "580" in gpu.name else KEPLER_LDS64_CONFIG
+    breakdown = model.analyse(config)
+    print(format_report("Simulator-measured upper bound", [breakdown]))
+
+    print("-- step 4: design-space sweep (auto-tuning guidance, §5.5) --")
+    sweep = DesignSpaceSweep(gpu, database, gpu_key=runner.gpu_key)
+    entries = [entry for entry in sweep.run() if entry.feasible][:5]
+    for rank, entry in enumerate(entries, start=1):
+        cfg = entry.config
+        print(
+            f"  #{rank}: B_R={cfg.register_blocking}  LDS.{cfg.lds_width_bits:<3d} "
+            f"T_B={cfg.threads_per_block:4d}  L={cfg.stride:2d}  ->  "
+            f"{entry.potential_gflops:6.0f} GFLOPS upper bound"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="use shorter micro-benchmarks")
+    args = parser.parse_args()
+    groups = 16 if args.quick else 32
+
+    print("Figure 3 series (FFMA percentage vs blocking factor):")
+    series = figure3_series(max_blocking=8)
+    header = "  B_R: " + "  ".join(f"{b:5d}" for b in range(1, 9))
+    print(header)
+    for width in (32, 64, 128):
+        row = "  ".join(f"{series[width][b]:5.1f}" for b in range(1, 9))
+        print(f"  LDS.{width:<4d} {row}")
+
+    for name in ("gtx580", "gtx680"):
+        analyse_gpu(name, groups=groups)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Machine descriptions for the GPUs studied in the paper.
+
+The paper's methodology consumes a small set of architectural characteristics
+per GPU generation: clock rates, per-SM resources (registers, shared memory,
+SPs, LD/ST units, schedulers, dispatch units), instruction issue throughput
+and the global memory bandwidth.  This subpackage provides those descriptions
+(Table 1 of the paper) plus the resource/occupancy arithmetic built on them
+(Equation 1 and the shared-memory constraint of Equation 5).
+"""
+
+from repro.arch.clocks import ClockDomains
+from repro.arch.specs import (
+    GPU_SPECS,
+    GpuGeneration,
+    GpuSpec,
+    SmResources,
+    architecture_evolution_table,
+    get_gpu_spec,
+    gt200_gtx280,
+    fermi_gtx580,
+    kepler_gtx680,
+)
+from repro.arch.register_file import RegisterBank, RegisterFileSpec, register_bank
+from repro.arch.shared_memory import SharedMemorySpec
+from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
+
+__all__ = [
+    "ClockDomains",
+    "GPU_SPECS",
+    "GpuGeneration",
+    "GpuSpec",
+    "SmResources",
+    "architecture_evolution_table",
+    "get_gpu_spec",
+    "gt200_gtx280",
+    "fermi_gtx580",
+    "kepler_gtx680",
+    "RegisterBank",
+    "RegisterFileSpec",
+    "register_bank",
+    "SharedMemorySpec",
+    "OccupancyCalculator",
+    "OccupancyResult",
+]

@@ -1,0 +1,125 @@
+"""Register file description and register-bank arithmetic.
+
+Section 3.3 of the paper reverse-engineers the Kepler (GK104) register file:
+registers live on four banks, and an FFMA whose three *distinct* source
+registers collide on a bank loses throughput (50 % for a 2-way collision,
+~66 % for a 3-way collision).  The bank of a register is determined by its
+index:
+
+* ``even 0``:  index % 8 <  4  and index % 2 == 0
+* ``even 1``:  index % 8 >= 4  and index % 2 == 0
+* ``odd 0``:   index % 8 <  4  and index % 2 == 1
+* ``odd 1``:   index % 8 >= 4  and index % 2 == 1
+
+Fermi does not exhibit the operand-bank penalty in the paper's benchmarks, so
+machine descriptions carry a flag saying whether the penalty applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ArchitectureError
+
+
+class RegisterBank(str, Enum):
+    """The four operand-collector banks of the Kepler register file."""
+
+    EVEN0 = "even0"
+    EVEN1 = "even1"
+    ODD0 = "odd0"
+    ODD1 = "odd1"
+
+    @property
+    def is_even(self) -> bool:
+        """Whether this bank holds even-indexed registers."""
+        return self in (RegisterBank.EVEN0, RegisterBank.EVEN1)
+
+
+def register_bank(index: int) -> RegisterBank:
+    """Return the bank that register ``R<index>`` resides on.
+
+    Parameters
+    ----------
+    index:
+        Register index, ``0 <= index``.
+    """
+    if index < 0:
+        raise ArchitectureError(f"register index must be non-negative, got {index}")
+    low_half = index % 8 < 4
+    even = index % 2 == 0
+    if even and low_half:
+        return RegisterBank.EVEN0
+    if even and not low_half:
+        return RegisterBank.EVEN1
+    if not even and low_half:
+        return RegisterBank.ODD0
+    return RegisterBank.ODD1
+
+
+def bank_conflict_degree(source_registers: list[int]) -> int:
+    """Degree of the worst register-bank conflict among *distinct* sources.
+
+    Returns 1 when there is no conflict (all distinct source registers map to
+    different banks), 2 for a 2-way conflict, 3 for a 3-way conflict, etc.
+    Duplicate register indices never conflict with themselves — reading the
+    same register twice is a single port access.
+    """
+    distinct = sorted(set(r for r in source_registers if r >= 0))
+    counts: dict[RegisterBank, int] = {}
+    for reg in distinct:
+        bank = register_bank(reg)
+        counts[bank] = counts.get(bank, 0) + 1
+    if not counts:
+        return 1
+    return max(counts.values())
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec:
+    """Per-SM register file description.
+
+    Attributes
+    ----------
+    registers_per_sm:
+        Number of 32-bit registers per SM (e.g. 32768 on GTX580).
+    max_registers_per_thread:
+        Hard ISA limit on registers addressable by a single thread (63 on
+        Fermi/GK104 because only 6 bits encode a register index; 127 on
+        GT200; 255 on GK110).
+    bank_count:
+        Number of operand-collector banks.
+    has_operand_bank_conflicts:
+        Whether distinct source operands on the same bank cost throughput
+        (True for Kepler GK104, False for Fermi in the paper's benchmarks).
+    """
+
+    registers_per_sm: int
+    max_registers_per_thread: int
+    bank_count: int = 4
+    has_operand_bank_conflicts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.registers_per_sm <= 0:
+            raise ArchitectureError("registers_per_sm must be positive")
+        if self.max_registers_per_thread <= 0:
+            raise ArchitectureError("max_registers_per_thread must be positive")
+        if self.bank_count <= 0:
+            raise ArchitectureError("bank_count must be positive")
+
+    def max_threads_for_register_usage(self, registers_per_thread: int) -> int:
+        """Maximum concurrent threads given a per-thread register footprint.
+
+        Implements the register side of paper Equation 1,
+        ``T_SM * R_T <= R_SM``.
+        """
+        if registers_per_thread <= 0:
+            raise ArchitectureError("registers_per_thread must be positive")
+        if registers_per_thread > self.max_registers_per_thread:
+            return 0
+        return self.registers_per_sm // registers_per_thread
+
+    def register_bytes_per_sm(self) -> int:
+        """Total register storage per SM in bytes."""
+        return self.registers_per_sm * 4

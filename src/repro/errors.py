@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming mistakes with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for invalid or inconsistent machine descriptions."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level failures (parsing, encoding, validation)."""
+
+
+class AssemblyError(IsaError):
+    """Raised when assembly text cannot be parsed or assembled."""
+
+
+class EncodingError(IsaError):
+    """Raised when an instruction cannot be encoded into machine words."""
+
+
+class ValidationError(IsaError):
+    """Raised when a kernel violates an ISA or resource constraint."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing/functional simulator reaches an invalid state."""
+
+
+class ResourceLimitError(ReproError):
+    """Raised when a kernel configuration exceeds SM resource limits."""
+
+
+class ModelError(ReproError):
+    """Raised when the analytic performance model is given invalid inputs."""
+
+
+class KernelGenerationError(ReproError):
+    """Raised when an SGEMM kernel cannot be generated for a configuration."""
+
+
+class RegisterAllocationError(ReproError):
+    """Raised when register allocation cannot satisfy its constraints."""

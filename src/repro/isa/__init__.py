@@ -1,0 +1,86 @@
+"""Fermi/Kepler-style native instruction set (SASS) toolchain.
+
+The paper programs the GPUs directly in native assembly (via a patched
+``asfermi``) because the register budget, the instruction selection (LDS vs
+LDS.64 vs LDS.128), the instruction order and — on Kepler — the operand
+register banks and the control notation all have first-order performance
+effects that the compiler does not let the programmer control.
+
+This subpackage rebuilds that toolchain in Python:
+
+* :mod:`repro.isa.registers` — general-purpose registers, predicates and
+  special registers, including the operand-bank mapping of GK104.
+* :mod:`repro.isa.instructions` — the instruction set used by SGEMM and the
+  micro-benchmarks (FFMA/FADD/FMUL, integer ALU, LDS/STS at 32/64/128 bits,
+  global LD/ST, control flow, barriers).
+* :mod:`repro.isa.encoding` — the 64-bit binary encoding whose 6-bit register
+  fields impose the 63-register-per-thread limit the paper's analysis hinges
+  on.
+* :mod:`repro.isa.control_notation` — the Kepler per-7-instruction scheduling
+  words (``0x….7 0x2….`` in the paper's notation).
+* :mod:`repro.isa.parser` / :mod:`repro.isa.assembler` /
+  :mod:`repro.isa.disassembler` — text assembly in, :class:`Kernel` out, and
+  back.
+* :mod:`repro.isa.builder` — a programmatic kernel builder used by the SGEMM
+  generator and the micro-benchmark generators.
+* :mod:`repro.isa.validation` — ISA/resource validation passes.
+"""
+
+from repro.isa.registers import (
+    PT,
+    RZ,
+    Predicate,
+    Register,
+    SpecialRegister,
+    predicate,
+    reg,
+)
+from repro.isa.instructions import (
+    ConstRef,
+    Immediate,
+    Instruction,
+    Label,
+    MemRef,
+    MemSpace,
+    Opcode,
+    OperandKind,
+)
+from repro.isa.encoding import encode_instruction, decode_instruction, REGISTER_FIELD_BITS
+from repro.isa.control_notation import ControlNotation, encode_control_word, decode_control_word
+from repro.isa.parser import parse_program
+from repro.isa.assembler import Kernel, assemble, assemble_text
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.builder import KernelBuilder
+from repro.isa.validation import validate_kernel
+
+__all__ = [
+    "PT",
+    "RZ",
+    "Predicate",
+    "Register",
+    "SpecialRegister",
+    "predicate",
+    "reg",
+    "ConstRef",
+    "Immediate",
+    "Instruction",
+    "Label",
+    "MemRef",
+    "MemSpace",
+    "Opcode",
+    "OperandKind",
+    "encode_instruction",
+    "decode_instruction",
+    "REGISTER_FIELD_BITS",
+    "ControlNotation",
+    "encode_control_word",
+    "decode_control_word",
+    "parse_program",
+    "Kernel",
+    "assemble",
+    "assemble_text",
+    "disassemble",
+    "format_instruction",
+    "KernelBuilder",
+    "validate_kernel",
+]

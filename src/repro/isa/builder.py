@@ -1,0 +1,309 @@
+"""Programmatic kernel builder.
+
+The SGEMM generator and the micro-benchmark generators construct kernels
+instruction by instruction; :class:`KernelBuilder` offers a fluent interface
+for that (one method per opcode, plus labels, loops and assembly), so the
+generators read close to the hand-written SASS the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Kernel, assemble
+from repro.isa.instructions import (
+    ConstRef,
+    Immediate,
+    Instruction,
+    Label,
+    MemRef,
+    Opcode,
+    Program,
+)
+from repro.isa.registers import PT, Predicate, Register, SpecialRegister
+
+RegisterLike = Union[Register, int]
+OperandLike = Union[Register, int, float, Immediate, ConstRef, MemRef]
+
+
+def _as_register(value: RegisterLike) -> Register:
+    """Coerce an int or Register into a Register."""
+    if isinstance(value, Register):
+        return value
+    return Register(value)
+
+
+def _as_operand(value: OperandLike) -> object:
+    """Coerce a Python value into an instruction operand."""
+    if isinstance(value, (Register, Immediate, ConstRef, MemRef)):
+        return value
+    if isinstance(value, bool):
+        raise AssemblyError("bool is not a valid operand")
+    if isinstance(value, int):
+        return Immediate(value)
+    if isinstance(value, float):
+        return Immediate(value)
+    raise AssemblyError(f"cannot convert {value!r} into an operand")
+
+
+@dataclass
+class KernelBuilder:
+    """Accumulates instructions and assembles them into a :class:`Kernel`.
+
+    Parameters
+    ----------
+    name:
+        Kernel name.
+    shared_memory_bytes:
+        Static shared-memory footprint per block.
+    threads_per_block:
+        Block size the kernel is generated for.
+    emit_control_notation:
+        Whether to emit Kepler control-notation words when assembling.
+    """
+
+    name: str = "kernel"
+    shared_memory_bytes: int = 0
+    threads_per_block: int = 0
+    emit_control_notation: bool = False
+    control_hint: int | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+    _items: list[object] = field(default_factory=list, repr=False)
+    _guard: Predicate = field(default=PT, repr=False)
+    _guard_negated: bool = field(default=False, repr=False)
+    _label_counter: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Structural helpers.                                                 #
+    # ------------------------------------------------------------------ #
+
+    def label(self, name: str | None = None) -> Label:
+        """Define a label at the current position and return it."""
+        if name is None:
+            name = f"L_{self._label_counter}"
+            self._label_counter += 1
+        label = Label(name)
+        self._items.append(label)
+        return label
+
+    def new_label(self, name: str | None = None) -> Label:
+        """Create a label object without placing it (place it later with :meth:`place`)."""
+        if name is None:
+            name = f"L_{self._label_counter}"
+            self._label_counter += 1
+        return Label(name)
+
+    def place(self, label: Label) -> Label:
+        """Place a label previously created with :meth:`new_label`."""
+        self._items.append(label)
+        return label
+
+    def raw(self, instruction: Instruction) -> Instruction:
+        """Append an already-built instruction."""
+        self._items.append(instruction)
+        return instruction
+
+    def comment_last(self, text: str) -> None:
+        """Attach a comment to the most recently appended instruction."""
+        for position in range(len(self._items) - 1, -1, -1):
+            item = self._items[position]
+            if isinstance(item, Instruction):
+                self._items[position] = item.with_comment(text)
+                return
+        raise AssemblyError("no instruction to comment")
+
+    def guarded(self, predicate: Predicate, negated: bool = False) -> "_GuardScope":
+        """Context manager applying a guard predicate to enclosed instructions."""
+        return _GuardScope(self, predicate, negated)
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of instructions appended so far."""
+        return sum(1 for item in self._items if isinstance(item, Instruction))
+
+    # ------------------------------------------------------------------ #
+    # Instruction emitters.                                               #
+    # ------------------------------------------------------------------ #
+
+    def _emit(self, **kwargs) -> Instruction:
+        instruction = Instruction(
+            predicate=self._guard,
+            predicate_negated=self._guard_negated,
+            **kwargs,
+        )
+        self._items.append(instruction)
+        return instruction
+
+    def ffma(self, dest: RegisterLike, a: RegisterLike, b: RegisterLike, c: RegisterLike) -> Instruction:
+        """``FFMA Rd, Ra, Rb, Rc`` — Rd := Ra * Rb + Rc."""
+        return self._emit(
+            opcode=Opcode.FFMA,
+            dest=_as_register(dest),
+            sources=(_as_register(a), _as_register(b), _as_register(c)),
+        )
+
+    def fadd(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``FADD Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.FADD, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
+    def fmul(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``FMUL Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.FMUL, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
+    def iadd(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``IADD Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.IADD, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
+    def imul(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``IMUL Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.IMUL, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
+    def imad(self, dest: RegisterLike, a: RegisterLike, b: OperandLike, c: OperandLike) -> Instruction:
+        """``IMAD Rd, Ra, b, c`` — Rd := Ra * b + c."""
+        return self._emit(
+            opcode=Opcode.IMAD,
+            dest=_as_register(dest),
+            sources=(_as_register(a), _as_operand(b), _as_operand(c)),
+        )
+
+    def iscadd(self, dest: RegisterLike, a: RegisterLike, b: OperandLike, shift: int) -> Instruction:
+        """``ISCADD Rd, Ra, b, shift`` — Rd := (Ra << shift) + b."""
+        return self._emit(
+            opcode=Opcode.ISCADD,
+            dest=_as_register(dest),
+            sources=(_as_register(a), _as_operand(b), Immediate(shift)),
+        )
+
+    def shl(self, dest: RegisterLike, a: RegisterLike, amount: OperandLike) -> Instruction:
+        """``SHL Rd, Ra, amount``."""
+        return self._emit(
+            opcode=Opcode.SHL, dest=_as_register(dest), sources=(_as_register(a), _as_operand(amount))
+        )
+
+    def shr(self, dest: RegisterLike, a: RegisterLike, amount: OperandLike) -> Instruction:
+        """``SHR Rd, Ra, amount``."""
+        return self._emit(
+            opcode=Opcode.SHR, dest=_as_register(dest), sources=(_as_register(a), _as_operand(amount))
+        )
+
+    def lop_and(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``LOP.AND Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.LOP_AND, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
+    def mov(self, dest: RegisterLike, source: OperandLike) -> Instruction:
+        """``MOV Rd, src`` (register, immediate or constant-bank source)."""
+        return self._emit(opcode=Opcode.MOV, dest=_as_register(dest), sources=(_as_operand(source),))
+
+    def mov32i(self, dest: RegisterLike, value: Union[int, float]) -> Instruction:
+        """``MOV32I Rd, imm32``."""
+        return self._emit(opcode=Opcode.MOV32I, dest=_as_register(dest), sources=(Immediate(value),))
+
+    def s2r(self, dest: RegisterLike, special: SpecialRegister) -> Instruction:
+        """``S2R Rd, SR_*`` — read a special register."""
+        return self._emit(opcode=Opcode.S2R, dest=_as_register(dest), special=special)
+
+    def isetp(
+        self,
+        dest_predicate: Predicate,
+        compare_op: str,
+        a: RegisterLike,
+        b: OperandLike,
+    ) -> Instruction:
+        """``ISETP.<op> P, Ra, b`` — integer compare into a predicate."""
+        return self._emit(
+            opcode=Opcode.ISETP,
+            dest_predicate=dest_predicate,
+            compare_op=compare_op,
+            sources=(_as_register(a), _as_operand(b)),
+        )
+
+    def lds(self, dest: RegisterLike, address: MemRef, width: int = 32) -> Instruction:
+        """``LDS[.64/.128] Rd, [Rbase+offset]`` — shared-memory load."""
+        return self._emit(opcode=Opcode.LDS, dest=_as_register(dest), sources=(address,), width=width)
+
+    def sts(self, address: MemRef, source: RegisterLike, width: int = 32) -> Instruction:
+        """``STS[.64/.128] [Rbase+offset], Rsrc`` — shared-memory store."""
+        return self._emit(opcode=Opcode.STS, sources=(address, _as_register(source)), width=width)
+
+    def ld(self, dest: RegisterLike, address: MemRef, width: int = 32) -> Instruction:
+        """``LD[.64/.128] Rd, [Rbase+offset]`` — global-memory load."""
+        return self._emit(opcode=Opcode.LD, dest=_as_register(dest), sources=(address,), width=width)
+
+    def st(self, address: MemRef, source: RegisterLike, width: int = 32) -> Instruction:
+        """``ST[.64/.128] [Rbase+offset], Rsrc`` — global-memory store."""
+        return self._emit(opcode=Opcode.ST, sources=(address, _as_register(source)), width=width)
+
+    def bra(self, target: Label, predicate: Predicate | None = None, negated: bool = False) -> Instruction:
+        """``[@P] BRA label`` — (conditional) branch."""
+        guard = predicate if predicate is not None else self._guard
+        instruction = Instruction(
+            opcode=Opcode.BRA,
+            target=target,
+            predicate=guard,
+            predicate_negated=negated if predicate is not None else self._guard_negated,
+        )
+        self._items.append(instruction)
+        return instruction
+
+    def bar(self, barrier_id: int = 0) -> Instruction:
+        """``BAR.SYNC id`` — block-wide barrier."""
+        return self._emit(opcode=Opcode.BAR, sources=(Immediate(barrier_id),))
+
+    def exit(self) -> Instruction:
+        """``EXIT`` — terminate the thread."""
+        return self._emit(opcode=Opcode.EXIT)
+
+    def nop(self) -> Instruction:
+        """``NOP``."""
+        return self._emit(opcode=Opcode.NOP)
+
+    # ------------------------------------------------------------------ #
+    # Final assembly.                                                     #
+    # ------------------------------------------------------------------ #
+
+    def program(self) -> Program:
+        """The accumulated items as an unresolved :class:`Program`."""
+        return Program(items=tuple(self._items), name=self.name, metadata=dict(self.metadata))
+
+    def build(self) -> Kernel:
+        """Assemble the accumulated instructions into a :class:`Kernel`."""
+        return assemble(
+            self.program(),
+            shared_memory_bytes=self.shared_memory_bytes,
+            threads_per_block=self.threads_per_block,
+            emit_control_notation=self.emit_control_notation,
+            control_hint=self.control_hint,
+            metadata=self.metadata,
+        )
+
+
+class _GuardScope:
+    """Context manager that applies a guard predicate inside a ``with`` block."""
+
+    def __init__(self, builder: KernelBuilder, predicate: Predicate, negated: bool) -> None:
+        self._builder = builder
+        self._predicate = predicate
+        self._negated = negated
+        self._saved: tuple[Predicate, bool] | None = None
+
+    def __enter__(self) -> KernelBuilder:
+        self._saved = (self._builder._guard, self._builder._guard_negated)
+        self._builder._guard = self._predicate
+        self._builder._guard_negated = self._negated
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._saved is not None
+        self._builder._guard, self._builder._guard_negated = self._saved

@@ -1,0 +1,112 @@
+"""Disassembler: render instructions and kernels back to assembly text.
+
+The output uses the same syntax the parser accepts, so
+``parse_program(disassemble(kernel)) == kernel's program`` modulo label names
+— a property exercised by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    ConstRef,
+    Immediate,
+    Instruction,
+    MemRef,
+    Opcode,
+)
+from repro.isa.registers import Predicate, Register, SpecialRegister
+
+
+def _format_operand(operand: object) -> str:
+    """Render one operand in parser-compatible syntax."""
+    if isinstance(operand, Register):
+        return operand.name
+    if isinstance(operand, Predicate):
+        return operand.name
+    if isinstance(operand, Immediate):
+        if isinstance(operand.value, float):
+            text = repr(float(operand.value))
+            return text if "." in text or "e" in text else text + ".0"
+        return str(operand.value)
+    if isinstance(operand, ConstRef):
+        return f"c[{operand.bank:#x}][{operand.offset:#x}]"
+    if isinstance(operand, MemRef):
+        if operand.offset:
+            return f"[{operand.base.name}+{operand.offset:#x}]"
+        return f"[{operand.base.name}]"
+    if isinstance(operand, SpecialRegister):
+        return operand.value
+    return str(operand)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction as a single assembly line (with trailing ``;``)."""
+    parts: list[str] = []
+    if not instruction.predicate.is_true or instruction.predicate_negated:
+        bang = "!" if instruction.predicate_negated else ""
+        parts.append(f"@{bang}{instruction.predicate.name}")
+
+    mnemonic = instruction.mnemonic
+    if instruction.opcode is Opcode.BAR:
+        mnemonic = "BAR.SYNC"
+    parts.append(mnemonic)
+
+    operands: list[str] = []
+    if instruction.opcode is Opcode.ISETP:
+        assert instruction.dest_predicate is not None
+        operands.append(instruction.dest_predicate.name)
+        operands.extend(_format_operand(op) for op in instruction.sources)
+    elif instruction.opcode is Opcode.BRA:
+        assert instruction.target is not None
+        operands.append(instruction.target.name)
+    elif instruction.opcode is Opcode.S2R:
+        assert instruction.dest is not None and instruction.special is not None
+        operands.append(instruction.dest.name)
+        operands.append(instruction.special.value)
+    elif instruction.opcode in (Opcode.EXIT, Opcode.NOP):
+        pass
+    elif instruction.opcode is Opcode.BAR:
+        operands.extend(_format_operand(op) for op in instruction.sources)
+        if not operands:
+            operands.append("0")
+    else:
+        if instruction.dest is not None:
+            operands.append(instruction.dest.name)
+        operands.extend(_format_operand(op) for op in instruction.sources)
+
+    line = " ".join(parts)
+    if operands:
+        line += " " + ", ".join(operands)
+    line += ";"
+    if instruction.comment:
+        line += f"  // {instruction.comment}"
+    return line
+
+
+def disassemble(kernel) -> str:
+    """Render a :class:`repro.isa.assembler.Kernel` as assembly text.
+
+    Branch targets are re-materialised as ``L<index>:`` labels.
+    """
+    target_indices = sorted(set(kernel.branch_targets.values()))
+    label_names = {index: f"L{index}" for index in target_indices}
+
+    lines: list[str] = []
+    for index, instruction in enumerate(kernel.instructions):
+        if index in label_names:
+            lines.append(f"{label_names[index]}:")
+        if instruction.opcode is Opcode.BRA:
+            target_index = kernel.branch_targets.get(index)
+            if target_index is not None:
+                renamed = instruction.with_comment(instruction.comment)
+                line = format_instruction(renamed)
+                assert instruction.target is not None
+                line = line.replace(instruction.target.name, label_names.get(target_index, f"L{target_index}"), 1)
+                lines.append("    " + line)
+                continue
+        lines.append("    " + format_instruction(instruction))
+    # A label pointing one past the last instruction (loop exits) still needs emitting.
+    end_index = len(kernel.instructions)
+    if end_index in label_names:
+        lines.append(f"{label_names[end_index]}:")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,256 @@
+"""Text assembly parser (asfermi-style syntax).
+
+The accepted syntax is a pragmatic subset of what ``asfermi`` and ``cuobjdump``
+print, e.g.::
+
+    LOOP:
+        FFMA R26, R6, R8, R26;
+        LDS.64 R6, [R60+0x10];
+    @P0 BRA LOOP;
+        BAR.SYNC 0;
+        EXIT;
+
+* labels end with ``:`` and stand on their own line;
+* an optional guard ``@P<n>`` or ``@!P<n>`` precedes the mnemonic;
+* memory operands are ``[R<base>]`` or ``[R<base>+0x<offset>]``;
+* constants are ``c[0x0][0x140]``;
+* immediates are decimal or hexadecimal integers, or floats containing ``.``;
+* ``//`` and ``#`` start comments; a trailing ``;`` is optional.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import (
+    ConstRef,
+    Immediate,
+    Instruction,
+    Label,
+    MemRef,
+    Opcode,
+    Program,
+    ISETP_OPERATORS,
+)
+from repro.isa.registers import (
+    PT,
+    Predicate,
+    SpecialRegister,
+    parse_predicate,
+    parse_register,
+)
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*$")
+_GUARD_RE = re.compile(r"^@(!?)(P[0-6T])\s+", re.IGNORECASE)
+_MEMREF_RE = re.compile(
+    r"^\[\s*(RZ|R\d+)\s*(?:\+\s*(0x[0-9a-fA-F]+|\d+)\s*)?\]$", re.IGNORECASE
+)
+_CONST_RE = re.compile(
+    r"^c\s*\[\s*(0x[0-9a-fA-F]+|\d+)\s*\]\s*\[\s*(0x[0-9a-fA-F]+|\d+)\s*\]$", re.IGNORECASE
+)
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d*([eE][+-]?\d+)?$|^-?\.\d+([eE][+-]?\d+)?$")
+
+#: Mnemonics (upper-case, without width suffix) mapped to opcodes.
+_MNEMONICS: dict[str, Opcode] = {op.value: op for op in Opcode}
+_MNEMONICS["LOP"] = Opcode.LOP_AND  # refined by the .AND/.OR/.XOR suffix
+_MNEMONICS["BAR.SYNC"] = Opcode.BAR
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``//`` and ``#`` comments."""
+    for marker in ("//", "#"):
+        position = line.find(marker)
+        if position >= 0:
+            line = line[:position]
+    return line.strip()
+
+
+def _parse_int(token: str) -> int:
+    """Parse a decimal or hexadecimal integer token."""
+    negative = token.startswith("-")
+    body = token[1:] if negative else token
+    value = int(body, 16) if body.lower().startswith("0x") else int(body)
+    return -value if negative else value
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    operands: list[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+def _parse_operand(token: str, line_number: int) -> object:
+    """Parse a single operand token into its operand object."""
+    token = token.strip()
+    if not token:
+        raise AssemblyError(f"line {line_number}: empty operand")
+    upper = token.upper()
+    if upper == "RZ" or re.fullmatch(r"R\d+", upper):
+        return parse_register(upper)
+    if upper == "PT" or re.fullmatch(r"P\d", upper):
+        return parse_predicate(upper)
+    if upper.startswith("SR_"):
+        return SpecialRegister.from_name(upper)
+    memref = _MEMREF_RE.match(token)
+    if memref:
+        base = parse_register(memref.group(1))
+        offset = _parse_int(memref.group(2)) if memref.group(2) else 0
+        return MemRef(base=base, offset=offset)
+    const = _CONST_RE.match(token)
+    if const:
+        return ConstRef(bank=_parse_int(const.group(1)), offset=_parse_int(const.group(2)))
+    if _FLOAT_RE.match(token):
+        return Immediate(float(token))
+    if _INT_RE.match(token):
+        return Immediate(_parse_int(token))
+    # Anything left is treated as a branch-target label reference.
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+        return Label(token)
+    raise AssemblyError(f"line {line_number}: cannot parse operand '{token}'")
+
+
+def _split_mnemonic(text: str) -> tuple[str, list[str]]:
+    """Split ``"LDS.64"`` / ``"ISETP.GE.AND"`` into base mnemonic and suffixes."""
+    parts = text.upper().split(".")
+    return parts[0], parts[1:]
+
+
+def parse_instruction_line(line: str, line_number: int = 0) -> Instruction:
+    """Parse one instruction line (without label) into an :class:`Instruction`."""
+    text = line.strip().rstrip(";").strip()
+    if not text:
+        raise AssemblyError(f"line {line_number}: empty instruction")
+
+    guard = PT
+    negated = False
+    guard_match = _GUARD_RE.match(text)
+    if guard_match:
+        negated = guard_match.group(1) == "!"
+        guard_token = guard_match.group(2).upper()
+        guard = PT if guard_token == "PT" else parse_predicate(guard_token)
+        text = text[guard_match.end():].strip()
+
+    pieces = text.split(None, 1)
+    mnemonic_text = pieces[0].upper()
+    operand_text = pieces[1] if len(pieces) > 1 else ""
+    base, suffixes = _split_mnemonic(mnemonic_text)
+
+    width = 32
+    compare_op: str | None = None
+    opcode: Opcode
+    if base == "LOP":
+        if not suffixes or suffixes[0] not in ("AND", "OR", "XOR"):
+            raise AssemblyError(f"line {line_number}: LOP needs an .AND/.OR/.XOR suffix")
+        opcode = {"AND": Opcode.LOP_AND, "OR": Opcode.LOP_OR, "XOR": Opcode.LOP_XOR}[suffixes[0]]
+    elif base in ("LDS", "STS", "LD", "ST"):
+        opcode = Opcode(base)
+        for suffix in suffixes:
+            if suffix in ("64", "128", "32"):
+                width = int(suffix)
+            elif suffix in ("E",):  # LD.E / ST.E generic-addressing marker, accepted and ignored
+                continue
+            else:
+                raise AssemblyError(f"line {line_number}: unknown suffix .{suffix} on {base}")
+    elif base == "ISETP":
+        opcode = Opcode.ISETP
+        compare_suffixes = [s for s in suffixes if s in ISETP_OPERATORS]
+        if not compare_suffixes:
+            raise AssemblyError(f"line {line_number}: ISETP needs a comparison suffix")
+        compare_op = compare_suffixes[0]
+    elif base == "BAR":
+        opcode = Opcode.BAR
+    elif base in _MNEMONICS:
+        opcode = _MNEMONICS[base]
+    else:
+        raise AssemblyError(f"line {line_number}: unknown mnemonic '{mnemonic_text}'")
+
+    operands = [_parse_operand(tok, line_number) for tok in _split_operands(operand_text)]
+
+    # Distribute operands into the Instruction fields opcode by opcode.
+    dest = None
+    dest_predicate = None
+    special = None
+    target = None
+    sources: list[object] = []
+
+    if opcode is Opcode.ISETP:
+        if not operands or not isinstance(operands[0], Predicate):
+            raise AssemblyError(f"line {line_number}: ISETP needs a destination predicate")
+        dest_predicate = operands[0]
+        # An optional second predicate (the !PT combine operand) is accepted and dropped.
+        rest = [op for op in operands[1:] if not isinstance(op, Predicate)]
+        sources = rest
+    elif opcode is Opcode.BRA:
+        if not operands or not isinstance(operands[-1], Label):
+            raise AssemblyError(f"line {line_number}: BRA needs a target label")
+        target = operands[-1]
+    elif opcode is Opcode.BAR:
+        sources = [op for op in operands if isinstance(op, Immediate)]
+    elif opcode in (Opcode.EXIT, Opcode.NOP):
+        sources = []
+    elif opcode is Opcode.S2R:
+        if len(operands) != 2 or not isinstance(operands[1], SpecialRegister):
+            raise AssemblyError(f"line {line_number}: S2R expects 'S2R Rd, SR_*'")
+        dest = operands[0]
+        special = operands[1]
+    elif opcode in (Opcode.STS, Opcode.ST):
+        # STS [addr], Rsrc  — no destination register.
+        sources = operands
+    else:
+        if not operands:
+            raise AssemblyError(f"line {line_number}: {opcode.value} needs operands")
+        dest = operands[0]
+        sources = operands[1:]
+
+    from repro.isa.registers import Register as _Register
+
+    if dest is not None and not isinstance(dest, _Register):
+        raise AssemblyError(f"line {line_number}: destination of {opcode.value} must be a register")
+
+    return Instruction(
+        opcode=opcode,
+        dest=dest,
+        sources=tuple(sources),
+        predicate=guard,
+        predicate_negated=negated,
+        width=width,
+        dest_predicate=dest_predicate,
+        compare_op=compare_op,
+        special=special,
+        target=target,
+    )
+
+
+def parse_program(text: str, name: str = "kernel") -> Program:
+    """Parse a full assembly listing into a :class:`Program`.
+
+    Blank lines and comments are skipped; labels and instructions are kept in
+    program order.
+    """
+    items: list[object] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            items.append(Label(label_match.group(1)))
+            continue
+        items.append(parse_instruction_line(line, line_number))
+    return Program(items=tuple(items), name=name)

@@ -1,0 +1,133 @@
+"""Kernel validation passes.
+
+These checks catch the mistakes the paper's authors had to avoid by hand when
+writing SASS directly: exceeding the 63-register limit, mis-aligned wide
+shared-memory accesses, wide loads whose destination register pair/quad runs
+past the register window, branches without targets, and kernels that fall off
+the end without an EXIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.specs import GpuSpec
+from repro.errors import ValidationError
+from repro.isa.assembler import Kernel
+from repro.isa.instructions import Opcode
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating a kernel against a machine description.
+
+    Attributes
+    ----------
+    kernel_name:
+        Name of the validated kernel.
+    register_count:
+        Architectural registers used per thread.
+    shared_memory_bytes:
+        Static shared memory per block.
+    errors:
+        Hard violations; the kernel cannot run if any are present.
+    warnings:
+        Suspicious-but-legal constructs (e.g. unaligned wide accesses that the
+        hardware would serialise).
+    """
+
+    kernel_name: str
+    register_count: int
+    shared_memory_bytes: int
+    errors: tuple[str, ...] = ()
+    warnings: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the kernel passed validation without errors."""
+        return not self.errors
+
+
+def validate_kernel(kernel: Kernel, gpu: GpuSpec, *, strict: bool = False) -> ValidationReport:
+    """Validate ``kernel`` against the resource limits of ``gpu``.
+
+    Parameters
+    ----------
+    kernel:
+        The assembled kernel to validate.
+    gpu:
+        Machine description providing the register and shared-memory limits.
+    strict:
+        When true, raise :class:`ValidationError` on the first error instead
+        of collecting everything into the report.
+
+    Returns
+    -------
+    ValidationReport
+        Collected errors and warnings.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    register_count = kernel.register_count
+    max_registers = gpu.register_file.max_registers_per_thread
+    if register_count > max_registers:
+        errors.append(
+            f"kernel uses {register_count} registers per thread but {gpu.name} allows at most "
+            f"{max_registers}"
+        )
+
+    if kernel.shared_memory_bytes > gpu.shared_memory.size_bytes:
+        errors.append(
+            f"kernel requests {kernel.shared_memory_bytes} bytes of shared memory but the SM has "
+            f"{gpu.shared_memory.size_bytes}"
+        )
+
+    if kernel.threads_per_block and kernel.threads_per_block > gpu.sm.max_threads:
+        errors.append(
+            f"block size {kernel.threads_per_block} exceeds the per-SM thread limit of {gpu.sm.max_threads}"
+        )
+
+    has_exit = any(instruction.opcode is Opcode.EXIT for instruction in kernel.instructions)
+    if not has_exit:
+        errors.append("kernel has no EXIT instruction")
+
+    for index, instruction in enumerate(kernel.instructions):
+        if instruction.opcode is Opcode.BRA and index not in kernel.branch_targets:
+            errors.append(f"instruction {index}: BRA has no resolved target")
+        if instruction.opcode in (Opcode.LDS, Opcode.LD) and instruction.width > 32:
+            if instruction.dest is None:
+                errors.append(f"instruction {index}: wide load without a destination")
+            else:
+                last = instruction.dest.index + instruction.width // 32 - 1
+                if last > max_registers - 1:
+                    errors.append(
+                        f"instruction {index}: {instruction.mnemonic} destination pair/quad "
+                        f"R{instruction.dest.index}..R{last} exceeds the register window"
+                    )
+                alignment = instruction.width // 32
+                if instruction.dest.index % alignment != 0:
+                    warnings.append(
+                        f"instruction {index}: {instruction.mnemonic} destination R{instruction.dest.index} "
+                        f"is not {alignment}-register aligned"
+                    )
+        if instruction.opcode in (Opcode.LDS, Opcode.STS, Opcode.LD, Opcode.ST):
+            operand = instruction.memory_operand
+            if operand is None:
+                errors.append(f"instruction {index}: {instruction.mnemonic} has no memory operand")
+            elif operand.offset % (instruction.width // 8) != 0:
+                warnings.append(
+                    f"instruction {index}: {instruction.mnemonic} offset {operand.offset:#x} is not "
+                    f"{instruction.width // 8}-byte aligned"
+                )
+
+    report = ValidationReport(
+        kernel_name=kernel.name,
+        register_count=register_count,
+        shared_memory_bytes=kernel.shared_memory_bytes,
+        errors=tuple(errors),
+        warnings=tuple(warnings),
+    )
+    if strict and errors:
+        raise ValidationError("; ".join(errors))
+    return report

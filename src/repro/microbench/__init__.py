@@ -1,0 +1,44 @@
+"""Assembly-level micro-benchmarks and the measured-throughput database.
+
+The paper's methodology hinges on a small set of measured numbers per GPU:
+instruction throughput for the FFMA/LDS.X mixes the algorithm will execute,
+as a function of the mix ratio, the dependence pattern and the number of
+active threads, plus the operand-register-bank behaviour of FFMA on Kepler.
+
+This package provides
+
+* kernel generators for those micro-benchmarks (:mod:`repro.microbench.generators`),
+* a runner that measures them on the simulator (:mod:`repro.microbench.runner`),
+* curve/table front-ends that reproduce Fig 2, Fig 4 and Table 2
+  (:mod:`repro.microbench.mix_curves`, :mod:`repro.microbench.instruction_table`),
+* :class:`repro.microbench.database.PerfDatabase`, the store the analytic
+  model reads its throughput factors from.  Two databases ship with the
+  library: one populated from the simulator, one carrying the paper's
+  published hardware measurements.
+"""
+
+from repro.microbench.database import PerfDatabase, ThroughputKey, ThroughputRecord
+from repro.microbench.generators import (
+    ffma_register_pattern_kernel,
+    mix_kernel,
+    pure_ffma_kernel,
+)
+from repro.microbench.runner import MicrobenchRunner, MixMeasurement
+from repro.microbench.mix_curves import figure2_curves, figure4_curves
+from repro.microbench.instruction_table import table2_rows
+from repro.microbench.paper_data import paper_database
+
+__all__ = [
+    "PerfDatabase",
+    "ThroughputKey",
+    "ThroughputRecord",
+    "ffma_register_pattern_kernel",
+    "mix_kernel",
+    "pure_ffma_kernel",
+    "MicrobenchRunner",
+    "MixMeasurement",
+    "figure2_curves",
+    "figure4_curves",
+    "table2_rows",
+    "paper_database",
+]

@@ -1,0 +1,215 @@
+"""The measured-throughput database (the model's F_T source).
+
+Equation 7 of the paper defines the throughput factor F_T as a function of the
+register blocking factor, the issue/SP/LDST throughputs and the number of
+active threads, *obtained through benchmarks*.  :class:`PerfDatabase` is that
+benchmark store: a keyed collection of measured instruction throughputs that
+the analytic model queries, with nearest-neighbour fallback so the model can
+interpolate between measured active-thread counts and mix ratios.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True, order=True)
+class ThroughputKey:
+    """Identifies one measured mix point.
+
+    Attributes
+    ----------
+    gpu:
+        GPU key (``"gtx580"``, ``"gtx680"``, …).
+    lds_width_bits:
+        Width of the LDS instruction in the mix (32, 64 or 128); 0 for a
+        pure-FFMA measurement.
+    ffma_per_lds:
+        FFMA instructions per LDS instruction in the mix (the mix ratio); use
+        a large value or the pure-FFMA key for unmixed streams.
+    active_threads:
+        Number of active threads per SM during the measurement.
+    dependent:
+        Whether the FFMAs depend on the LDS result (the paper's "dependent"
+        configuration, which models the real SGEMM main loop).
+    """
+
+    gpu: str
+    lds_width_bits: int
+    ffma_per_lds: float
+    active_threads: int
+    dependent: bool = True
+
+
+@dataclass(frozen=True)
+class ThroughputRecord:
+    """One measured point: overall and FFMA-only thread-instruction throughput."""
+
+    key: ThroughputKey
+    instructions_per_cycle: float
+    ffma_per_cycle: float
+    source: str = "simulator"
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_cycle < 0 or self.ffma_per_cycle < 0:
+            raise ModelError("throughput values must be non-negative")
+
+
+class PerfDatabase:
+    """Keyed store of measured instruction throughputs.
+
+    Records are added by the micro-benchmark runner (or loaded from the
+    shipped paper dataset) and queried by the upper-bound model.  Queries that
+    do not hit an exact key fall back to the nearest measured point in
+    (active_threads, ffma_per_lds) space for the same GPU/width/dependence,
+    which mirrors how the paper reads values off its measured curves.
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        self._name = name
+        self._records: dict[ThroughputKey, ThroughputRecord] = {}
+
+    @property
+    def name(self) -> str:
+        """Human-readable database name (e.g. ``"simulator"`` or ``"paper"``)."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: ThroughputRecord) -> None:
+        """Insert or replace one measured point."""
+        self._records[record.key] = record
+
+    def add_measurement(
+        self,
+        gpu: str,
+        lds_width_bits: int,
+        ffma_per_lds: float,
+        active_threads: int,
+        instructions_per_cycle: float,
+        ffma_per_cycle: float,
+        *,
+        dependent: bool = True,
+        source: str = "simulator",
+    ) -> ThroughputRecord:
+        """Convenience wrapper building the key and record in one call."""
+        record = ThroughputRecord(
+            key=ThroughputKey(
+                gpu=gpu,
+                lds_width_bits=lds_width_bits,
+                ffma_per_lds=ffma_per_lds,
+                active_threads=active_threads,
+                dependent=dependent,
+            ),
+            instructions_per_cycle=instructions_per_cycle,
+            ffma_per_cycle=ffma_per_cycle,
+            source=source,
+        )
+        self.add(record)
+        return record
+
+    def records(self) -> list[ThroughputRecord]:
+        """All records, sorted by key."""
+        return [self._records[key] for key in sorted(self._records)]
+
+    def exact(self, key: ThroughputKey) -> ThroughputRecord | None:
+        """The record for ``key`` if it was measured exactly."""
+        return self._records.get(key)
+
+    def lookup(
+        self,
+        gpu: str,
+        lds_width_bits: int,
+        ffma_per_lds: float,
+        active_threads: int,
+        dependent: bool = True,
+    ) -> ThroughputRecord:
+        """Best available record for a query point.
+
+        Exact matches win; otherwise the nearest measured point for the same
+        (gpu, width, dependence) is returned, preferring records whose active
+        thread count does not exceed the query (pessimistic, like reading the
+        measured curve at the operating point).
+
+        Raises
+        ------
+        ModelError
+            If the database has no record at all for that GPU/width/dependence.
+        """
+        exact_key = ThroughputKey(
+            gpu=gpu,
+            lds_width_bits=lds_width_bits,
+            ffma_per_lds=ffma_per_lds,
+            active_threads=active_threads,
+            dependent=dependent,
+        )
+        exact = self._records.get(exact_key)
+        if exact is not None:
+            return exact
+
+        candidates = [
+            record
+            for key, record in self._records.items()
+            if key.gpu == gpu and key.lds_width_bits == lds_width_bits and key.dependent == dependent
+        ]
+        if not candidates:
+            raise ModelError(
+                f"no throughput measurements for gpu={gpu}, width={lds_width_bits}, "
+                f"dependent={dependent} in database '{self._name}'"
+            )
+
+        def distance(record: ThroughputRecord) -> tuple[float, float]:
+            ratio_gap = abs(record.key.ffma_per_lds - ffma_per_lds)
+            thread_gap = abs(record.key.active_threads - active_threads)
+            # Prefer measurements at or below the queried thread count.
+            penalty = 0.5 if record.key.active_threads > active_threads else 0.0
+            return (ratio_gap + penalty, thread_gap)
+
+        return min(candidates, key=distance)
+
+    # ------------------------------------------------------------------ #
+    # Persistence.                                                        #
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialise the database to a JSON string."""
+        payload = {
+            "name": self._name,
+            "records": [
+                {"key": asdict(record.key), "instructions_per_cycle": record.instructions_per_cycle,
+                 "ffma_per_cycle": record.ffma_per_cycle, "source": record.source}
+                for record in self.records()
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PerfDatabase":
+        """Load a database previously serialised with :meth:`to_json`."""
+        payload = json.loads(text)
+        database = cls(name=payload.get("name", "loaded"))
+        for entry in payload.get("records", []):
+            key = ThroughputKey(**entry["key"])
+            database.add(
+                ThroughputRecord(
+                    key=key,
+                    instructions_per_cycle=entry["instructions_per_cycle"],
+                    ffma_per_cycle=entry["ffma_per_cycle"],
+                    source=entry.get("source", "loaded"),
+                )
+            )
+        return database
+
+    def save(self, path: str | Path) -> None:
+        """Write the database to ``path`` as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfDatabase":
+        """Read a database from a JSON file."""
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,180 @@
+"""Micro-benchmark kernel generators.
+
+All generators emit straight-line (unrolled) instruction streams, like the
+paper's benchmarks ("each thread executes the same 8192 math instructions…
+4 independent FFMA instructions unrolled 2048 times"), so they can be timed
+without functional execution.  Three families are provided:
+
+* :func:`pure_ffma_kernel` — unmixed FFMA streams with configurable operand
+  register indices (Table 2: throughput vs operand register banks);
+* :func:`mix_kernel` — FFMA/LDS.X mixes at a given ratio, either with the
+  FFMAs independent of the loads or dependent on them (Fig 2 and Fig 4);
+* :func:`ffma_register_pattern_kernel` — arbitrary repeated operand patterns,
+  used by the register-bank-conflict ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.isa.assembler import Kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import MemRef
+from repro.isa.registers import Register, reg
+
+#: Registers reserved as independent accumulator chains in generated kernels.
+#: Each chain's (accumulator, operand A, operand B) triple sits on three
+#: distinct register banks (even0 / odd0 / even1) so the generated streams are
+#: free of Kepler operand-bank conflicts unless a benchmark asks for them.
+_ACCUMULATORS = (reg(8), reg(16), reg(24), reg(32))
+_OPERAND_A = (reg(9), reg(17), reg(25), reg(33))
+_OPERAND_B = (reg(12), reg(20), reg(28), reg(4))
+
+
+def _init_float_registers(builder: KernelBuilder, highest: int) -> None:
+    """Seed R0..R<highest> with small distinct float values."""
+    for index in range(highest + 1):
+        builder.mov32i(index, 0.25 + 0.5 * index)
+
+
+@dataclass(frozen=True)
+class FfmaOperandPattern:
+    """One FFMA operand pattern ``FFMA Rd, Ra, Rb, Rc`` by register index."""
+
+    dest: int
+    a: int
+    b: int
+    c: int
+
+    def registers(self) -> tuple[int, int, int, int]:
+        """The four register indices as a tuple."""
+        return (self.dest, self.a, self.b, self.c)
+
+
+def pure_ffma_kernel(
+    pattern: FfmaOperandPattern,
+    instruction_count: int = 512,
+    *,
+    independent_chains: int = 4,
+    name: str | None = None,
+) -> Kernel:
+    """An unrolled stream of FFMAs using a fixed operand register pattern.
+
+    When the pattern's destination equals its addend (``FFMA RA, RB, RC, RA``)
+    the stream is built from ``independent_chains`` shifted copies of the
+    pattern so the measurement is throughput-limited rather than
+    latency-limited, matching the paper's "4 independent FFMA instructions
+    unrolled 2048 times" methodology.  Shifting preserves each register's
+    bank (indices move by 8).
+    """
+    if instruction_count <= 0:
+        raise ModelError("instruction_count must be positive")
+    builder = KernelBuilder(name=name or "pure_ffma", threads_per_block=1024)
+    highest = max(pattern.registers()) + 8 * (independent_chains - 1)
+    if highest > 62:
+        raise ModelError(
+            f"operand pattern with {independent_chains} shifted chains needs R{highest}, "
+            "which exceeds the 63-register limit"
+        )
+    _init_float_registers(builder, highest)
+    emitted = 0
+    chain = 0
+    while emitted < instruction_count:
+        shift = 8 * (chain % independent_chains)
+        builder.ffma(
+            pattern.dest + shift, pattern.a + shift, pattern.b + shift, pattern.c + shift
+        )
+        emitted += 1
+        chain += 1
+    builder.exit()
+    return builder.build()
+
+
+def mix_kernel(
+    ffma_per_lds: int,
+    lds_width_bits: int = 64,
+    *,
+    dependent: bool = False,
+    groups: int = 48,
+    shared_memory_bytes: int = 8192,
+    name: str | None = None,
+) -> Kernel:
+    """An unrolled FFMA/LDS.X mix at a fixed ratio (paper Fig 2 and Fig 4).
+
+    Parameters
+    ----------
+    ffma_per_lds:
+        Number of FFMA instructions per LDS.X instruction (the x-axis of
+        Fig 2).  Zero produces a pure-LDS stream.
+    lds_width_bits:
+        Width of the shared-memory loads (32, 64 or 128).
+    dependent:
+        When true, the FFMAs of each group consume the registers produced by
+        the group's LDS (the paper's "dependent" curve, closest to the real
+        SGEMM main loop); when false all instructions are independent.
+    groups:
+        Number of (LDS + FFMA…) groups to unroll.
+    """
+    if ffma_per_lds < 0:
+        raise ModelError("ffma_per_lds must be non-negative")
+    if lds_width_bits not in (32, 64, 128):
+        raise ModelError("LDS width must be 32, 64 or 128 bits")
+    if groups <= 0:
+        raise ModelError("groups must be positive")
+
+    builder = KernelBuilder(
+        name=name or f"mix_{ffma_per_lds}to1_lds{lds_width_bits}",
+        shared_memory_bytes=shared_memory_bytes,
+        threads_per_block=1024,
+    )
+    _init_float_registers(builder, 34)
+    # Shared-memory address register (zero: a uniform, conflict-free address).
+    address = reg(35)
+    builder.mov32i(address, 0)
+
+    load_words = lds_width_bits // 32
+    # Load destinations R36/R44: their banks (even1/odd1) never collide with
+    # the accumulator (even0) and operand-A (odd0) banks of the dependent FFMAs.
+    load_dest_base = 36
+
+    for group in range(groups):
+        dest = reg(load_dest_base + (group % 2) * 8)
+        offset = (group % 4) * 16
+        builder.lds(dest, MemRef(base=address, offset=offset), width=lds_width_bits)
+        for j in range(ffma_per_lds):
+            accumulator = _ACCUMULATORS[j % len(_ACCUMULATORS)]
+            operand_a = _OPERAND_A[j % len(_OPERAND_A)]
+            if dependent:
+                # Consume one of the registers the LDS just produced.
+                source = Register(dest.index + (j % load_words))
+                builder.ffma(accumulator, operand_a, source, accumulator)
+            else:
+                operand_b = _OPERAND_B[j % len(_OPERAND_B)]
+                builder.ffma(accumulator, operand_a, operand_b, accumulator)
+    builder.exit()
+    return builder.build()
+
+
+def ffma_register_pattern_kernel(
+    patterns: list[FfmaOperandPattern],
+    repeats: int = 128,
+    name: str | None = None,
+) -> Kernel:
+    """Repeat an explicit list of FFMA operand patterns ``repeats`` times.
+
+    Used by ablations that compare bank-conflicting and conflict-free operand
+    assignments under otherwise identical instruction streams.
+    """
+    if not patterns:
+        raise ModelError("at least one operand pattern is required")
+    if repeats <= 0:
+        raise ModelError("repeats must be positive")
+    builder = KernelBuilder(name=name or "ffma_patterns", threads_per_block=1024)
+    highest = max(max(p.registers()) for p in patterns)
+    _init_float_registers(builder, highest)
+    for _ in range(repeats):
+        for pattern in patterns:
+            builder.ffma(pattern.dest, pattern.a, pattern.b, pattern.c)
+    builder.exit()
+    return builder.build()

@@ -1,0 +1,99 @@
+"""Kepler math-instruction throughput vs operand register indices (paper Table 2).
+
+The table's point is that on GK104 the scheduler issue ceiling (~132 thread
+instructions per cycle, well below the 192 SPs) and the operand register banks
+dominate FFMA throughput: with all-distinct, conflict-free source registers
+throughput is ~132; a 2-way bank conflict halves it (~66); a 3-way conflict
+cuts it to a third (~44).  Accumulator reuse (``FFMA RA, RB, RC, RA``) costs a
+few percent relative to fully distinct operands.
+
+We reproduce the table's FFMA/FADD/FMUL/IADD rows on the simulator.  The
+integer-multiply rows (IMUL/IMAD run at a quarter rate on GK104) are reported
+from the machine description since the simulator models single-rate SP math
+only; they are marked ``modelled`` in the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.register_file import bank_conflict_degree
+from repro.arch.specs import GpuSpec
+from repro.microbench.generators import FfmaOperandPattern
+from repro.microbench.runner import MicrobenchRunner
+
+#: The operand-register variants Table 2 reports for FFMA-class instructions.
+TABLE2_FFMA_VARIANTS: tuple[tuple[str, FfmaOperandPattern], ...] = (
+    ("FFMA R0, R1, R4, R0", FfmaOperandPattern(dest=0, a=1, b=4, c=0)),
+    ("FFMA R0, R1, R4, R5", FfmaOperandPattern(dest=0, a=1, b=4, c=5)),
+    ("FFMA R0, R1, R3, R5", FfmaOperandPattern(dest=0, a=1, b=3, c=5)),
+    ("FFMA R0, R1, R3, R9", FfmaOperandPattern(dest=0, a=1, b=3, c=9)),
+)
+
+#: Paper-reported throughputs for those variants (operations per shader cycle).
+PAPER_TABLE2_FFMA = {
+    "FFMA R0, R1, R4, R0": 129.0,
+    "FFMA R0, R1, R4, R5": 132.0,
+    "FFMA R0, R1, R3, R5": 66.2,
+    "FFMA R0, R1, R3, R9": 44.2,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the reproduced Table 2."""
+
+    instruction: str
+    conflict_degree: int
+    measured_per_cycle: float
+    paper_per_cycle: float | None
+    source: str = "simulator"
+
+
+def table2_rows(
+    gpu: GpuSpec,
+    *,
+    active_threads: int = 1024,
+    instruction_count: int = 384,
+) -> list[Table2Row]:
+    """Reproduce the FFMA rows of Table 2 on the simulator.
+
+    Parameters
+    ----------
+    gpu:
+        Machine description (the table is about the Kepler GTX680, but the
+        same sweep runs on any description).
+    active_threads:
+        Active threads per SM during the measurement (the paper uses
+        1024-thread blocks).
+    instruction_count:
+        Unrolled FFMAs per thread in the benchmark kernel.
+    """
+    runner = MicrobenchRunner(gpu)
+    rows: list[Table2Row] = []
+    for label, pattern in TABLE2_FFMA_VARIANTS:
+        throughput = runner.measure_ffma_pattern(
+            pattern, active_threads=active_threads, instruction_count=instruction_count
+        )
+        degree = bank_conflict_degree([pattern.a, pattern.b, pattern.c])
+        rows.append(
+            Table2Row(
+                instruction=label,
+                conflict_degree=degree,
+                measured_per_cycle=throughput,
+                paper_per_cycle=PAPER_TABLE2_FFMA.get(label),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render Table 2 rows as an aligned text table."""
+    header = f"{'instruction':32s} {'banks':>5s} {'measured':>9s} {'paper':>7s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        paper = f"{row.paper_per_cycle:7.1f}" if row.paper_per_cycle is not None else "    n/a"
+        lines.append(
+            f"{row.instruction:32s} {row.conflict_degree:5d} {row.measured_per_cycle:9.1f} {paper}"
+        )
+    return "\n".join(lines)

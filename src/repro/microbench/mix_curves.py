@@ -1,0 +1,100 @@
+"""Mixed-throughput curves: paper Figure 2 and Figure 4.
+
+* Figure 2: thread-instruction throughput of FFMA/LDS.X mixes as a function
+  of the mix ratio (0 … 32) for each LDS width, on Fermi and Kepler.
+* Figure 4: throughput of the FFMA:LDS.64 = 6:1 mix as a function of the
+  number of active threads per SM, for independent and dependent streams.
+
+Both are produced by sweeping the micro-benchmark runner over the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec
+from repro.microbench.runner import MicrobenchRunner
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (x, throughput) point of a mix curve."""
+
+    x: float
+    instructions_per_cycle: float
+    ffma_per_cycle: float
+
+
+def figure2_curves(
+    gpu: GpuSpec,
+    *,
+    ratios: tuple[int, ...] = (0, 1, 2, 4, 6, 8, 12, 16, 24, 32),
+    widths: tuple[int, ...] = (32, 64, 128),
+    active_threads: int | None = None,
+    groups: int = 32,
+) -> dict[int, list[CurvePoint]]:
+    """Throughput vs FFMA/LDS.X ratio for each LDS width (paper Fig 2).
+
+    Returns ``{lds_width_bits: [CurvePoint, ...]}`` with points ordered by
+    ratio.  All instructions are independent, matching the figure's setup of a
+    saturated SM.
+    """
+    runner = MicrobenchRunner(gpu)
+    curves: dict[int, list[CurvePoint]] = {}
+    for width in widths:
+        points: list[CurvePoint] = []
+        for ratio in ratios:
+            measurement = runner.measure_mix(
+                ratio,
+                width,
+                active_threads=active_threads,
+                dependent=False,
+                groups=groups,
+            )
+            points.append(
+                CurvePoint(
+                    x=float(ratio),
+                    instructions_per_cycle=measurement.instructions_per_cycle,
+                    ffma_per_cycle=measurement.ffma_per_cycle,
+                )
+            )
+        curves[width] = points
+    return curves
+
+
+def figure4_curves(
+    gpu: GpuSpec,
+    *,
+    ffma_per_lds: int = 6,
+    lds_width_bits: int = 64,
+    thread_counts: tuple[int, ...] | None = None,
+    groups: int = 32,
+) -> dict[str, list[CurvePoint]]:
+    """Throughput vs active threads for the 6:1 FFMA/LDS.64 mix (paper Fig 4).
+
+    Returns ``{"independent": [...], "dependent": [...]}`` curves.
+    """
+    if thread_counts is None:
+        limit = gpu.sm.max_threads
+        candidates = (64, 128, 256, 384, 512, 768, 1024, 1536, 2048)
+        thread_counts = tuple(t for t in candidates if t <= limit)
+    runner = MicrobenchRunner(gpu)
+    curves: dict[str, list[CurvePoint]] = {"independent": [], "dependent": []}
+    for dependent in (False, True):
+        key = "dependent" if dependent else "independent"
+        for threads in thread_counts:
+            measurement = runner.measure_mix(
+                ffma_per_lds,
+                lds_width_bits,
+                active_threads=threads,
+                dependent=dependent,
+                groups=groups,
+            )
+            curves[key].append(
+                CurvePoint(
+                    x=float(threads),
+                    instructions_per_cycle=measurement.instructions_per_cycle,
+                    ffma_per_cycle=measurement.ffma_per_cycle,
+                )
+            )
+    return curves

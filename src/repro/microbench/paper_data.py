@@ -1,0 +1,101 @@
+"""Throughput values reported by the paper, packaged as a PerfDatabase.
+
+The paper's analysis pipeline is "measure on hardware, then feed the measured
+throughputs into the bound equations".  Since the hardware is unavailable, we
+ship the handful of measured values the paper reports (Section 3.3, 4.1, 4.2
+and 4.5) so every downstream number can be recomputed exactly as published,
+alongside the simulator-derived database.
+
+The key values, all in thread instructions per shader cycle per SM:
+
+* Fermi GTX580, 6-register blocking mixes: 31.3 (FFMA:LDS = 3:1),
+  30.4 (FFMA:LDS.64 = 6:1), 24.5 (FFMA:LDS.128 = 12:1);
+* Kepler GTX680 mixes used in Section 4.5: 122.4 (FFMA:LDS.64 = 6:1) and
+  119.9 (FFMA:LDS.128 = 12:1);
+* Kepler pure-FFMA issue ceiling ~132 with conflict-free distinct operands,
+  66.2 with a 2-way operand-bank conflict, 44.2 with a 3-way conflict, ~178
+  with heavy operand reuse (Table 2).
+"""
+
+from __future__ import annotations
+
+from repro.microbench.database import PerfDatabase
+
+#: Per-GPU mixed-throughput measurements reported in the paper.
+#:
+#: Note on the Fermi 6:1 value: Section 4.2 quotes 30.4 as the measured
+#: throughput of the 6:1 LDS.64 mix while the Section 4.5 bound formula uses
+#: 30.8 ("close to 32").  We store the value the paper feeds into Equation 8
+#: (30.8) so the published 82.5 % headline is reproduced exactly; the 30.4
+#: measurement is retained in :data:`PAPER_SECTION42_THROUGHPUTS` for
+#: comparison in EXPERIMENTS.md.
+_PAPER_MIX_POINTS: tuple[tuple[str, int, float, int, float], ...] = (
+    # (gpu, lds_width_bits, ffma_per_lds, active_threads, instructions_per_cycle)
+    ("gtx580", 32, 3.0, 512, 31.3),
+    ("gtx580", 64, 6.0, 512, 30.8),
+    ("gtx580", 128, 12.0, 512, 24.5),
+    ("gtx680", 64, 6.0, 1024, 122.4),
+    ("gtx680", 128, 12.0, 1024, 119.9),
+)
+
+#: Section 4.2's measured mixed throughputs on Fermi (6-register blocking).
+PAPER_SECTION42_THROUGHPUTS: dict[int, float] = {32: 31.3, 64: 30.4, 128: 24.5}
+
+#: Pure-FFMA throughput ceilings (stored with lds_width_bits = 0).
+_PAPER_FFMA_POINTS: tuple[tuple[str, int, float], ...] = (
+    # (gpu, active_threads, ffma_per_cycle)
+    ("gtx580", 512, 32.0),
+    ("gtx680", 1024, 132.0),
+)
+
+
+def paper_database() -> PerfDatabase:
+    """The paper's published measurements as a :class:`PerfDatabase`."""
+    database = PerfDatabase(name="paper")
+    for gpu, width, ratio, threads, ipc in _PAPER_MIX_POINTS:
+        ffma_share = ratio / (ratio + 1.0)
+        database.add_measurement(
+            gpu=gpu,
+            lds_width_bits=width,
+            ffma_per_lds=ratio,
+            active_threads=threads,
+            instructions_per_cycle=ipc,
+            ffma_per_cycle=ipc * ffma_share,
+            dependent=True,
+            source="paper",
+        )
+    for gpu, threads, ffma in _PAPER_FFMA_POINTS:
+        database.add_measurement(
+            gpu=gpu,
+            lds_width_bits=0,
+            ffma_per_lds=float("inf"),
+            active_threads=threads,
+            instructions_per_cycle=ffma,
+            ffma_per_cycle=ffma,
+            dependent=False,
+            source="paper",
+        )
+    return database
+
+
+#: Headline upper-bound fractions the paper derives from the measurements above.
+PAPER_UPPER_BOUNDS: dict[tuple[str, int], float] = {
+    ("gtx580", 64): 0.825,   # Section 4.5: ~82.5 % of theoretical peak with LDS.64
+    ("gtx680", 64): 0.546,   # ~54.6 % with LDS.64
+    ("gtx680", 128): 0.576,  # ~57.6 % with LDS.128
+}
+
+#: Achieved performance the paper reports, as fractions of the theoretical peak.
+PAPER_ACHIEVED = {
+    "gtx580": {
+        "assembly_fraction_of_peak": 0.742,      # ~74.2 % of peak
+        "fraction_of_upper_bound": 0.90,         # ~90 % of the estimated bound
+        "cublas_fraction_of_peak": 0.70,         # CUBLAS 4.1 ≈ 70 % of peak
+    },
+    "gtx680": {
+        "fraction_of_upper_bound": 0.773,        # ~77.3 % of the estimated bound
+        "cublas_fraction_of_peak": 0.42,         # CUBLAS ≈ 42 % of peak
+        "first_version_gflops": 1100.0,          # before bank-conflict fix
+        "optimized_gflops": 1300.0,              # after bank-conflict fix
+    },
+}

@@ -1,0 +1,62 @@
+"""The paper's core contribution: the performance upper-bound model.
+
+The model answers "how fast *could* SGEMM possibly run on this GPU, and which
+parameters get it there?" without requiring an implementation.  It combines
+
+* algorithm analysis — the instruction mix of the SGEMM main loop as a
+  function of the register blocking factor and the LDS width
+  (:mod:`repro.model.blocking`, paper Fig 3 and the instruction factor F_I),
+* resource constraints — the 63-register ISA limit, prefetch registers,
+  shared-memory capacity and occupancy (:mod:`repro.model.blocking` and
+  :mod:`repro.arch.occupancy`, paper Eq. 1–5),
+* measured instruction throughput for the relevant FFMA/LDS.X mixes — the
+  throughput factor F_T looked up from a :class:`repro.microbench.PerfDatabase`
+  (paper Eq. 7, Fig 2 and Fig 4),
+* the bound equations themselves (:mod:`repro.model.bounds`, paper Eq. 6, 8, 9).
+
+The design-space sweep in :mod:`repro.model.sweep` enumerates legal
+configurations and ranks them by predicted upper bound, which is the
+"guidance for auto-tuning tools" use-case from Section 5.5.
+"""
+
+from repro.model.blocking import (
+    BlockingAnalysis,
+    ffma_percentage,
+    ffma_to_lds_ratio,
+    loose_register_bound,
+    max_blocking_factor,
+    prefetch_registers,
+    register_requirement,
+    valid_strides,
+)
+from repro.model.params import SgemmConfig
+from repro.model.bounds import (
+    BoundBreakdown,
+    UpperBoundModel,
+    instruction_factor,
+    memory_bound_gflops,
+    sm_bound_fraction,
+)
+from repro.model.sweep import DesignSpaceSweep, SweepEntry
+from repro.model.report import UpperBoundReport, format_report
+
+__all__ = [
+    "BlockingAnalysis",
+    "ffma_percentage",
+    "ffma_to_lds_ratio",
+    "loose_register_bound",
+    "max_blocking_factor",
+    "prefetch_registers",
+    "register_requirement",
+    "valid_strides",
+    "SgemmConfig",
+    "BoundBreakdown",
+    "UpperBoundModel",
+    "instruction_factor",
+    "memory_bound_gflops",
+    "sm_bound_fraction",
+    "DesignSpaceSweep",
+    "SweepEntry",
+    "UpperBoundReport",
+    "format_report",
+]

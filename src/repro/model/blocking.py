@@ -1,0 +1,231 @@
+"""Register blocking analysis (paper Section 4.2 and 4.4, Equations 2-5, Fig 3).
+
+Register blocking determines the instruction mix of the SGEMM main loop.  With
+a blocking factor B_R, each k-step performs B_R² FFMAs and needs to load
+2·B_R operands from shared memory (one column of the A sub-tile, one row of
+the B sub-tile), so the FFMA : LDS.X instruction ratio is::
+
+    B_R² : 2·B_R / (width_bits / 32)   ==   (B_R · width_words) / 2 : 1
+
+For the paper's B_R = 6: 3:1 with LDS, 6:1 with LDS.64 and 12:1 with LDS.128,
+giving FFMA percentages of 75 %, 85.7 % and 92.3 % (Fig 3).
+
+The blocking factor itself is capped by the 63-register-per-thread ISA limit:
+Equation 2 gives the loose bound (B_R² + B_R + 1 < R_T) and Equation 4 the
+strict bound that also charges the prefetch and address registers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.params import SgemmConfig
+
+
+def ffma_to_lds_ratio(register_blocking: int, lds_width_bits: int) -> float:
+    """FFMA : LDS.X instruction ratio in the SGEMM main loop.
+
+    Parameters
+    ----------
+    register_blocking:
+        The register blocking factor B_R.
+    lds_width_bits:
+        Width of the shared-memory load instruction (32, 64 or 128).
+    """
+    if register_blocking <= 0:
+        raise ModelError("register blocking factor must be positive")
+    if lds_width_bits not in (32, 64, 128):
+        raise ModelError("LDS width must be 32, 64 or 128 bits")
+    words_per_lds = lds_width_bits // 32
+    ffma_per_k = register_blocking * register_blocking
+    lds_per_k = 2 * register_blocking / words_per_lds
+    return ffma_per_k / lds_per_k
+
+
+def ffma_percentage(register_blocking: int, lds_width_bits: int) -> float:
+    """Percentage of FFMA instructions in the main loop (paper Fig 3), in [0, 100]."""
+    ratio = ffma_to_lds_ratio(register_blocking, lds_width_bits)
+    return 100.0 * ratio / (ratio + 1.0)
+
+
+def instruction_counts_per_k(register_blocking: int, lds_width_bits: int) -> tuple[int, float]:
+    """(FFMA count, LDS.X count) per thread per k-step of the main loop."""
+    if register_blocking <= 0:
+        raise ModelError("register blocking factor must be positive")
+    words_per_lds = lds_width_bits // 32
+    return (
+        register_blocking * register_blocking,
+        2.0 * register_blocking / words_per_lds,
+    )
+
+
+def loose_register_bound(register_blocking: int) -> int:
+    """Registers required by the loose condition of Equation 2: B_R² + B_R + 1."""
+    if register_blocking <= 0:
+        raise ModelError("register blocking factor must be positive")
+    return register_blocking * register_blocking + register_blocking + 1
+
+
+def prefetch_registers(register_blocking: int, threads_per_block: int, stride: int) -> int:
+    """Registers needed to prefetch the A and B tiles from global memory.
+
+    Equation 4 charges ``2 · sqrt(T_B) · B_R · L / T_B`` registers: each thread
+    buffers its fair share of both tiles while they travel from global memory
+    to shared memory (there is no direct global→shared path on these GPUs).
+    """
+    if threads_per_block <= 0:
+        raise ModelError("threads_per_block must be positive")
+    if stride <= 0:
+        raise ModelError("stride must be positive")
+    root = math.isqrt(threads_per_block)
+    if root * root != threads_per_block:
+        raise ModelError("threads_per_block must be a perfect square for the tile geometry")
+    numerator = 2 * root * register_blocking * stride
+    if numerator % threads_per_block != 0:
+        # Equation 3 violated: threads would load unequal amounts; round up.
+        return -(-numerator // threads_per_block)
+    return numerator // threads_per_block
+
+
+def register_requirement(config: SgemmConfig, lds_operand_registers: int | None = None) -> int:
+    """Strict per-thread register requirement of Equation 4.
+
+    ``B_R² + prefetch + B_R + width_words + 1 + R_addr`` — the C sub-tile, the
+    global-memory prefetch buffers, the A operand column, the B operand row
+    (whose register count depends on the LDS width), the loop bound and the
+    address bookkeeping.
+
+    Parameters
+    ----------
+    config:
+        The SGEMM configuration point.
+    lds_operand_registers:
+        Override for the number of registers holding the B row operands; by
+        default the LDS width's word count is used (2 for LDS.64, matching the
+        paper's Fermi register budget in Section 5.2).
+    """
+    b_r = config.register_blocking
+    if lds_operand_registers is None:
+        lds_operand_registers = config.lds_width_bits // 32
+    prefetch = prefetch_registers(b_r, config.threads_per_block, config.stride)
+    return (
+        b_r * b_r
+        + prefetch
+        + b_r
+        + lds_operand_registers
+        + config.address_registers
+    )
+
+
+def max_blocking_factor(
+    max_registers_per_thread: int,
+    threads_per_block: int = 256,
+    stride: int = 16,
+    lds_width_bits: int = 64,
+    address_registers: int = 7,
+    strict: bool = True,
+) -> int:
+    """Largest blocking factor B_R that satisfies the register constraint.
+
+    With ``strict=False`` only the loose Equation 2 is applied (B_R ≤ 7 for 63
+    registers); with ``strict=True`` the full Equation 4 accounting is used,
+    which yields B_R = 6 for the paper's Fermi/Kepler configuration.
+    """
+    if max_registers_per_thread <= 0:
+        raise ModelError("max_registers_per_thread must be positive")
+    best = 0
+    for candidate in range(1, max_registers_per_thread + 1):
+        if strict:
+            config = SgemmConfig(
+                register_blocking=candidate,
+                lds_width_bits=lds_width_bits,
+                threads_per_block=threads_per_block,
+                stride=stride,
+                address_registers=address_registers,
+            )
+            needed = register_requirement(config)
+        else:
+            needed = loose_register_bound(candidate)
+        if needed <= max_registers_per_thread:
+            best = candidate
+        else:
+            break
+    if best == 0:
+        raise ModelError(
+            f"no blocking factor fits in {max_registers_per_thread} registers per thread"
+        )
+    return best
+
+
+def valid_strides(register_blocking: int, threads_per_block: int, limit: int = 64) -> list[int]:
+    """Strides L satisfying the equal-load condition of Equation 3.
+
+    ``(sqrt(T_B) · B_R · L) % T_B == 0`` — every thread must load the same
+    number of elements of each tile.
+    """
+    if limit <= 0:
+        raise ModelError("stride search limit must be positive")
+    root = math.isqrt(threads_per_block)
+    if root * root != threads_per_block:
+        raise ModelError("threads_per_block must be a perfect square")
+    strides = []
+    for stride in range(1, limit + 1):
+        if (root * register_blocking * stride) % threads_per_block == 0:
+            strides.append(stride)
+    return strides
+
+
+@dataclass(frozen=True)
+class BlockingAnalysis:
+    """Full blocking analysis of one configuration (used by reports/sweeps).
+
+    Attributes
+    ----------
+    config:
+        The analysed configuration.
+    ffma_lds_ratio:
+        FFMA : LDS.X ratio in the main loop.
+    ffma_percent:
+        FFMA percentage of main-loop instructions.
+    registers_loose:
+        Equation 2 register requirement.
+    registers_strict:
+        Equation 4 register requirement.
+    fits:
+        Whether the strict requirement fits the ISA register limit supplied.
+    """
+
+    config: SgemmConfig
+    ffma_lds_ratio: float
+    ffma_percent: float
+    registers_loose: int
+    registers_strict: int
+    fits: bool
+
+    @staticmethod
+    def analyse(config: SgemmConfig, max_registers_per_thread: int) -> "BlockingAnalysis":
+        """Analyse ``config`` against a per-thread register limit."""
+        strict = register_requirement(config)
+        return BlockingAnalysis(
+            config=config,
+            ffma_lds_ratio=ffma_to_lds_ratio(config.register_blocking, config.lds_width_bits),
+            ffma_percent=ffma_percentage(config.register_blocking, config.lds_width_bits),
+            registers_loose=loose_register_bound(config.register_blocking),
+            registers_strict=strict,
+            fits=strict <= max_registers_per_thread,
+        )
+
+
+def figure3_series(max_blocking: int = 15) -> dict[int, dict[int, float]]:
+    """FFMA percentage vs blocking factor for each LDS width (paper Fig 3).
+
+    Returns ``{lds_width_bits: {blocking_factor: ffma_percent}}``.
+    """
+    series: dict[int, dict[int, float]] = {}
+    for width in (32, 64, 128):
+        series[width] = {
+            b_r: ffma_percentage(b_r, width) for b_r in range(1, max_blocking + 1)
+        }
+    return series

@@ -1,0 +1,53 @@
+"""Human-readable reports of the upper-bound analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.bounds import BoundBreakdown
+
+
+@dataclass(frozen=True)
+class UpperBoundReport:
+    """A formatted report bundling one or more bound breakdowns."""
+
+    title: str
+    breakdowns: tuple[BoundBreakdown, ...]
+
+    def lines(self) -> list[str]:
+        """The report as a list of text lines."""
+        out = [self.title, "=" * len(self.title)]
+        for breakdown in self.breakdowns:
+            out.extend(_breakdown_lines(breakdown))
+            out.append("")
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return "\n".join(self.lines())
+
+
+def _breakdown_lines(breakdown: BoundBreakdown) -> list[str]:
+    config = breakdown.config
+    return [
+        f"{breakdown.gpu_name} — B_R={config.register_blocking}, LDS.{config.lds_width_bits}, "
+        f"T_B={config.threads_per_block}, L={config.stride}",
+        f"  registers/thread (Eq.4): {breakdown.registers_per_thread}",
+        f"  active threads/SM (Eq.1): {breakdown.active_threads} "
+        f"({breakdown.active_blocks} blocks, limited by {breakdown.occupancy_limiter})",
+        f"  FFMA:LDS.X ratio: {breakdown.ffma_lds_ratio:.1f}:1, "
+        f"F_I={breakdown.instruction_factor:.2f}",
+        f"  F_T: {breakdown.throughput_factor:.3f} "
+        f"({breakdown.mixed_instructions_per_cycle:.1f} thread instr/cycle, "
+        f"database: {breakdown.database})",
+        f"  SM-bound (Eq.8): {breakdown.sm_bound_gflops:.0f} GFLOPS "
+        f"({100.0 * breakdown.sm_bound_fraction:.1f}% of peak)",
+        f"  memory-bound (Eq.6): {breakdown.memory_bound_gflops:.0f} GFLOPS",
+        f"  potential peak (Eq.9): {breakdown.potential_gflops:.0f} GFLOPS "
+        f"({100.0 * breakdown.potential_fraction:.1f}% of peak), "
+        f"limited by {breakdown.limited_by}",
+    ]
+
+
+def format_report(title: str, breakdowns: list[BoundBreakdown]) -> str:
+    """Format several breakdowns under a single title."""
+    return str(UpperBoundReport(title=title, breakdowns=tuple(breakdowns)))

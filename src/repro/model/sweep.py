@@ -1,0 +1,132 @@
+"""Design-space sweep (the "auto-tuning guidance" of Section 5.5).
+
+The paper argues that the upper-bound analysis tells an auto-tuner where to
+look: the bound is attained by a specific combination of register blocking
+factor, LDS width, block size and stride, so the tuner only needs to explore
+a small neighbourhood of that combination.  :class:`DesignSpaceSweep`
+enumerates every legal configuration (register limit, Eq. 3 stride fairness,
+shared-memory capacity, occupancy) and ranks them by the predicted bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec
+from repro.errors import ModelError, ResourceLimitError
+from repro.microbench.database import PerfDatabase
+from repro.model.blocking import valid_strides
+from repro.model.bounds import BoundBreakdown, UpperBoundModel
+from repro.model.params import SgemmConfig
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One evaluated configuration of the design-space sweep."""
+
+    config: SgemmConfig
+    breakdown: BoundBreakdown | None
+    rejected_reason: str | None = None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the configuration is legal on the target GPU."""
+        return self.breakdown is not None
+
+    @property
+    def potential_gflops(self) -> float:
+        """Predicted upper bound in GFLOPS (0 for infeasible configurations)."""
+        return self.breakdown.potential_gflops if self.breakdown else 0.0
+
+
+class DesignSpaceSweep:
+    """Enumerates and ranks SGEMM configurations for one GPU."""
+
+    def __init__(self, gpu: GpuSpec, database: PerfDatabase, *, gpu_key: str | None = None) -> None:
+        self._gpu = gpu
+        self._model = UpperBoundModel(gpu, database, gpu_key=gpu_key)
+
+    @property
+    def model(self) -> UpperBoundModel:
+        """The underlying upper-bound model."""
+        return self._model
+
+    def candidate_configs(
+        self,
+        *,
+        blocking_factors: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8),
+        lds_widths: tuple[int, ...] = (32, 64, 128),
+        block_sizes: tuple[int, ...] = (64, 144, 256, 576, 1024),
+        max_stride: int = 32,
+        address_registers: int = 7,
+    ) -> list[SgemmConfig]:
+        """Enumerate syntactically valid configurations (before resource checks).
+
+        Block sizes must be perfect squares for the tile geometry; strides are
+        restricted to the Equation 3 fair-loading values and, among those, the
+        smallest stride of at least 8 is kept per (B_R, T_B) pair (larger
+        strides only increase the prefetch register pressure).
+        """
+        configs: list[SgemmConfig] = []
+        for threads in block_sizes:
+            if threads > self._gpu.sm.max_threads:
+                continue
+            for blocking in blocking_factors:
+                try:
+                    strides = valid_strides(blocking, threads, limit=max_stride)
+                except ModelError:
+                    continue
+                strides = [s for s in strides if s >= 8] or strides
+                if not strides:
+                    continue
+                stride = strides[0]
+                for width in lds_widths:
+                    try:
+                        configs.append(
+                            SgemmConfig(
+                                register_blocking=blocking,
+                                lds_width_bits=width,
+                                threads_per_block=threads,
+                                stride=stride,
+                                address_registers=address_registers,
+                            )
+                        )
+                    except ModelError:
+                        continue
+        return configs
+
+    def run(self, configs: list[SgemmConfig] | None = None) -> list[SweepEntry]:
+        """Evaluate configurations and return entries sorted best-first."""
+        if configs is None:
+            configs = self.candidate_configs()
+        entries: list[SweepEntry] = []
+        for config in configs:
+            try:
+                breakdown = self._model.analyse(config)
+                entries.append(SweepEntry(config=config, breakdown=breakdown))
+            except (ModelError, ResourceLimitError) as error:
+                entries.append(
+                    SweepEntry(config=config, breakdown=None, rejected_reason=str(error))
+                )
+        # Ties on the predicted bound are broken towards larger blocks: they
+        # amortise barriers and tile staging better, which the bound equations
+        # do not model (this is also the paper's choice of 256 threads).
+        entries.sort(
+            key=lambda entry: (entry.potential_gflops, entry.config.threads_per_block),
+            reverse=True,
+        )
+        return entries
+
+    def best(self, configs: list[SgemmConfig] | None = None) -> SweepEntry:
+        """The best feasible configuration.
+
+        Raises
+        ------
+        ModelError
+            If no configuration is feasible on the target GPU.
+        """
+        entries = self.run(configs)
+        for entry in entries:
+            if entry.feasible:
+                return entry
+        raise ModelError(f"no feasible SGEMM configuration found for {self._gpu.name}")

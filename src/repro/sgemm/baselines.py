@@ -1,0 +1,145 @@
+"""Baseline SGEMM performance models (CUBLAS- and MAGMA-like).
+
+Figures 5-7 of the paper compare the hand-written assembly kernels against
+CUBLAS (CUDA 4.1/4.2) and the MAGMA Fermi SGEMM.  Those binaries are
+proprietary and tied to 2012-era drivers, so the comparison is reproduced with
+*calibrated performance models*: each baseline is characterised by the
+large-matrix efficiency the paper documents (≈ 70 % of peak for CUBLAS on the
+GTX580, ≈ 42 % on the GTX680, MAGMA a little below CUBLAS on Fermi and a
+little above on Kepler before the authors' fix), the tile size it launches,
+and a small-matrix ramp derived from how many thread blocks it can spread over
+the GPU.  DESIGN.md records this substitution.
+
+The per-size curve shape follows the same mechanics as the assembly model in
+:mod:`repro.sgemm.performance`: a wave-quantisation term (partial last waves
+leave SMs idle) and a K-dependent loop-overhead term.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuGeneration, GpuSpec
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class BaselinePerformanceModel:
+    """A calibrated baseline library model.
+
+    Attributes
+    ----------
+    name:
+        Display name (e.g. ``"cublas_4.1"``).
+    asymptotic_fraction_of_peak:
+        Efficiency reached on large matrices, as a fraction of the GPU's
+        theoretical peak.
+    block_tile:
+        Edge of the C tile computed per thread block.
+    blocks_per_sm:
+        Resident blocks per SM (controls the wave-quantisation granularity).
+    loop_overhead_k:
+        K value at which main-loop overheads cost ~50 % (controls the ramp for
+        small/skinny matrices).
+    """
+
+    name: str
+    asymptotic_fraction_of_peak: float
+    block_tile: int
+    blocks_per_sm: int
+    loop_overhead_k: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.asymptotic_fraction_of_peak <= 1.0:
+            raise ModelError("asymptotic efficiency must be in (0, 1]")
+        if self.block_tile <= 0 or self.blocks_per_sm <= 0:
+            raise ModelError("tile and residency must be positive")
+
+    def utilisation(self, m: int, n: int, gpu: GpuSpec) -> float:
+        """SM utilisation from wave quantisation for an m × n output."""
+        blocks = math.ceil(m / self.block_tile) * math.ceil(n / self.block_tile)
+        per_wave = self.blocks_per_sm * gpu.sm_count
+        waves = math.ceil(blocks / per_wave)
+        return blocks / (waves * per_wave)
+
+    def overhead_factor(self, k: int) -> float:
+        """Fraction of time spent in useful main-loop work for a K extent."""
+        return k / (k + self.loop_overhead_k)
+
+    def gflops(self, m: int, n: int, k: int, gpu: GpuSpec) -> float:
+        """Predicted GFLOPS for an m × n × k SGEMM."""
+        if min(m, n, k) <= 0:
+            raise ModelError("matrix dimensions must be positive")
+        peak = gpu.theoretical_peak_gflops
+        return (
+            peak
+            * self.asymptotic_fraction_of_peak
+            * self.utilisation(m, n, gpu)
+            * self.overhead_factor(k)
+        )
+
+
+def cublas_model(gpu: GpuSpec) -> BaselinePerformanceModel:
+    """CUBLAS model for a GPU (CUDA 4.1 on Fermi, 4.2 on Kepler, per the paper)."""
+    if gpu.generation is GpuGeneration.FERMI:
+        # Plateau chosen so the modelled 2400-4800 sizes land at the ~70 % of
+        # peak the paper reports for CUBLAS 4.1 on the GTX580.
+        return BaselinePerformanceModel(
+            name="cublas_4.1",
+            asymptotic_fraction_of_peak=0.72,
+            block_tile=96,
+            blocks_per_sm=2,
+            loop_overhead_k=96.0,
+        )
+    if gpu.generation is GpuGeneration.KEPLER:
+        # Plateau chosen so large sizes land at the ~40-42 % of peak the paper
+        # reports for CUBLAS 4.2 on the GTX680 (Figure 7 shows ~1150-1250
+        # GFLOPS at the right edge).
+        return BaselinePerformanceModel(
+            name="cublas_4.2",
+            asymptotic_fraction_of_peak=0.42,
+            block_tile=128,
+            blocks_per_sm=4,
+            loop_overhead_k=96.0,
+        )
+    return BaselinePerformanceModel(
+        name="cublas",
+        asymptotic_fraction_of_peak=0.55,
+        block_tile=64,
+        blocks_per_sm=2,
+        loop_overhead_k=96.0,
+    )
+
+
+def magma_model(gpu: GpuSpec) -> BaselinePerformanceModel:
+    """MAGMA Fermi-kernel model (run unchanged on Kepler, as in Figure 7).
+
+    On Fermi MAGMA sits slightly below CUBLAS 4.1 for large sizes; on Kepler
+    the nvcc-compiled MAGMA kernel spills registers and hits operand-bank
+    conflicts (Section 5.5), landing well below half of CUBLAS's Fermi
+    efficiency level.
+    """
+    if gpu.generation is GpuGeneration.FERMI:
+        return BaselinePerformanceModel(
+            name="magma_sgemm_fermi",
+            asymptotic_fraction_of_peak=0.67,
+            block_tile=96,
+            blocks_per_sm=2,
+            loop_overhead_k=110.0,
+        )
+    if gpu.generation is GpuGeneration.KEPLER:
+        return BaselinePerformanceModel(
+            name="magma_sgemm_fermi",
+            asymptotic_fraction_of_peak=0.39,
+            block_tile=96,
+            blocks_per_sm=4,
+            loop_overhead_k=110.0,
+        )
+    return BaselinePerformanceModel(
+        name="magma",
+        asymptotic_fraction_of_peak=0.50,
+        block_tile=96,
+        blocks_per_sm=2,
+        loop_overhead_k=110.0,
+    )

@@ -1,0 +1,112 @@
+"""Kernel-level configuration of the generated SGEMM kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import KernelGenerationError
+from repro.sgemm.tiling import TileGeometry, tile_geometry
+
+
+class SgemmVariant(str, Enum):
+    """The four GEMM transpose variants (op(A) · op(B))."""
+
+    NN = "NN"
+    NT = "NT"
+    TN = "TN"
+    TT = "TT"
+
+    @property
+    def transpose_a(self) -> bool:
+        """Whether op(A) = A^T."""
+        return self.value[0] == "T"
+
+    @property
+    def transpose_b(self) -> bool:
+        """Whether op(B) = B^T."""
+        return self.value[1] == "T"
+
+
+@dataclass(frozen=True)
+class SgemmKernelConfig:
+    """Everything the kernel generator needs for one specialisation.
+
+    The generator specialises kernels for concrete matrix dimensions (M, N, K
+    and alpha are baked into the address arithmetic and the epilogue), which
+    keeps the generated SASS close to the structure the paper describes while
+    avoiding integer-division address code.  The matrices must tile exactly:
+    M and N multiples of the block tile, K a multiple of the stride.
+
+    Attributes
+    ----------
+    m, n, k:
+        GEMM dimensions: C (m × n) += alpha · op(A) (m × k) · op(B) (k × n).
+    variant:
+        Transpose variant (NN, NT, TN, TT).
+    register_blocking:
+        B_R — per-thread tile edge.
+    threads_per_block:
+        T_B — must be a perfect square.
+    stride:
+        L — K-extent staged per main-loop iteration.
+    lds_width_bits:
+        Width of the shared-memory operand loads in the main loop.
+    alpha:
+        Scalar multiplier applied in the epilogue.
+    conflict_free_allocation:
+        Whether to use the bank-conflict-free register allocation of Fig 9
+        (True) or the naive sequential allocation (False, MAGMA-like).
+    """
+
+    m: int
+    n: int
+    k: int
+    variant: SgemmVariant = SgemmVariant.NN
+    register_blocking: int = 6
+    threads_per_block: int = 256
+    stride: int = 16
+    lds_width_bits: int = 64
+    alpha: float = 1.0
+    conflict_free_allocation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lds_width_bits not in (32, 64):
+            raise KernelGenerationError(
+                "the kernel generator supports LDS and LDS.64 operand fetch "
+                f"(got {self.lds_width_bits}-bit)"
+            )
+        geometry = self.geometry  # validates blocking/threads/stride consistency
+        if self.m % geometry.block_tile or self.n % geometry.block_tile:
+            raise KernelGenerationError(
+                f"M={self.m}, N={self.n} must be multiples of the block tile "
+                f"{geometry.block_tile}"
+            )
+        if self.k % self.stride:
+            raise KernelGenerationError(
+                f"K={self.k} must be a multiple of the stride {self.stride}"
+            )
+
+    @property
+    def geometry(self) -> TileGeometry:
+        """The resolved tile geometry."""
+        return tile_geometry(
+            threads_per_block=self.threads_per_block,
+            register_blocking=self.register_blocking,
+            stride=self.stride,
+        )
+
+    @property
+    def useful_flops(self) -> int:
+        """The GEMM's useful floating-point work, 2·m·n·k."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def kernel_name(self) -> str:
+        """Descriptive kernel name embedding the key parameters."""
+        allocation = "cf" if self.conflict_free_allocation else "naive"
+        return (
+            f"sgemm_{self.variant.value.lower()}_b{self.register_blocking}"
+            f"_t{self.threads_per_block}_l{self.stride}_{allocation}"
+            f"_{self.m}x{self.n}x{self.k}"
+        )

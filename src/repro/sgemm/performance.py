@@ -1,0 +1,142 @@
+"""Performance model for the generated assembly kernels (Figures 5-7).
+
+The achieved performance of the paper's assembly kernels is, for large
+matrices, a roughly constant fraction of the analytic upper bound (≈ 90 % on
+the GTX580, ≈ 77.3 % on the GTX680).  For the per-size curves of Figures 6
+and 7 two further effects matter:
+
+* wave quantisation — a grid that does not fill an integral number of waves
+  leaves SMs idle on the last wave;
+* main-loop overhead — barriers, tile staging and the epilogue are amortised
+  over K/L loop iterations, so small K (and the small square sizes at the left
+  of the figures) lose efficiency.
+
+:class:`AsmPerformanceModel` combines the upper bound from
+:class:`repro.model.UpperBoundModel` with those two effects and an
+"achieved fraction of bound" that can come either from the paper's reported
+numbers or from a simulator measurement of the generated kernel's main loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuGeneration, GpuSpec
+from repro.errors import ModelError
+from repro.microbench.paper_data import PAPER_ACHIEVED
+from repro.model.bounds import BoundBreakdown
+from repro.sgemm.baselines import BaselinePerformanceModel
+
+
+#: Default achieved-fraction-of-upper-bound per generation (paper Section 5).
+DEFAULT_ACHIEVED_FRACTION = {
+    GpuGeneration.FERMI: PAPER_ACHIEVED["gtx580"]["fraction_of_upper_bound"],
+    GpuGeneration.KEPLER: PAPER_ACHIEVED["gtx680"]["fraction_of_upper_bound"],
+    GpuGeneration.GT200: 0.85,
+}
+
+
+@dataclass(frozen=True)
+class PerformancePoint:
+    """One point of a GFLOPS-vs-size curve."""
+
+    matrix_size: int
+    gflops: float
+    fraction_of_peak: float
+
+
+class AsmPerformanceModel:
+    """Per-size performance model of the generated assembly SGEMM kernels."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        bound: BoundBreakdown,
+        *,
+        achieved_fraction_of_bound: float | None = None,
+        loop_overhead_k: float = 64.0,
+    ) -> None:
+        if achieved_fraction_of_bound is None:
+            achieved_fraction_of_bound = DEFAULT_ACHIEVED_FRACTION.get(gpu.generation, 0.85)
+        if not 0.0 < achieved_fraction_of_bound <= 1.0:
+            raise ModelError("achieved fraction of the bound must be in (0, 1]")
+        self._gpu = gpu
+        self._bound = bound
+        self._achieved_fraction = achieved_fraction_of_bound
+        self._loop_overhead_k = loop_overhead_k
+
+    @property
+    def gpu(self) -> GpuSpec:
+        """Machine description the model targets."""
+        return self._gpu
+
+    @property
+    def bound(self) -> BoundBreakdown:
+        """Upper-bound breakdown the model scales from."""
+        return self._bound
+
+    @property
+    def achieved_fraction_of_bound(self) -> float:
+        """Large-matrix achieved performance as a fraction of the upper bound."""
+        return self._achieved_fraction
+
+    @property
+    def asymptotic_gflops(self) -> float:
+        """Large-matrix achieved GFLOPS."""
+        return self._bound.potential_gflops * self._achieved_fraction
+
+    def utilisation(self, m: int, n: int) -> float:
+        """SM utilisation from wave quantisation for an m × n output."""
+        tile = self._bound.config.block_tile
+        blocks = math.ceil(m / tile) * math.ceil(n / tile)
+        per_wave = self._bound.active_blocks * self._gpu.sm_count
+        waves = math.ceil(blocks / per_wave)
+        return blocks / (waves * per_wave)
+
+    def overhead_factor(self, k: int) -> float:
+        """Fraction of time in useful main-loop work for a K extent."""
+        return k / (k + self._loop_overhead_k)
+
+    def gflops(self, m: int, n: int, k: int) -> float:
+        """Predicted achieved GFLOPS for an m × n × k SGEMM."""
+        if min(m, n, k) <= 0:
+            raise ModelError("matrix dimensions must be positive")
+        return self.asymptotic_gflops * self.utilisation(m, n) * self.overhead_factor(k)
+
+    def curve(self, sizes: list[int]) -> list[PerformancePoint]:
+        """GFLOPS-vs-size curve for square matrices (Figures 6/7 x-axis)."""
+        peak = self._gpu.theoretical_peak_gflops
+        points = []
+        for size in sizes:
+            value = self.gflops(size, size, size)
+            points.append(
+                PerformancePoint(
+                    matrix_size=size, gflops=value, fraction_of_peak=value / peak
+                )
+            )
+        return points
+
+
+def performance_curve(
+    sizes: list[int],
+    asm_model: AsmPerformanceModel,
+    baselines: list[BaselinePerformanceModel],
+) -> dict[str, list[PerformancePoint]]:
+    """Per-size curves for the assembly kernel and a list of baselines.
+
+    Returns ``{"assembly": [...], baseline.name: [...], ...}`` — the data
+    behind Figures 6 and 7.
+    """
+    gpu = asm_model.gpu
+    peak = gpu.theoretical_peak_gflops
+    curves: dict[str, list[PerformancePoint]] = {"assembly": asm_model.curve(sizes)}
+    for baseline in baselines:
+        points = []
+        for size in sizes:
+            value = baseline.gflops(size, size, size, gpu)
+            points.append(
+                PerformancePoint(matrix_size=size, gflops=value, fraction_of_peak=value / peak)
+            )
+        curves[baseline.name] = points
+    return curves

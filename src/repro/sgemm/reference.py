@@ -1,0 +1,100 @@
+"""NumPy reference SGEMM and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.sgemm.config import SgemmKernelConfig, SgemmVariant
+
+
+def reference_sgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    c: np.ndarray | None = None,
+    transpose_a: bool = False,
+    transpose_b: bool = False,
+) -> np.ndarray:
+    """Reference GEMM: ``alpha · op(A) · op(B) + beta · C`` in float32.
+
+    Mirrors the BLAS definition the paper quotes.  ``a`` and ``b`` are the
+    stored matrices; the transpose flags select op().
+    """
+    op_a = a.T if transpose_a else a
+    op_b = b.T if transpose_b else b
+    if op_a.shape[1] != op_b.shape[0]:
+        raise ReproError(
+            f"inner dimensions do not agree: op(A) is {op_a.shape}, op(B) is {op_b.shape}"
+        )
+    product = np.asarray(op_a, dtype=np.float32) @ np.asarray(op_b, dtype=np.float32)
+    result = np.float32(alpha) * product
+    if beta != 0.0:
+        if c is None:
+            raise ReproError("beta != 0 requires an input C matrix")
+        result = result + np.float32(beta) * np.asarray(c, dtype=np.float32)
+    return result.astype(np.float32)
+
+
+def random_matrices(
+    config: SgemmKernelConfig, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random float32 matrices stored in the layout the kernel variant expects.
+
+    Returns ``(A_stored, B_stored)`` where the stored shapes already account
+    for the transpose flags: op(A) is m × k, so ``A_stored`` is k × m when the
+    variant transposes A, and similarly for B.
+    """
+    rng = np.random.default_rng(seed)
+    if config.variant.transpose_a:
+        a_shape = (config.k, config.m)
+    else:
+        a_shape = (config.m, config.k)
+    if config.variant.transpose_b:
+        b_shape = (config.n, config.k)
+    else:
+        b_shape = (config.k, config.n)
+    a = rng.uniform(-1.0, 1.0, size=a_shape).astype(np.float32)
+    b = rng.uniform(-1.0, 1.0, size=b_shape).astype(np.float32)
+    return a, b
+
+
+def expected_result(config: SgemmKernelConfig, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The reference result for stored matrices under ``config``'s variant/alpha."""
+    return reference_sgemm(
+        a,
+        b,
+        alpha=config.alpha,
+        transpose_a=config.variant.transpose_a,
+        transpose_b=config.variant.transpose_b,
+    )
+
+
+def validate_result(
+    computed: np.ndarray,
+    expected: np.ndarray,
+    *,
+    rtol: float = 1e-4,
+    atol: float = 1e-3,
+) -> float:
+    """Check a simulated C matrix against the reference.
+
+    Returns the maximum absolute error.  Raises :class:`ReproError` when the
+    tolerance is exceeded so test failures carry the offending magnitude.
+    """
+    if computed.shape != expected.shape:
+        raise ReproError(
+            f"result shape {computed.shape} does not match the reference {expected.shape}"
+        )
+    error = np.max(np.abs(computed.astype(np.float64) - expected.astype(np.float64)))
+    if not np.allclose(computed, expected, rtol=rtol, atol=atol):
+        raise ReproError(f"SGEMM result differs from the reference (max |error| = {error:.3e})")
+    return float(error)
+
+
+def variant_from_flags(transpose_a: bool, transpose_b: bool) -> SgemmVariant:
+    """Map transpose flags to the corresponding :class:`SgemmVariant`."""
+    name = ("T" if transpose_a else "N") + ("T" if transpose_b else "N")
+    return SgemmVariant(name)

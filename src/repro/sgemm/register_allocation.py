@@ -1,0 +1,253 @@
+"""Register allocation for the SGEMM main loop (paper Section 5.4, Figure 9).
+
+On Kepler GK104, FFMA throughput drops by 2× (3×) when two (three) of its
+distinct source registers live on the same register bank.  In the SGEMM main
+loop every FFMA has the form ``FFMA C_ij, A_i, B_j, C_ij``, so the three
+distinct sources are one A-column register, one B-row register and one
+accumulator.  The paper's allocation:
+
+* A-column registers come from the even-0 / odd-0 banks,
+* B-row registers come from the even-1 / odd-1 banks (so A and B never clash),
+* the 36 accumulators are placed so each C_ij avoids the banks of its A_i and
+  B_j, with exactly 9 accumulators per bank.
+
+:func:`allocate_conflict_free` reproduces that scheme for any blocking factor
+that fits the register file; :func:`allocate_naive` reproduces the sequential
+(compiler-like) assignment whose conflicts Figure 8 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.register_file import RegisterBank, register_bank
+from repro.errors import RegisterAllocationError
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class RegisterAllocation:
+    """Physical registers chosen for the main-loop operands.
+
+    Attributes
+    ----------
+    accumulators:
+        ``accumulators[i][j]`` holds C(i, j) of the per-thread tile.
+    a_column:
+        ``a_column[i]`` holds element i of the current A column.
+    b_row:
+        ``b_row[j]`` holds element j of the current B row window (two
+        registers when LDS.64 fetches B in pairs).
+    """
+
+    accumulators: tuple[tuple[Register, ...], ...]
+    a_column: tuple[Register, ...]
+    b_row: tuple[Register, ...]
+
+    @property
+    def blocking(self) -> int:
+        """The register blocking factor B_R."""
+        return len(self.a_column)
+
+    def all_registers(self) -> list[Register]:
+        """All allocated registers (accumulators, A column, B row)."""
+        output = [r for row in self.accumulators for r in row]
+        output.extend(self.a_column)
+        output.extend(self.b_row)
+        return output
+
+    def conflict_count(self) -> tuple[int, int]:
+        """(two_way, three_way) operand bank conflicts over the full B_R×B_R tile.
+
+        Every (i, j) pair is evaluated as the FFMA ``C_ij = A_i · B_j + C_ij``
+        with the B-row register cycling through the available B registers.
+        """
+        two_way = 0
+        three_way = 0
+        for i in range(self.blocking):
+            for j in range(self.blocking):
+                b_register = self.b_row[j % len(self.b_row)]
+                banks = [
+                    self.a_column[i].bank,
+                    b_register.bank,
+                    self.accumulators[i][j].bank,
+                ]
+                distinct = {self.a_column[i].index, b_register.index, self.accumulators[i][j].index}
+                if len(distinct) < 3:
+                    continue
+                counts: dict[RegisterBank, int] = {}
+                for bank in banks:
+                    counts[bank] = counts.get(bank, 0) + 1
+                worst = max(counts.values())
+                if worst == 2:
+                    two_way += 1
+                elif worst >= 3:
+                    three_way += 1
+        return two_way, three_way
+
+    def is_conflict_free(self) -> bool:
+        """Whether no FFMA of the tile has an operand bank conflict."""
+        two_way, three_way = self.conflict_count()
+        return two_way == 0 and three_way == 0
+
+
+def _registers_on_bank(bank: RegisterBank, start: int, stop: int) -> list[int]:
+    """Register indices in [start, stop) residing on ``bank``."""
+    return [index for index in range(start, stop) if register_bank(index) == bank]
+
+
+def allocate_naive(
+    blocking: int,
+    b_operands: int = 2,
+    *,
+    first_register: int = 6,
+) -> RegisterAllocation:
+    """Sequential, bank-oblivious allocation (what a compiler typically emits).
+
+    A-column registers first, then B-row registers, then the accumulators in
+    row-major order — the layout that produces the conflict rates Figure 8
+    reports for the MAGMA binaries.
+    """
+    if blocking <= 0:
+        raise RegisterAllocationError("blocking factor must be positive")
+    last_index = first_register + blocking + b_operands + blocking * blocking - 1
+    if last_index > 62:
+        raise RegisterAllocationError(
+            f"naive allocation needs registers up to R{last_index}, beyond the R62 limit"
+        )
+    cursor = first_register
+    a_column = tuple(Register(cursor + i) for i in range(blocking))
+    cursor += blocking
+    b_row = tuple(Register(cursor + j) for j in range(b_operands))
+    cursor += b_operands
+    accumulators = tuple(
+        tuple(Register(cursor + i * blocking + j) for j in range(blocking))
+        for i in range(blocking)
+    )
+    return RegisterAllocation(accumulators=accumulators, a_column=a_column, b_row=b_row)
+
+
+def allocate_conflict_free(
+    blocking: int,
+    b_operands: int = 2,
+    *,
+    accumulator_start: int = 26,
+    a_column_start: int = 6,
+    b_row_start: int = 18,
+) -> RegisterAllocation:
+    """The paper's bank-conflict-free allocation (Figure 9).
+
+    A-column registers are drawn from the even-0/odd-0 banks, B-row registers
+    from the even-1/odd-1 banks, and each accumulator C(i, j) is placed on a
+    bank different from both its A and B sources while keeping the per-bank
+    accumulator counts balanced.
+
+    Parameters
+    ----------
+    blocking:
+        Register blocking factor B_R.
+    b_operands:
+        Number of live B-row registers (2 for the LDS.64 operand scheme).
+    accumulator_start / a_column_start / b_row_start:
+        First register indices of each pool, defaulting to the paper's layout
+        (accumulators R26…R61, A column from R6, B row from R18).
+
+    Raises
+    ------
+    RegisterAllocationError
+        If the pools run out of registers or a conflict-free placement is
+        impossible (cannot happen for the supported blocking factors, but the
+        check is kept as a guard).
+    """
+    if blocking <= 0:
+        raise RegisterAllocationError("blocking factor must be positive")
+    # A single live B register cannot avoid bank conflicts structurally (every
+    # FFMA would read the same B bank while half the A column shares it), so
+    # the allocator always provisions at least two B registers and the kernel
+    # generator alternates between them.
+    b_operands = max(2, b_operands)
+    if blocking * blocking + blocking + b_operands > 57:
+        raise RegisterAllocationError(
+            f"blocking factor {blocking} cannot fit the register file"
+        )
+
+    # A column: alternate between the two "0" banks (even0, odd0).
+    zero_banks = [RegisterBank.EVEN0, RegisterBank.ODD0]
+    a_pool = {
+        bank: [i for i in _registers_on_bank(bank, a_column_start, 63) if i < accumulator_start]
+        for bank in zero_banks
+    }
+    a_column: list[Register] = []
+    for i in range(blocking):
+        bank = zero_banks[i % 2]
+        if not a_pool[bank]:
+            raise RegisterAllocationError("ran out of registers for the A column")
+        a_column.append(Register(a_pool[bank].pop(0)))
+
+    # B row: alternate between the two "1" banks (even1, odd1).
+    one_banks = [RegisterBank.EVEN1, RegisterBank.ODD1]
+    b_pool = {
+        bank: [i for i in _registers_on_bank(bank, b_row_start, 63) if i < accumulator_start]
+        for bank in one_banks
+    }
+    used = {r.index for r in a_column}
+    b_row: list[Register] = []
+    for j in range(b_operands):
+        bank = one_banks[j % 2]
+        candidates = [i for i in b_pool[bank] if i not in used]
+        if not candidates:
+            raise RegisterAllocationError("ran out of registers for the B row")
+        chosen = candidates[0]
+        b_pool[bank].remove(chosen)
+        used.add(chosen)
+        b_row.append(Register(chosen))
+
+    # Accumulators: for each (i, j), pick a bank different from A_i's and
+    # B_j's banks.  The deterministic rule below is the paper's Figure 9
+    # assignment: the four (A-bank, B-bank) cell types map to the four banks
+    # one-to-one, which also balances the accumulators 9-per-bank for the
+    # 6 × 6 tile.  If the preferred bank's pool is exhausted (possible for
+    # non-paper blocking factors) the other admissible bank is used instead.
+    pool = {
+        bank: [
+            i
+            for i in _registers_on_bank(bank, accumulator_start, 63)
+            if i not in used
+        ]
+        for bank in RegisterBank
+    }
+    preferred_by_type = {
+        (RegisterBank.EVEN0, RegisterBank.EVEN1): RegisterBank.ODD0,
+        (RegisterBank.EVEN0, RegisterBank.ODD1): RegisterBank.EVEN1,
+        (RegisterBank.ODD0, RegisterBank.EVEN1): RegisterBank.ODD1,
+        (RegisterBank.ODD0, RegisterBank.ODD1): RegisterBank.EVEN0,
+    }
+    accumulators: list[list[Register]] = []
+    for i in range(blocking):
+        row: list[Register] = []
+        for j in range(blocking):
+            a_bank = a_column[i].bank
+            b_bank = b_row[j % b_operands].bank
+            preferred = preferred_by_type[(a_bank, b_bank)]
+            admissible = [preferred] + [
+                bank for bank in RegisterBank if bank not in (a_bank, b_bank, preferred)
+            ]
+            chosen_bank = next((bank for bank in admissible if pool[bank]), None)
+            if chosen_bank is None:
+                raise RegisterAllocationError(
+                    "no conflict-free register available for accumulator "
+                    f"C({i},{j}); pools exhausted"
+                )
+            index = pool[chosen_bank].pop(0)
+            used.add(index)
+            row.append(Register(index))
+        accumulators.append(row)
+
+    allocation = RegisterAllocation(
+        accumulators=tuple(tuple(row) for row in accumulators),
+        a_column=tuple(a_column),
+        b_row=tuple(b_row),
+    )
+    if not allocation.is_conflict_free():
+        raise RegisterAllocationError("allocation unexpectedly contains bank conflicts")
+    return allocation

@@ -1,0 +1,98 @@
+"""Register budget accounting (paper Section 5.2).
+
+The paper lists, item by item, how its Fermi kernel spends exactly 63
+registers per thread with zero spills.  :class:`RegisterBudget` reproduces the
+same accounting for arbitrary configurations so the generator, the analytic
+model and the tests all agree on the per-thread register footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.blocking import prefetch_registers
+from repro.model.params import SgemmConfig
+
+
+@dataclass(frozen=True)
+class RegisterBudget:
+    """Per-thread register footprint broken down by purpose.
+
+    Attributes mirror the items of the paper's Section 5.2 list.
+    """
+
+    accumulators: int
+    prefetch: int
+    a_operands: int
+    b_operands: int
+    global_trackers: int
+    loop_bound: int
+    shared_store_trackers: int
+    shared_load_trackers: int
+
+    @property
+    def total(self) -> int:
+        """Total registers per thread."""
+        return (
+            self.accumulators
+            + self.prefetch
+            + self.a_operands
+            + self.b_operands
+            + self.global_trackers
+            + self.loop_bound
+            + self.shared_store_trackers
+            + self.shared_load_trackers
+        )
+
+    def fits(self, max_registers_per_thread: int) -> bool:
+        """Whether the budget fits the ISA register limit (i.e. no spills)."""
+        return self.total <= max_registers_per_thread
+
+    def as_dict(self) -> dict[str, int]:
+        """Dictionary view used by reports and tests."""
+        return {
+            "accumulators": self.accumulators,
+            "prefetch": self.prefetch,
+            "a_operands": self.a_operands,
+            "b_operands": self.b_operands,
+            "global_trackers": self.global_trackers,
+            "loop_bound": self.loop_bound,
+            "shared_store_trackers": self.shared_store_trackers,
+            "shared_load_trackers": self.shared_load_trackers,
+            "total": self.total,
+        }
+
+
+def budget_for(config: SgemmConfig) -> RegisterBudget:
+    """Register budget for an :class:`repro.model.params.SgemmConfig`.
+
+    Follows the paper's accounting: B_R² accumulators, the Equation 4 prefetch
+    registers, B_R registers for the A column, ``lds_width/32`` registers for
+    the B operands, 2 global-pointer trackers, 1 loop bound, 2 shared-store
+    trackers and 2 shared-load trackers.
+    """
+    b_r = config.register_blocking
+    prefetch = prefetch_registers(b_r, config.threads_per_block, config.stride)
+    return RegisterBudget(
+        accumulators=b_r * b_r,
+        prefetch=prefetch,
+        a_operands=b_r,
+        b_operands=config.lds_width_bits // 32,
+        global_trackers=2,
+        loop_bound=1,
+        shared_store_trackers=2,
+        shared_load_trackers=2,
+    )
+
+
+def fermi_register_budget() -> RegisterBudget:
+    """The exact budget of the paper's Fermi kernel (63 registers, no spills)."""
+    budget = budget_for(
+        SgemmConfig(register_blocking=6, lds_width_bits=64, threads_per_block=256, stride=16)
+    )
+    if budget.total != 63:
+        raise ModelError(
+            f"internal inconsistency: the Fermi budget should total 63 registers, got {budget.total}"
+        )
+    return budget

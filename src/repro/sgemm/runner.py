@@ -1,0 +1,133 @@
+"""End-to-end execution of generated SGEMM kernels on the simulator.
+
+Bundles the launch plumbing the examples and tests need: allocate the
+matrices in simulated global memory, build the kernel-parameter block the
+generator's constant-bank convention expects, launch the kernel (one block or
+a full small grid), and read back C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.specs import GpuSpec
+from repro.isa.assembler import Kernel
+from repro.sgemm.config import SgemmKernelConfig
+from repro.sgemm.generator import (
+    PARAM_A_OFFSET,
+    PARAM_B_OFFSET,
+    PARAM_C_OFFSET,
+    generate_sgemm_kernel,
+)
+from repro.sgemm.reference import expected_result, random_matrices, validate_result
+from repro.sim.gpu_sim import GpuSimulator
+from repro.sim.launch import BlockGrid
+from repro.sim.memory import GlobalMemory, KernelParams
+from repro.sim.results import SimResult
+
+
+@dataclass
+class SgemmRun:
+    """Outcome of simulating an SGEMM launch.
+
+    Attributes
+    ----------
+    config:
+        The kernel configuration that ran.
+    kernel:
+        The generated kernel.
+    result:
+        Timing/issue statistics of the simulated blocks.
+    c:
+        The computed C matrix read back from simulated global memory.
+    max_error:
+        Maximum absolute deviation from the NumPy reference.
+    """
+
+    config: SgemmKernelConfig
+    kernel: Kernel
+    result: SimResult
+    c: np.ndarray
+    max_error: float
+
+
+def build_launch(
+    config: SgemmKernelConfig,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> tuple[GlobalMemory, KernelParams, BlockGrid]:
+    """Allocate A/B/C in simulated memory and build the parameter block and grid."""
+    memory = GlobalMemory()
+    a_base = memory.allocate_array("A", np.ascontiguousarray(a, dtype=np.float32))
+    b_base = memory.allocate_array("B", np.ascontiguousarray(b, dtype=np.float32))
+    c_base = memory.allocate("C", config.m * config.n * 4)
+
+    params = KernelParams()
+    params.add_pointer("A", a_base)
+    params.add_pointer("B", b_base)
+    params.add_pointer("C", c_base)
+    if params.offset_of("A") != PARAM_A_OFFSET or params.offset_of("C") != PARAM_C_OFFSET:
+        # The generator hard-codes the constant-bank offsets; keep them in sync.
+        raise AssertionError("kernel parameter layout drifted from the generator's convention")
+
+    blocks_x, blocks_y = config.geometry.grid_for(config.m, config.n)
+    grid = BlockGrid(
+        grid_x=blocks_x, grid_y=blocks_y, block_x=config.threads_per_block, block_y=1
+    )
+    return memory, params, grid
+
+
+def run_sgemm(
+    gpu: GpuSpec,
+    config: SgemmKernelConfig,
+    *,
+    seed: int = 0,
+    blocks: list[tuple[int, int]] | None = None,
+    validate: bool = True,
+    max_cycles: int = 20_000_000,
+) -> SgemmRun:
+    """Generate, simulate and (optionally) validate an SGEMM kernel.
+
+    Parameters
+    ----------
+    gpu:
+        Machine description to simulate on.
+    config:
+        Kernel configuration (must tile the matrices exactly).
+    seed:
+        Seed for the random input matrices.
+    blocks:
+        Which blocks of the grid to simulate; ``None`` simulates all of them
+        (keep the matrices small!).  When a subset is simulated, validation
+        only checks the C tiles those blocks own.
+    validate:
+        Whether to compare against the NumPy reference.
+    """
+    kernel = generate_sgemm_kernel(config)
+    a, b = random_matrices(config, seed=seed)
+    memory, params, grid = build_launch(config, a, b)
+
+    simulator = GpuSimulator(gpu)
+    if blocks is None:
+        blocks = grid.block_indices()
+    from repro.sim.launch import LaunchConfig
+    from repro.sim.sm_sim import SmSimulator
+
+    sm = SmSimulator(gpu, kernel, global_memory=memory, params=params)
+    launch = LaunchConfig(grid=grid, functional=True, max_cycles=max_cycles)
+    result = sm.run(launch, block_indices=blocks)
+
+    c = memory.read_array("C", np.float32, (config.m, config.n))
+    max_error = 0.0
+    if validate:
+        expected = expected_result(config, a, b)
+        tile = config.geometry.block_tile
+        for bx, by in blocks:
+            rows = slice(by * tile, (by + 1) * tile)
+            cols = slice(bx * tile, (bx + 1) * tile)
+            max_error = max(
+                max_error, validate_result(c[rows, cols], expected[rows, cols])
+            )
+    return SgemmRun(config=config, kernel=kernel, result=result, c=c, max_error=max_error)

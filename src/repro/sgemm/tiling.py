@@ -1,0 +1,103 @@
+"""Tile geometry of the blocked SGEMM (paper Figure 1).
+
+A block of ``T_B`` threads (arranged as a sqrt(T_B) × sqrt(T_B) grid) computes
+a ``tile × tile`` sub-matrix of C with ``tile = sqrt(T_B) · B_R``; each thread
+owns a ``B_R × B_R`` register tile.  Along K the computation proceeds in steps
+of the stride ``L``: a ``tile × L`` slice of A and an ``L × tile`` slice of B
+are staged in shared memory per step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class TileGeometry:
+    """Resolved tile geometry for one kernel configuration.
+
+    Attributes
+    ----------
+    threads_per_block:
+        T_B, the block size.
+    thread_grid:
+        Edge of the square thread grid (sqrt(T_B)).
+    register_blocking:
+        B_R, the per-thread tile edge.
+    block_tile:
+        Edge of the per-block C tile.
+    stride:
+        L, the K-extent staged in shared memory per main-loop iteration.
+    """
+
+    threads_per_block: int
+    thread_grid: int
+    register_blocking: int
+    block_tile: int
+    stride: int
+
+    @property
+    def shared_tile_elements(self) -> int:
+        """Float32 elements in one staged A or B tile (block_tile × stride)."""
+        return self.block_tile * self.stride
+
+    @property
+    def shared_bytes_per_block(self) -> int:
+        """Shared-memory bytes for both staged tiles."""
+        return 2 * self.shared_tile_elements * 4
+
+    @property
+    def elements_per_thread_per_tile(self) -> int:
+        """Global elements each thread loads per staged tile (Eq. 3 fairness)."""
+        return self.shared_tile_elements // self.threads_per_block
+
+    def grid_for(self, m: int, n: int) -> tuple[int, int]:
+        """Grid dimensions (blocks_x, blocks_y) covering an m × n C matrix.
+
+        The generated kernels require the matrix to be an exact multiple of
+        the block tile (boundary handling is a documented simplification), so
+        this raises when it is not.
+        """
+        if m <= 0 or n <= 0:
+            raise ModelError("matrix dimensions must be positive")
+        if m % self.block_tile or n % self.block_tile:
+            raise ModelError(
+                f"matrix {m}x{n} is not a multiple of the {self.block_tile}-wide block tile"
+            )
+        return (n // self.block_tile, m // self.block_tile)
+
+    def k_iterations(self, k: int) -> int:
+        """Number of main-loop iterations for a K extent."""
+        if k <= 0 or k % self.stride:
+            raise ModelError(f"K={k} must be a positive multiple of the stride {self.stride}")
+        return k // self.stride
+
+
+def tile_geometry(
+    threads_per_block: int = 256, register_blocking: int = 6, stride: int = 16
+) -> TileGeometry:
+    """Build a :class:`TileGeometry`, validating the square-grid requirement."""
+    if threads_per_block <= 0:
+        raise ModelError("threads_per_block must be positive")
+    root = math.isqrt(threads_per_block)
+    if root * root != threads_per_block:
+        raise ModelError("threads_per_block must be a perfect square")
+    if register_blocking <= 0:
+        raise ModelError("register_blocking must be positive")
+    if stride <= 0:
+        raise ModelError("stride must be positive")
+    if (root * register_blocking * stride) % threads_per_block != 0:
+        raise ModelError(
+            "stride violates the equal-load condition (Eq. 3): "
+            f"sqrt(T_B)*B_R*L = {root * register_blocking * stride} is not a multiple of T_B"
+        )
+    return TileGeometry(
+        threads_per_block=threads_per_block,
+        thread_grid=root,
+        register_blocking=register_blocking,
+        block_tile=root * register_blocking,
+        stride=stride,
+    )

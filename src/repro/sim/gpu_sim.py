@@ -1,0 +1,187 @@
+"""GPU-level simulation: distributing blocks over SMs.
+
+Fully simulating every SM of a GPU for large grids is unnecessary for the
+paper's methodology — all SMs execute the same kernel on interchangeable
+blocks.  :class:`GpuSimulator` therefore simulates *one* SM with a
+representative set of resident blocks and extrapolates:
+
+* ``run_block`` / ``run_resident_set`` — functional + timing simulation of one
+  block or one SM's resident set (used for numerical validation and for
+  measuring the sustained main-loop throughput of SGEMM kernels);
+* ``estimate_grid_time`` — classic wave-based extrapolation: the grid is
+  executed in ``ceil(blocks / (SMs * blocks_per_SM))`` waves, each costing the
+  simulated per-resident-set time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.occupancy import OccupancyCalculator
+from repro.arch.specs import GpuSpec
+from repro.errors import SimulationError
+from repro.isa.assembler import Kernel
+from repro.sim.launch import BlockGrid, LaunchConfig
+from repro.sim.memory import GlobalMemory, KernelParams
+from repro.sim.results import SimResult
+from repro.sim.sm_sim import SmSimulator
+
+
+@dataclass(frozen=True)
+class GridEstimate:
+    """Extrapolated execution estimate for a full grid.
+
+    Attributes
+    ----------
+    resident_result:
+        The simulated result for one SM's resident set of blocks.
+    blocks_per_sm:
+        Number of blocks resident per SM (from the occupancy calculator).
+    waves:
+        Number of waves needed to run the whole grid.
+    total_cycles:
+        Estimated shader cycles for the full grid.
+    total_seconds:
+        Estimated wall-clock seconds for the full grid.
+    gflops:
+        Estimated achieved GFLOPS for the full grid, based on the useful
+        flops supplied by the caller (or the simulated flops if not given).
+    """
+
+    resident_result: SimResult
+    blocks_per_sm: int
+    waves: int
+    total_cycles: float
+    total_seconds: float
+    gflops: float
+
+
+def simulate_kernel(
+    gpu: GpuSpec,
+    kernel: Kernel,
+    grid: BlockGrid,
+    *,
+    global_memory: GlobalMemory | None = None,
+    params: KernelParams | None = None,
+    functional: bool = True,
+    max_cycles: int = 5_000_000,
+) -> SimResult:
+    """Convenience wrapper: simulate all blocks of ``grid`` on one SM.
+
+    Suitable for small functional-validation runs and micro-benchmarks where
+    the grid fits on (or is intended for) a single SM.
+    """
+    simulator = SmSimulator(gpu, kernel, global_memory=global_memory, params=params)
+    config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
+    return simulator.run(config)
+
+
+class GpuSimulator:
+    """Simulates kernel launches on a whole GPU by extrapolating from one SM."""
+
+    def __init__(self, gpu: GpuSpec) -> None:
+        self._gpu = gpu
+        self._occupancy = OccupancyCalculator(gpu)
+
+    @property
+    def gpu(self) -> GpuSpec:
+        """Machine description used by this simulator."""
+        return self._gpu
+
+    def run_block(
+        self,
+        kernel: Kernel,
+        grid: BlockGrid,
+        block_idx: tuple[int, int] = (0, 0),
+        *,
+        global_memory: GlobalMemory | None = None,
+        params: KernelParams | None = None,
+        functional: bool = True,
+        max_cycles: int = 5_000_000,
+    ) -> SimResult:
+        """Simulate a single block of a launch (functional validation entry point)."""
+        simulator = SmSimulator(self._gpu, kernel, global_memory=global_memory, params=params)
+        config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
+        return simulator.run(config, block_indices=[block_idx])
+
+    def run_resident_set(
+        self,
+        kernel: Kernel,
+        grid: BlockGrid,
+        *,
+        registers_per_thread: int | None = None,
+        global_memory: GlobalMemory | None = None,
+        params: KernelParams | None = None,
+        functional: bool = True,
+        max_cycles: int = 5_000_000,
+        blocks_per_sm: int | None = None,
+    ) -> tuple[SimResult, int]:
+        """Simulate one SM running its full resident set of blocks.
+
+        Returns the result and the number of resident blocks used.  The
+        resident-block count comes from the occupancy calculator unless
+        explicitly overridden.
+        """
+        if blocks_per_sm is None:
+            registers = registers_per_thread or max(kernel.register_count, 1)
+            occupancy = self._occupancy.resolve(
+                threads_per_block=grid.threads_per_block,
+                registers_per_thread=registers,
+                shared_memory_per_block=kernel.shared_memory_bytes,
+            )
+            blocks_per_sm = occupancy.active_blocks
+        blocks_per_sm = max(1, min(blocks_per_sm, grid.block_count))
+        block_indices = grid.block_indices()[:blocks_per_sm]
+        simulator = SmSimulator(self._gpu, kernel, global_memory=global_memory, params=params)
+        config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
+        result = simulator.run(config, block_indices=block_indices)
+        return result, blocks_per_sm
+
+    def estimate_grid_time(
+        self,
+        kernel: Kernel,
+        grid: BlockGrid,
+        *,
+        useful_flops: float | None = None,
+        registers_per_thread: int | None = None,
+        global_memory: GlobalMemory | None = None,
+        params: KernelParams | None = None,
+        functional: bool = True,
+        max_cycles: int = 5_000_000,
+    ) -> GridEstimate:
+        """Estimate full-grid execution by simulating one resident set per wave.
+
+        Parameters
+        ----------
+        useful_flops:
+            The algorithm's useful floating-point work (e.g. ``2*M*N*K`` for
+            SGEMM).  When omitted, the simulated flop count scaled by the
+            number of blocks is used.
+        """
+        resident_result, blocks_per_sm = self.run_resident_set(
+            kernel,
+            grid,
+            registers_per_thread=registers_per_thread,
+            global_memory=global_memory,
+            params=params,
+            functional=functional,
+            max_cycles=max_cycles,
+        )
+        blocks_per_wave = blocks_per_sm * self._gpu.sm_count
+        waves = -(-grid.block_count // blocks_per_wave)
+        if waves <= 0:
+            raise SimulationError("grid has no blocks")
+        total_cycles = resident_result.cycles * waves
+        total_seconds = self._gpu.clocks.cycles_to_seconds(total_cycles)
+        if useful_flops is None:
+            per_block_flops = resident_result.flops / max(resident_result.blocks_simulated, 1)
+            useful_flops = per_block_flops * grid.block_count
+        gflops = useful_flops / total_seconds / 1e9 if total_seconds > 0 else 0.0
+        return GridEstimate(
+            resident_result=resident_result,
+            blocks_per_sm=blocks_per_sm,
+            waves=waves,
+            total_cycles=total_cycles,
+            total_seconds=total_seconds,
+            gflops=gflops,
+        )

@@ -1,0 +1,167 @@
+"""Global memory and kernel-parameter storage for the simulator.
+
+Global memory is a flat byte-addressable array backed by NumPy.  Host code
+allocates named buffers (matrices A, B, C for SGEMM), obtains their base
+addresses, passes them to the kernel through the constant bank
+(:class:`KernelParams`), and reads results back after simulation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class GlobalMemory:
+    """Flat simulated device memory.
+
+    Parameters
+    ----------
+    size_bytes:
+        Capacity of the simulated device memory.  Allocations are carved out
+        of this space with 256-byte alignment (matching CUDA's allocation
+        granularity closely enough for coalescing analysis).
+    """
+
+    ALIGNMENT = 256
+
+    def __init__(self, size_bytes: int = 256 * 1024 * 1024) -> None:
+        if size_bytes <= 0:
+            raise SimulationError("global memory size must be positive")
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+        self._next_free = self.ALIGNMENT  # keep address 0 unused (null)
+        self._allocations: dict[str, tuple[int, int]] = {}
+
+    @property
+    def size_bytes(self) -> int:
+        """Capacity of the simulated memory."""
+        return int(self._data.size)
+
+    @property
+    def data(self) -> np.ndarray:
+        """Raw byte array (read-only view for inspection)."""
+        return self._data
+
+    def allocate(self, name: str, size_bytes: int) -> int:
+        """Allocate ``size_bytes`` under ``name`` and return the base address."""
+        if size_bytes <= 0:
+            raise SimulationError("allocation size must be positive")
+        if name in self._allocations:
+            raise SimulationError(f"buffer '{name}' already allocated")
+        base = self._next_free
+        end = base + size_bytes
+        if end > self.size_bytes:
+            raise SimulationError(
+                f"out of simulated device memory allocating '{name}' ({size_bytes} bytes)"
+            )
+        aligned_end = -(-end // self.ALIGNMENT) * self.ALIGNMENT
+        self._next_free = aligned_end
+        self._allocations[name] = (base, size_bytes)
+        return base
+
+    def allocate_array(self, name: str, array: np.ndarray) -> int:
+        """Allocate a buffer sized/initialised from ``array`` (float32/int32/uint8)."""
+        flat = np.ascontiguousarray(array)
+        base = self.allocate(name, flat.nbytes)
+        self._data[base : base + flat.nbytes] = flat.view(np.uint8).reshape(-1)
+        return base
+
+    def address_of(self, name: str) -> int:
+        """Base address of a named allocation."""
+        if name not in self._allocations:
+            raise SimulationError(f"unknown buffer '{name}'")
+        return self._allocations[name][0]
+
+    def read_array(self, name: str, dtype: np.dtype, shape: tuple[int, ...]) -> np.ndarray:
+        """Read a named allocation back as a typed array."""
+        if name not in self._allocations:
+            raise SimulationError(f"unknown buffer '{name}'")
+        base, size = self._allocations[name]
+        wanted = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if wanted > size:
+            raise SimulationError(
+                f"requested {wanted} bytes from buffer '{name}' of size {size}"
+            )
+        raw = self._data[base : base + wanted]
+        return raw.view(dtype).reshape(shape).copy()
+
+    # ------------------------------------------------------------------ #
+    # Word-level accessors used by the functional executor.               #
+    # ------------------------------------------------------------------ #
+
+    def load_words(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather one 32-bit word per lane from ``addresses`` (masked lanes read 0)."""
+        result = np.zeros(addresses.shape, dtype=np.uint32)
+        active = np.flatnonzero(mask)
+        for lane in active:
+            address = int(addresses[lane])
+            if address < 0 or address + 4 > self.size_bytes:
+                raise SimulationError(f"global load out of bounds at {address:#x}")
+            result[lane] = self._data[address : address + 4].view(np.uint32)[0]
+        return result
+
+    def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """Scatter one 32-bit word per lane to ``addresses`` (masked lanes skipped)."""
+        active = np.flatnonzero(mask)
+        for lane in active:
+            address = int(addresses[lane])
+            if address < 0 or address + 4 > self.size_bytes:
+                raise SimulationError(f"global store out of bounds at {address:#x}")
+            self._data[address : address + 4] = (
+                np.array([values[lane]], dtype=np.uint32).view(np.uint8)
+            )
+
+
+class KernelParams:
+    """Kernel parameter block exposed to kernels as constant bank 0.
+
+    Parameters are appended in order with :meth:`add_pointer`, :meth:`add_int`
+    and :meth:`add_float`; each returns the byte offset at which the kernel
+    will find the value (``c[0x0][offset]``).  The paper's kernels pass the
+    matrix base addresses, the leading dimensions and the matrix sizes this
+    way, mirroring the CUDA ABI's parameter space.
+    """
+
+    BASE_OFFSET = 0x20  # mimic the CUDA ABI: launch bookkeeping occupies the first words
+
+    def __init__(self) -> None:
+        self._blob = bytearray(self.BASE_OFFSET)
+        self._offsets: dict[str, int] = {}
+
+    def _append(self, name: str, packed: bytes) -> int:
+        offset = len(self._blob)
+        self._blob.extend(packed)
+        self._offsets[name] = offset
+        return offset
+
+    def add_pointer(self, name: str, address: int) -> int:
+        """Append a 32-bit device pointer parameter (the paper uses 32-bit addressing)."""
+        if address < 0 or address >= 2**32:
+            raise SimulationError("pointer parameters must fit in 32 bits")
+        return self._append(name, struct.pack("<I", address))
+
+    def add_int(self, name: str, value: int) -> int:
+        """Append a signed 32-bit integer parameter."""
+        return self._append(name, struct.pack("<i", int(value)))
+
+    def add_float(self, name: str, value: float) -> int:
+        """Append a 32-bit float parameter."""
+        return self._append(name, struct.pack("<f", float(value)))
+
+    def offset_of(self, name: str) -> int:
+        """Byte offset of a named parameter within constant bank 0."""
+        if name not in self._offsets:
+            raise SimulationError(f"unknown kernel parameter '{name}'")
+        return self._offsets[name]
+
+    def read_word(self, offset: int) -> int:
+        """Read the 32-bit word at ``offset`` (used by the functional executor)."""
+        if offset < 0 or offset + 4 > len(self._blob):
+            raise SimulationError(f"constant-bank read out of bounds at offset {offset:#x}")
+        return struct.unpack_from("<I", self._blob, offset)[0]
+
+    def __len__(self) -> int:
+        return len(self._blob)

@@ -1,0 +1,129 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.specs import GpuSpec
+
+
+@dataclass
+class StallBreakdown:
+    """Counts of cycles in which a warp wanted to issue but could not.
+
+    Attributes are warp-cycle counts (one warp stalled for one cycle adds one),
+    so they measure pressure rather than wall-clock loss.
+    """
+
+    scoreboard: int = 0
+    issue_bandwidth: int = 0
+    sp_pipe: int = 0
+    ldst_pipe: int = 0
+    barrier: int = 0
+    memory: int = 0
+    control_notation: int = 0
+
+    def total(self) -> int:
+        """Sum of all stall reasons."""
+        return (
+            self.scoreboard
+            + self.issue_bandwidth
+            + self.sp_pipe
+            + self.ldst_pipe
+            + self.barrier
+            + self.memory
+            + self.control_notation
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Dictionary view used by reports and benchmarks."""
+        return {
+            "scoreboard": self.scoreboard,
+            "issue_bandwidth": self.issue_bandwidth,
+            "sp_pipe": self.sp_pipe,
+            "ldst_pipe": self.ldst_pipe,
+            "barrier": self.barrier,
+            "memory": self.memory,
+            "control_notation": self.control_notation,
+        }
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating a kernel launch (or a slice of one) on one SM.
+
+    Attributes
+    ----------
+    cycles:
+        Shader cycles elapsed on the simulated SM.
+    thread_instructions:
+        Thread instructions issued (warp instructions × 32).
+    warp_instructions:
+        Warp instructions issued.
+    ffma_thread_instructions:
+        Thread instructions that were FFMA.
+    flops:
+        Floating-point operations performed (FFMA counts as 2 per thread).
+    instruction_histogram:
+        Issued warp-instruction counts per mnemonic.
+    stalls:
+        Stall pressure breakdown.
+    warps_simulated:
+        Number of warps that ran on the SM.
+    blocks_simulated:
+        Number of blocks that ran on the SM.
+    """
+
+    cycles: float
+    thread_instructions: int
+    warp_instructions: int
+    ffma_thread_instructions: int
+    flops: int
+    instruction_histogram: dict[str, int] = field(default_factory=dict)
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    warps_simulated: int = 0
+    blocks_simulated: int = 0
+
+    @property
+    def instructions_per_cycle(self) -> float:
+        """Thread instructions issued per shader cycle on this SM."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.thread_instructions / self.cycles
+
+    @property
+    def ffma_per_cycle(self) -> float:
+        """FFMA thread instructions issued per shader cycle on this SM."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.ffma_thread_instructions / self.cycles
+
+    @property
+    def ffma_fraction(self) -> float:
+        """Dynamic fraction of issued thread instructions that were FFMA."""
+        if self.thread_instructions == 0:
+            return 0.0
+        return self.ffma_thread_instructions / self.thread_instructions
+
+    def gflops(self, gpu: GpuSpec, sm_count: int | None = None) -> float:
+        """GFLOPS implied by this SM's sustained rate, scaled to ``sm_count`` SMs.
+
+        Parameters
+        ----------
+        gpu:
+            Machine description providing the shader clock.
+        sm_count:
+            Number of SMs to scale to; defaults to the whole GPU.
+        """
+        if self.cycles <= 0:
+            return 0.0
+        sms = gpu.sm_count if sm_count is None else sm_count
+        flops_per_cycle_per_sm = self.flops / self.cycles
+        return flops_per_cycle_per_sm * sms * gpu.clocks.shader_mhz / 1000.0
+
+    def efficiency(self, gpu: GpuSpec) -> float:
+        """Achieved fraction of the GPU's theoretical single-precision peak."""
+        peak = gpu.theoretical_peak_gflops
+        if peak <= 0:
+            return 0.0
+        return self.gflops(gpu) / peak

@@ -1,0 +1,401 @@
+"""Cycle-level simulation of one streaming multiprocessor.
+
+The SM simulator holds the warps of the blocks resident on one SM and advances
+a shader-cycle loop.  Every cycle it walks the warps in a rotating (loose
+round-robin) order and issues at most one instruction per warp, subject to:
+
+* the per-cycle issue budget (thread instructions per cycle),
+* a cap on warp instructions issued per cycle (number of warp schedulers),
+* SP / LD-ST pipe availability,
+* scoreboard readiness of the source and destination registers,
+* barrier state,
+* Kepler control-notation stall hints.
+
+Functional execution happens at issue time (dependences are already honoured
+by the scoreboard), so the simulator doubles as an architectural emulator for
+validating SGEMM numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.specs import GpuGeneration, GpuSpec
+from repro.errors import SimulationError
+from repro.isa.assembler import Kernel
+from repro.isa.instructions import Instruction, Opcode
+from repro.sim.functional import FunctionalExecutor, SharedMemoryArray
+from repro.sim.launch import LaunchConfig
+from repro.sim.memory import GlobalMemory, KernelParams
+from repro.sim.pipelines import CostModel, PipelineState
+from repro.sim.results import SimResult, StallBreakdown
+from repro.sim.warp import WarpState, build_warps_for_block
+
+#: Issue-efficiency derating applied to the ideal throughput model.  Real SMs
+#: lose a few percent of issue slots to instruction-fetch bubbles, dual-issue
+#: restrictions and operand-collector arbitration; the paper's measured mixed
+#: throughputs (e.g. 30.4 of 32 on Fermi at FFMA:LDS.64 = 6:1, 122.4 of 132 on
+#: Kepler) sit a few percent under the analytic limits.  A single scalar per
+#: generation captures that gap.
+ISSUE_EFFICIENCY = {
+    GpuGeneration.GT200: 0.97,
+    GpuGeneration.FERMI: 0.965,
+    GpuGeneration.KEPLER: 0.93,
+}
+
+
+@dataclass
+class _BlockContext:
+    """Per-block bookkeeping: shared memory and barrier state."""
+
+    block_id: int
+    shared_memory: SharedMemoryArray
+    warps: list[WarpState] = field(default_factory=list)
+
+    def barrier_complete(self) -> bool:
+        """Whether every unfinished warp of the block has reached the barrier."""
+        waiting = [w for w in self.warps if not w.finished]
+        return all(w.at_barrier for w in waiting) and bool(waiting)
+
+    def release_barrier(self) -> None:
+        """Release all warps parked at the barrier."""
+        for warp in self.warps:
+            warp.at_barrier = False
+
+
+class SmSimulator:
+    """Simulates the warps resident on a single SM executing one kernel."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        kernel: Kernel,
+        *,
+        global_memory: GlobalMemory | None = None,
+        params: KernelParams | None = None,
+    ) -> None:
+        self._gpu = gpu
+        self._kernel = kernel
+        self._global_memory = global_memory
+        self._params = params
+        self._cost_model = CostModel(gpu)
+        self._issue_efficiency = ISSUE_EFFICIENCY.get(gpu.generation, 0.96)
+
+    @property
+    def gpu(self) -> GpuSpec:
+        """Machine description used by this simulator."""
+        return self._gpu
+
+    @property
+    def kernel(self) -> Kernel:
+        """Kernel being simulated."""
+        return self._kernel
+
+    @property
+    def cost_model(self) -> CostModel:
+        """Cost model used for timing."""
+        return self._cost_model
+
+    # ------------------------------------------------------------------ #
+    # Launch preparation.                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _build_blocks(self, config: LaunchConfig, block_indices: list[tuple[int, int]]) -> list[_BlockContext]:
+        shared_bytes = self._kernel.shared_memory_bytes + config.shared_memory_bytes
+        blocks: list[_BlockContext] = []
+        warp_id = 0
+        for block_id, block_idx in enumerate(block_indices):
+            context = _BlockContext(
+                block_id=block_id,
+                shared_memory=SharedMemoryArray(shared_bytes),
+            )
+            context.warps = build_warps_for_block(
+                block_id=block_id,
+                block_idx=block_idx,
+                block_dim=(config.grid.block_x, config.grid.block_y),
+                first_warp_id=warp_id,
+            )
+            warp_id += len(context.warps)
+            blocks.append(context)
+        return blocks
+
+    def _shared_memory_replays(
+        self, warp: WarpState, instruction: Instruction, block: _BlockContext
+    ) -> int:
+        """Bank-conflict replay count for a shared-memory access (1 = conflict-free)."""
+        operand = instruction.memory_operand
+        if operand is None:
+            return 1
+        base = warp.read_u32(operand.base.index).astype(np.int64) + operand.offset
+        mask = warp.active_mask
+        addresses = [int(a) for a in base[mask]]
+        if not addresses:
+            return 1
+        return self._gpu.shared_memory.conflict_degree(addresses, access_bytes=instruction.width // 8)
+
+    # ------------------------------------------------------------------ #
+    # Main loop.                                                           #
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        config: LaunchConfig,
+        block_indices: list[tuple[int, int]] | None = None,
+    ) -> SimResult:
+        """Simulate the given blocks (default: all blocks of the grid) on this SM.
+
+        Parameters
+        ----------
+        config:
+            Launch configuration (grid geometry, functional flag, cycle cap).
+        block_indices:
+            The (blockIdx.x, blockIdx.y) pairs resident on this SM.  Pass a
+            subset to model one SM's share of a larger grid.
+
+        Returns
+        -------
+        SimResult
+            Cycle count, instruction counts and stall pressure for this SM.
+        """
+        if block_indices is None:
+            block_indices = config.grid.block_indices()
+        if not block_indices:
+            raise SimulationError("no blocks to simulate")
+
+        blocks = self._build_blocks(config, block_indices)
+        executor = FunctionalExecutor(
+            self._global_memory,
+            self._params,
+            block_dim=(config.grid.block_x, config.grid.block_y),
+            grid_dim=(config.grid.grid_x, config.grid.grid_y),
+        )
+        instructions = self._kernel.instructions
+        instruction_count = len(instructions)
+        if instruction_count == 0:
+            raise SimulationError("cannot simulate an empty kernel")
+
+        all_warps: list[WarpState] = [warp for block in blocks for warp in block.warps]
+        block_of_warp: dict[int, _BlockContext] = {}
+        for block in blocks:
+            for warp in block.warps:
+                block_of_warp[warp.warp_id] = block
+
+        pipes = PipelineState()
+        stalls = StallBreakdown()
+        histogram: dict[str, int] = {}
+        warp_instructions = 0
+        thread_instructions = 0
+        ffma_thread_instructions = 0
+        flops = 0
+        memory_bytes_in_flight = 0.0
+
+        issue_capacity = self._cost_model.issue_capacity_per_cycle * self._issue_efficiency
+        max_warp_issues_per_cycle = max(1, self._gpu.sm.warp_schedulers)
+        if self._gpu.generation is GpuGeneration.KEPLER:
+            # Each Kepler scheduler has two dispatch units; allow dual issue.
+            max_warp_issues_per_cycle = self._gpu.sm.dispatch_units
+        # Token-bucket issue model: fractional per-cycle budget carries over so
+        # that capacities slightly below a warp-instruction cost (e.g. 30.9
+        # thread instructions per cycle on Fermi) still sustain the right
+        # long-run rate instead of deadlocking.
+        issue_tokens = 0.0
+        issue_token_cap = max(issue_capacity * 2.0, 64.0)
+
+        # Per-SM share of global memory bandwidth, in bytes per shader cycle.
+        bandwidth_bytes_per_cycle = (
+            self._gpu.global_memory_bandwidth_gbs
+            * 1e9
+            / (self._gpu.clocks.shader_mhz * 1e6)
+            / self._gpu.sm_count
+        )
+
+        cycle = 0.0
+        rotation = 0
+        unfinished = len(all_warps)
+        while unfinished > 0:
+            if cycle > config.max_cycles:
+                states = ", ".join(
+                    f"w{w.warp_id}@pc={w.pc}"
+                    f"{'/fin' if w.finished else ''}{'/bar' if w.at_barrier else ''}"
+                    f"/rdy={w.ready_cycle:.0f}"
+                    for w in all_warps
+                )
+                raise SimulationError(
+                    f"simulation exceeded {config.max_cycles} cycles; the kernel may not "
+                    f"terminate (issued {warp_instructions} warp instructions; "
+                    f"stalls={stalls.as_dict()}; warps: {states})"
+                )
+            issue_tokens = min(issue_tokens + issue_capacity, issue_token_cap)
+            warp_issues = 0
+            progress = False
+
+            order = range(len(all_warps))
+            for offset in order:
+                if issue_tokens < 32.0 or warp_issues >= max_warp_issues_per_cycle:
+                    break
+                warp = all_warps[(offset + rotation) % len(all_warps)]
+                if warp.finished:
+                    continue
+                if warp.at_barrier:
+                    stalls.barrier += 1
+                    continue
+                if not warp.can_issue(cycle):
+                    stalls.control_notation += 1
+                    continue
+                if warp.pc >= instruction_count:
+                    warp.finished = True
+                    unfinished -= 1
+                    continue
+                instruction = instructions[warp.pc]
+
+                # Scoreboard: sources and (for wide loads) destination pairs must be ready.
+                source_indices = tuple(r.index for r in instruction.registers_read)
+                dest_indices = tuple(r.index for r in instruction.registers_written)
+                if not warp.registers_ready(source_indices + dest_indices, cycle):
+                    stalls.scoreboard += 1
+                    continue
+
+                # Pipe availability.
+                if instruction.is_math and not pipes.sp_available(cycle):
+                    stalls.sp_pipe += 1
+                    continue
+                if instruction.is_memory and not pipes.ldst_available(cycle):
+                    stalls.ldst_pipe += 1
+                    continue
+
+                smem_replays = 1
+                if instruction.is_memory and instruction.memory_space is not None:
+                    if instruction.is_shared_load or instruction.is_shared_store:
+                        if config.functional:
+                            block = block_of_warp[warp.warp_id]
+                            smem_replays = self._shared_memory_replays(warp, instruction, block)
+
+                issue_cost = self._cost_model.issue_cost_threads(instruction, smem_replays)
+                if issue_cost > issue_tokens:
+                    stalls.issue_bandwidth += 1
+                    continue
+
+                # --- The instruction issues. ---
+                block = block_of_warp[warp.warp_id]
+                if config.functional:
+                    executor.execute(warp, instruction, block.shared_memory)
+
+                issue_tokens -= issue_cost
+                warp_issues += 1
+                progress = True
+                warp_instructions += 1
+                thread_instructions += 32
+                histogram[instruction.mnemonic] = histogram.get(instruction.mnemonic, 0) + 1
+                if instruction.is_ffma:
+                    ffma_thread_instructions += 32
+                flops += instruction.flop_count * 32
+
+                latency = self._cost_model.result_latency(instruction)
+                if instruction.is_math:
+                    pipes.occupy_sp(cycle, self._cost_model.sp_cost_cycles(instruction))
+                if instruction.is_memory:
+                    pipes.occupy_ldst(cycle, self._cost_model.ldst_cost_cycles(instruction, smem_replays))
+                    bytes_moved = self._cost_model.global_memory_bytes(instruction)
+                    if bytes_moved:
+                        memory_bytes_in_flight += bytes_moved
+                        # Bandwidth queueing delay added to the load latency.
+                        queue_delay = memory_bytes_in_flight / max(bandwidth_bytes_per_cycle, 1e-9)
+                        latency += min(queue_delay, 2000.0)
+                        memory_bytes_in_flight *= 0.95  # drain the queue model geometrically
+
+                warp.mark_written(dest_indices, cycle + latency)
+
+                # Control notation / static stall hints (Kepler).
+                notation = self._kernel.control_notation_for(warp.pc)
+                if notation is not None:
+                    slot = warp.pc % 7
+                    warp.ready_cycle = cycle + 1 + notation.stall_cycles(slot) * 0.5
+                else:
+                    warp.ready_cycle = cycle + 1
+
+                # Control flow.
+                if instruction.opcode is Opcode.EXIT:
+                    mask = warp.active_mask & warp.read_predicate(
+                        instruction.predicate.index, instruction.predicate_negated
+                    )
+                    if mask.any() or not config.functional:
+                        warp.finished = True
+                        unfinished -= 1
+                    else:
+                        warp.pc += 1
+                    continue
+                if instruction.opcode is Opcode.BAR:
+                    warp.at_barrier = True
+                    warp.pc += 1
+                    if block.barrier_complete():
+                        block.release_barrier()
+                    continue
+                if instruction.opcode is Opcode.BRA:
+                    taken = self._branch_taken(warp, instruction, config.functional)
+                    if taken:
+                        target = self._kernel.branch_targets[warp.pc]
+                        warp.pc = target
+                    else:
+                        warp.pc += 1
+                    continue
+                warp.pc += 1
+
+            # Release barriers whose blocks completed this cycle (e.g. when the
+            # last warp parked itself above after the check).
+            for block in blocks:
+                if any(w.at_barrier for w in block.warps) and block.barrier_complete():
+                    block.release_barrier()
+
+            rotation += 1
+            cycle += 1.0
+            if not progress:
+                # Jump ahead to the next interesting event instead of burning cycles.
+                next_ready = min(
+                    (
+                        max(w.ready_cycle, float(np.min(w.register_ready[w.register_ready > cycle])) if (w.register_ready > cycle).any() else w.ready_cycle)
+                        for w in all_warps
+                        if not w.finished and not w.at_barrier
+                    ),
+                    default=cycle,
+                )
+                if next_ready > cycle:
+                    cycle = float(np.ceil(next_ready))
+
+        return SimResult(
+            cycles=cycle,
+            thread_instructions=thread_instructions,
+            warp_instructions=warp_instructions,
+            ffma_thread_instructions=ffma_thread_instructions,
+            flops=flops,
+            instruction_histogram=histogram,
+            stalls=stalls,
+            warps_simulated=len(all_warps),
+            blocks_simulated=len(blocks),
+        )
+
+    def _branch_taken(self, warp: WarpState, instruction: Instruction, functional: bool) -> bool:
+        """Resolve a (possibly guarded) branch.
+
+        Divergent branches are not modelled — SGEMM's loop branches are uniform
+        across a warp; a divergent branch raises so mistakes are loud.
+        """
+        if not functional:
+            # Timing-only runs cannot evaluate predicates; treat backwards
+            # branches as not-taken to guarantee termination.
+            return False
+        if instruction.predicate.is_true and not instruction.predicate_negated:
+            return True
+        mask = warp.active_mask
+        values = warp.read_predicate(instruction.predicate.index, instruction.predicate_negated)
+        active_values = values[mask]
+        if active_values.size == 0:
+            return False
+        if active_values.all():
+            return True
+        if not active_values.any():
+            return False
+        raise SimulationError(
+            "divergent branch encountered; the simulator only supports warp-uniform branches"
+        )

@@ -1,0 +1,91 @@
+"""Tests for the occupancy calculator (paper Equation 1 and Equation 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import OccupancyCalculator
+from repro.errors import ResourceLimitError
+
+
+class TestPaperOperatingPoints:
+    """The occupancy numbers the paper quotes for its SGEMM configuration."""
+
+    def test_fermi_sgemm_occupancy(self, fermi):
+        # 63 registers/thread, 256-thread blocks, 12 KB shared memory per block
+        # → 2 blocks = 512 active threads (Section 4.5).
+        result = OccupancyCalculator(fermi).resolve(256, 63, 2 * 96 * 16 * 4)
+        assert result.active_blocks == 2
+        assert result.active_threads == 512
+        assert result.limiter == "registers"
+
+    def test_kepler_sgemm_occupancy(self, kepler):
+        # 64K registers per SM support 1024 active threads at 63 registers each.
+        result = OccupancyCalculator(kepler).resolve(256, 63, 2 * 96 * 16 * 4)
+        assert result.active_threads == 1024
+        assert result.active_blocks == 4
+
+    def test_kepler_1024_thread_blocks(self, kepler):
+        result = OccupancyCalculator(kepler).resolve(1024, 63, 2 * 96 * 16 * 4)
+        assert result.active_threads == 1024
+        assert result.active_blocks == 1
+
+
+class TestLimiters:
+    def test_shared_memory_limited(self, fermi):
+        result = OccupancyCalculator(fermi).resolve(64, 20, 24 * 1024)
+        assert result.limiter == "shared_memory"
+        assert result.active_blocks == 2
+
+    def test_thread_limited(self, fermi):
+        result = OccupancyCalculator(fermi).resolve(512, 16, 0)
+        assert result.limiter in ("threads", "warps")
+        assert result.active_threads <= fermi.sm.max_threads
+
+    def test_block_limited(self, fermi):
+        result = OccupancyCalculator(fermi).resolve(32, 10, 16)
+        assert result.active_blocks <= fermi.sm.max_blocks
+
+
+class TestRejections:
+    def test_register_limit_exceeded(self, fermi):
+        with pytest.raises(ResourceLimitError):
+            OccupancyCalculator(fermi).resolve(256, 64, 0)
+
+    def test_block_too_large(self, fermi):
+        with pytest.raises(ResourceLimitError):
+            OccupancyCalculator(fermi).resolve(2048, 32, 0)
+
+    def test_shared_memory_too_large(self, fermi):
+        with pytest.raises(ResourceLimitError):
+            OccupancyCalculator(fermi).resolve(256, 32, 64 * 1024)
+
+    def test_zero_threads_rejected(self, fermi):
+        with pytest.raises(ResourceLimitError):
+            OccupancyCalculator(fermi).resolve(0, 32, 0)
+
+
+class TestInvariants:
+    @given(
+        threads=st.sampled_from([64, 128, 256, 512]),
+        registers=st.integers(min_value=16, max_value=63),
+        shared=st.sampled_from([0, 4096, 12288, 24576]),
+    )
+    def test_resources_never_exceeded(self, fermi, threads, registers, shared):
+        try:
+            result = OccupancyCalculator(fermi).resolve(threads, registers, shared)
+        except ResourceLimitError:
+            return
+        assert result.active_threads * registers <= fermi.register_file.registers_per_sm
+        assert result.active_blocks * shared <= fermi.shared_memory.size_bytes
+        assert result.active_threads <= fermi.sm.max_threads
+        assert result.active_blocks <= fermi.sm.max_blocks
+        assert result.active_warps <= fermi.sm.max_warps
+
+    @given(registers=st.integers(min_value=16, max_value=63))
+    def test_equation1_register_side(self, kepler, registers):
+        calculator = OccupancyCalculator(kepler)
+        threads = calculator.active_threads_for_registers(registers)
+        assert threads * registers <= kepler.register_file.registers_per_sm
+        assert (threads + 1) * registers > kepler.register_file.registers_per_sm

@@ -1,0 +1,80 @@
+"""Tests for the shared-memory bank model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.shared_memory import SharedMemorySpec
+from repro.errors import ArchitectureError
+
+
+class TestBankMapping:
+    def test_consecutive_words_hit_different_banks(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        banks = {spec.bank_of(4 * i) for i in range(32)}
+        assert len(banks) == 32
+
+    def test_bank_wraps_after_32_words(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        assert spec.bank_of(0) == spec.bank_of(32 * 4)
+
+    def test_negative_address_rejected(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        with pytest.raises(ArchitectureError):
+            spec.bank_of(-4)
+
+
+class TestConflictDegree:
+    def test_unit_stride_is_conflict_free(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        addresses = [4 * lane for lane in range(32)]
+        assert spec.conflict_degree(addresses) == 1
+
+    def test_broadcast_is_conflict_free(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        assert spec.conflict_degree([128] * 32) == 1
+
+    def test_stride_two_words_gives_two_way_conflict(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        addresses = [8 * lane for lane in range(32)]
+        assert spec.conflict_degree(addresses) == 2
+
+    def test_same_bank_different_words_is_worst_case(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        addresses = [128 * lane for lane in range(32)]
+        assert spec.conflict_degree(addresses) == 32
+
+    def test_lds128_on_fermi_style_banks_conflicts(self):
+        # 16-byte accesses at unit stride serialise on 4-byte-banked memory.
+        spec = SharedMemorySpec(size_bytes=48 * 1024, bank_width_bytes=4)
+        addresses = [16 * lane for lane in range(32)]
+        assert spec.conflict_degree(addresses, access_bytes=16) >= 2
+
+    def test_invalid_access_width_rejected(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        with pytest.raises(ArchitectureError):
+            spec.conflict_degree([0], access_bytes=12)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4092), min_size=1, max_size=32))
+    def test_degree_bounds(self, raw):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        addresses = [a & ~3 for a in raw]
+        degree = spec.conflict_degree(addresses)
+        assert 1 <= degree <= 32
+
+
+class TestCapacity:
+    def test_fits(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        assert spec.fits(48 * 1024)
+        assert not spec.fits(48 * 1024 + 1)
+
+    def test_max_blocks_for_allocation(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        # The paper's SGEMM tiles: 2 * 96 * 16 * 4 = 12288 bytes per block.
+        assert spec.max_blocks_for_allocation(12288) == 4
+
+    def test_zero_allocation_is_unbounded(self):
+        spec = SharedMemorySpec(size_bytes=48 * 1024)
+        assert spec.max_blocks_for_allocation(0) > 1_000_000

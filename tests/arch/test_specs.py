@@ -1,0 +1,152 @@
+"""Tests for the GPU machine descriptions (paper Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    GpuGeneration,
+    architecture_evolution_table,
+    get_gpu_spec,
+)
+from repro.arch.specs import GPU_SPECS
+from repro.errors import ArchitectureError
+
+
+class TestTable1Values:
+    """The shipped descriptions must match the paper's Table 1."""
+
+    def test_core_clocks(self, gt200, fermi, kepler):
+        assert gt200.clocks.core_mhz == pytest.approx(602.0)
+        assert fermi.clocks.core_mhz == pytest.approx(772.0)
+        assert kepler.clocks.core_mhz == pytest.approx(1006.0)
+
+    def test_shader_clocks(self, gt200, fermi, kepler):
+        assert gt200.clocks.shader_mhz == pytest.approx(1296.0)
+        assert fermi.clocks.shader_mhz == pytest.approx(1544.0)
+        assert kepler.clocks.shader_mhz == pytest.approx(1006.0)
+
+    def test_kepler_has_no_separate_shader_clock(self, kepler, fermi):
+        assert not kepler.clocks.has_separate_shader_clock
+        assert fermi.clocks.has_separate_shader_clock
+
+    def test_memory_bandwidth(self, gt200, fermi, kepler):
+        assert gt200.global_memory_bandwidth_gbs == pytest.approx(141.7)
+        assert fermi.global_memory_bandwidth_gbs == pytest.approx(192.4)
+        assert kepler.global_memory_bandwidth_gbs == pytest.approx(192.26)
+
+    def test_schedulers_and_dispatch_units(self, gt200, fermi, kepler):
+        assert (gt200.sm.warp_schedulers, gt200.sm.dispatch_units) == (1, 1)
+        assert (fermi.sm.warp_schedulers, fermi.sm.dispatch_units) == (2, 2)
+        assert (kepler.sm.warp_schedulers, kepler.sm.dispatch_units) == (4, 8)
+
+    def test_sp_counts(self, gt200, fermi, kepler):
+        assert gt200.sm.sp_count == 8
+        assert fermi.sm.sp_count == 32
+        assert kepler.sm.sp_count == 192
+
+    def test_shared_memory_sizes(self, gt200, fermi, kepler):
+        assert gt200.shared_memory.size_bytes == 16 * 1024
+        assert fermi.shared_memory.size_bytes == 48 * 1024
+        assert kepler.shared_memory.size_bytes == 48 * 1024
+
+    def test_register_file_sizes(self, gt200, fermi, kepler):
+        assert gt200.register_file.registers_per_sm == 16 * 1024
+        assert fermi.register_file.registers_per_sm == 32 * 1024
+        assert kepler.register_file.registers_per_sm == 64 * 1024
+
+    def test_max_registers_per_thread(self, gt200, fermi, kepler):
+        assert gt200.register_file.max_registers_per_thread == 127
+        assert fermi.register_file.max_registers_per_thread == 63
+        assert kepler.register_file.max_registers_per_thread == 63
+
+    def test_theoretical_peaks_match_table1(self, gt200, fermi, kepler):
+        # Table 1: 933, 1581, 3090 GFLOPS.
+        assert gt200.theoretical_peak_gflops == pytest.approx(933, rel=0.01)
+        assert fermi.theoretical_peak_gflops == pytest.approx(1581, rel=0.01)
+        assert kepler.theoretical_peak_gflops == pytest.approx(3090, rel=0.01)
+
+    def test_issue_throughput_ordering(self, gt200, fermi, kepler):
+        # Table 1: 16, 32, ~128 thread instructions per cycle per SM (the
+        # Kepler value is stored as the measured ~132 effective ceiling).
+        assert gt200.issue.issue_per_cycle == pytest.approx(16.0)
+        assert fermi.issue.issue_per_cycle == pytest.approx(32.0)
+        assert kepler.issue.issue_per_cycle >= 128.0
+
+
+class TestSpecLookup:
+    """get_gpu_spec resolves names and aliases."""
+
+    @pytest.mark.parametrize(
+        "alias, chip",
+        [
+            ("gtx580", "GF110"),
+            ("fermi", "GF110"),
+            ("GF110", "GF110"),
+            ("gtx680", "GK104"),
+            ("Kepler", "GK104"),
+            ("gk104", "GK104"),
+            ("gtx280", "GT200"),
+            ("gt200", "GT200"),
+        ],
+    )
+    def test_alias_resolution(self, alias, chip):
+        assert get_gpu_spec(alias).chip == chip
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(ArchitectureError):
+            get_gpu_spec("gtx9999")
+
+    def test_specs_registry_is_consistent(self):
+        for key, spec in GPU_SPECS.items():
+            assert spec.sm_count > 0
+            assert spec.theoretical_peak_gflops > 0
+            assert key in ("gtx280", "gtx580", "gtx680")
+
+
+class TestEvolutionTable:
+    """architecture_evolution_table reproduces Table 1 rows."""
+
+    def test_has_three_generations(self):
+        rows = architecture_evolution_table()
+        assert [row["chip"] for row in rows] == ["GT200", "GF110", "GK104"]
+
+    def test_registers_per_sp_decreases(self):
+        # The paper's observation: on-die storage per SP shrinks across generations.
+        rows = architecture_evolution_table()
+        per_sp = [row["registers_per_sm"] / row["sp_per_sm"] for row in rows]
+        assert per_sp[0] > per_sp[1] > per_sp[2]
+
+    def test_peak_performance_increases(self):
+        rows = architecture_evolution_table()
+        peaks = [row["theoretical_peak_gflops"] for row in rows]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+
+class TestDerivedQuantities:
+    """Derived helpers on GpuSpec."""
+
+    def test_peak_at_measured_throughput(self, kepler):
+        # At the measured 132-instruction ceiling the achievable FFMA rate is
+        # ~68.75 % of the 192-SP peak (Section 3.3).
+        achievable = kepler.peak_gflops_at_throughput(132.0)
+        assert achievable / kepler.theoretical_peak_gflops == pytest.approx(132.0 / 192.0, rel=1e-6)
+
+    def test_shared_memory_reconfiguration(self, fermi):
+        reconfigured = fermi.with_shared_memory_config(16 * 1024)
+        assert reconfigured.shared_memory.size_bytes == 16 * 1024
+        assert fermi.shared_memory.size_bytes == 48 * 1024
+
+    def test_clock_conversions_round_trip(self, fermi):
+        cycles = 1_000_000.0
+        seconds = fermi.clocks.cycles_to_seconds(cycles)
+        assert fermi.clocks.seconds_to_cycles(seconds) == pytest.approx(cycles)
+
+    def test_negative_cycle_conversion_rejected(self, fermi):
+        with pytest.raises(ArchitectureError):
+            fermi.clocks.cycles_to_seconds(-1.0)
+
+    def test_generation_enum(self, gt200, fermi, kepler):
+        assert gt200.generation is GpuGeneration.GT200
+        assert fermi.generation is GpuGeneration.FERMI
+        assert kepler.generation is GpuGeneration.KEPLER

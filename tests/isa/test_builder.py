@@ -1,0 +1,150 @@
+"""Tests for the programmatic kernel builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import KernelBuilder
+from repro.isa.instructions import ConstRef, MemRef, Opcode
+from repro.isa.registers import SpecialRegister, predicate, reg
+
+
+class TestEmission:
+    def test_ffma_chain(self):
+        builder = KernelBuilder()
+        builder.ffma(4, 5, 6, 4)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.instructions[0].opcode is Opcode.FFMA
+        assert kernel.instructions[0].sources == (reg(5), reg(6), reg(4))
+
+    def test_integer_helpers(self):
+        builder = KernelBuilder()
+        builder.iadd(0, 1, 4)
+        builder.imul(2, 3, 8)
+        builder.imad(4, 5, 16, reg(6))
+        builder.shl(7, 8, 2)
+        builder.shr(9, 10, 4)
+        builder.lop_and(11, 12, 15)
+        builder.exit()
+        kernel = builder.build()
+        opcodes = [i.opcode for i in kernel.instructions[:-1]]
+        assert opcodes == [
+            Opcode.IADD,
+            Opcode.IMUL,
+            Opcode.IMAD,
+            Opcode.SHL,
+            Opcode.SHR,
+            Opcode.LOP_AND,
+        ]
+
+    def test_memory_helpers(self):
+        builder = KernelBuilder(shared_memory_bytes=1024)
+        builder.lds(8, MemRef(base=reg(30), offset=16), width=64)
+        builder.sts(MemRef(base=reg(30)), 8, width=32)
+        builder.ld(12, MemRef(base=reg(31)), width=128)
+        builder.st(MemRef(base=reg(31), offset=4), 12)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.instructions[0].width == 64
+        assert kernel.instructions[2].width == 128
+        assert kernel.shared_memory_bytes == 1024
+
+    def test_mov_variants(self):
+        builder = KernelBuilder()
+        builder.mov(0, reg(1))
+        builder.mov(2, ConstRef(bank=0, offset=0x20))
+        builder.mov32i(3, 42)
+        builder.mov32i(4, 1.25)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.instructions[1].sources[0] == ConstRef(bank=0, offset=0x20)
+
+    def test_special_registers(self):
+        builder = KernelBuilder()
+        builder.s2r(0, SpecialRegister.TID_X)
+        builder.exit()
+        assert builder.build().instructions[0].special is SpecialRegister.TID_X
+
+    def test_bool_operand_rejected(self):
+        builder = KernelBuilder()
+        with pytest.raises(AssemblyError):
+            builder.iadd(0, 1, True)
+
+
+class TestControlFlow:
+    def test_loop_with_labels(self):
+        builder = KernelBuilder()
+        builder.mov32i(0, 4)
+        loop = builder.label("LOOP")
+        builder.iadd(0, 0, -1)
+        builder.isetp(predicate(0), "GT", 0, 0)
+        builder.bra(loop, predicate=predicate(0))
+        builder.exit()
+        kernel = builder.build()
+        bra_index = next(i for i, x in enumerate(kernel.instructions) if x.opcode is Opcode.BRA)
+        assert kernel.branch_targets[bra_index] == 1
+
+    def test_forward_label_placement(self):
+        builder = KernelBuilder()
+        skip = builder.new_label("SKIP")
+        builder.bra(skip)
+        builder.nop()
+        builder.place(skip)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.branch_targets[0] == 2
+
+    def test_guarded_scope(self):
+        builder = KernelBuilder()
+        with builder.guarded(predicate(1)):
+            builder.ffma(0, 1, 2, 0)
+        builder.ffma(3, 4, 5, 3)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.instructions[0].predicate == predicate(1)
+        assert kernel.instructions[1].predicate.is_true
+
+    def test_barrier_and_exit(self):
+        builder = KernelBuilder()
+        builder.bar(0)
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.instructions[0].is_barrier
+
+
+class TestBookkeeping:
+    def test_instruction_count(self):
+        builder = KernelBuilder()
+        builder.label("START")
+        builder.nop()
+        builder.nop()
+        assert builder.instruction_count == 2
+
+    def test_comment_last(self):
+        builder = KernelBuilder()
+        builder.ffma(0, 1, 2, 0)
+        builder.comment_last("outer product")
+        builder.exit()
+        assert builder.build().instructions[0].comment == "outer product"
+
+    def test_comment_without_instruction_rejected(self):
+        builder = KernelBuilder()
+        with pytest.raises(AssemblyError):
+            builder.comment_last("nothing here")
+
+    def test_metadata_propagates(self):
+        builder = KernelBuilder(name="demo", metadata={"purpose": "test"})
+        builder.exit()
+        kernel = builder.build()
+        assert kernel.name == "demo"
+        assert kernel.metadata["purpose"] == "test"
+
+    def test_control_notation_option(self):
+        builder = KernelBuilder(emit_control_notation=True, control_hint=0x25)
+        for _ in range(10):
+            builder.nop()
+        builder.exit()
+        kernel = builder.build()
+        assert len(kernel.control_notations) == 2

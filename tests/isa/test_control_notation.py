@@ -1,0 +1,86 @@
+"""Tests for the Kepler control-notation codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IsaError
+from repro.isa.control_notation import (
+    ControlNotation,
+    DEFAULT_HINT,
+    GROUP_SIZE,
+    HIGH_IDENTIFIER,
+    LOW_IDENTIFIER,
+    decode_control_word,
+    encode_control_word,
+    notation_schedule_for,
+)
+
+
+class TestStructure:
+    def test_group_size_is_seven(self):
+        # The paper: "placed before each group of 7 instructions".
+        assert GROUP_SIZE == 7
+
+    def test_identifier_nibbles(self):
+        word = encode_control_word(ControlNotation.uniform(0x25))
+        assert word & 0xF == LOW_IDENTIFIER == 0x7
+        assert (word >> 60) & 0xF == HIGH_IDENTIFIER == 0x2
+
+    def test_too_many_hints_rejected(self):
+        with pytest.raises(IsaError):
+            ControlNotation(hints=tuple([0x25] * 8))
+
+    def test_hint_must_fit_a_byte(self):
+        with pytest.raises(IsaError):
+            ControlNotation(hints=(0x100,))
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=0, max_size=7))
+    def test_encode_decode(self, hints):
+        notation = ControlNotation(hints=tuple(hints))
+        decoded = decode_control_word(encode_control_word(notation))
+        assert decoded.hints == notation.padded().hints
+
+    def test_decode_rejects_bad_identifiers(self):
+        with pytest.raises(IsaError):
+            decode_control_word(0)
+        word = encode_control_word(ControlNotation.uniform(0x25))
+        with pytest.raises(IsaError):
+            decode_control_word(word & ~0xF)
+
+
+class TestSemantics:
+    def test_default_hint_for_missing_slots(self):
+        notation = ControlNotation(hints=(0x10,))
+        assert notation.hint_for(0) == 0x10
+        assert notation.hint_for(6) == DEFAULT_HINT
+
+    def test_stall_and_yield_bits(self):
+        notation = ControlNotation(hints=(0x0B,))  # stall=3, yield bit set
+        assert notation.stall_cycles(0) == 3
+        assert notation.yield_flag(0)
+
+    def test_slot_bounds(self):
+        notation = ControlNotation.uniform(0x25)
+        with pytest.raises(IsaError):
+            notation.hint_for(7)
+
+
+class TestSchedule:
+    @pytest.mark.parametrize(
+        "count, groups", [(0, 0), (1, 1), (7, 1), (8, 2), (21, 3), (22, 4)]
+    )
+    def test_group_count(self, count, groups):
+        assert len(notation_schedule_for(count)) == groups
+
+    def test_last_group_is_partial(self):
+        schedule = notation_schedule_for(9)
+        assert len(schedule[0].hints) == 7
+        assert len(schedule[1].hints) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(IsaError):
+            notation_schedule_for(-1)

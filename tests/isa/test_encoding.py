@@ -1,0 +1,141 @@
+"""Tests for the binary encoder/decoder — including the 63-register limit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, IsaError
+from repro.isa.encoding import (
+    MAX_ENCODABLE_REGISTER,
+    REGISTER_FIELD_BITS,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.isa.instructions import (
+    ConstRef,
+    Immediate,
+    Instruction,
+    MemRef,
+    Opcode,
+)
+from repro.isa.registers import Register, predicate, reg
+
+
+class TestRegisterFieldLimit:
+    """The 6-bit register field is the root of the paper's 63-register constraint."""
+
+    def test_field_width_is_six_bits(self):
+        assert REGISTER_FIELD_BITS == 6
+        assert MAX_ENCODABLE_REGISTER == 63
+
+    def test_register_indices_beyond_63_are_not_constructible(self):
+        with pytest.raises(IsaError):
+            Register(64)
+
+    def test_rz_encodes_as_63(self):
+        instruction = Instruction(opcode=Opcode.MOV, dest=reg(0), sources=(Register(63),))
+        encoded = encode_instruction(instruction)
+        decoded = decode_instruction(encoded)
+        assert decoded.sources[0] == Register(63)
+
+
+def _round_trip(instruction: Instruction) -> Instruction:
+    return decode_instruction(encode_instruction(instruction))
+
+
+class TestRoundTrip:
+    def test_ffma(self):
+        instruction = Instruction(
+            opcode=Opcode.FFMA, dest=reg(26), sources=(reg(8), reg(20), reg(26))
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.opcode is Opcode.FFMA
+        assert decoded.dest == reg(26)
+        assert decoded.sources == (reg(8), reg(20), reg(26))
+
+    def test_predicated_instruction(self):
+        instruction = Instruction(
+            opcode=Opcode.IADD,
+            dest=reg(3),
+            sources=(reg(3), Immediate(-1)),
+            predicate=predicate(2),
+            predicate_negated=True,
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.predicate == predicate(2)
+        assert decoded.predicate_negated
+        assert decoded.sources[1].as_int() == -1
+
+    def test_lds64_with_offset(self):
+        instruction = Instruction(
+            opcode=Opcode.LDS, dest=reg(8), sources=(MemRef(base=reg(40), offset=0x180),), width=64
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.width == 64
+        assert decoded.memory_operand == MemRef(base=reg(40), offset=0x180)
+
+    def test_constant_operand(self):
+        instruction = Instruction(
+            opcode=Opcode.MOV, dest=reg(2), sources=(ConstRef(bank=0, offset=0x20),)
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.sources[0] == ConstRef(bank=0, offset=0x20)
+
+    def test_float_immediate(self):
+        instruction = Instruction(opcode=Opcode.MOV32I, dest=reg(2), sources=(Immediate(1.5),))
+        decoded = _round_trip(instruction)
+        assert decoded.sources[0].as_float() == pytest.approx(1.5)
+
+    def test_isetp(self):
+        instruction = Instruction(
+            opcode=Opcode.ISETP,
+            dest_predicate=predicate(1),
+            compare_op="GT",
+            sources=(reg(5), Immediate(0)),
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.compare_op == "GT"
+        assert decoded.dest_predicate == predicate(1)
+
+    @given(
+        dest=st.integers(min_value=0, max_value=62),
+        a=st.integers(min_value=0, max_value=62),
+        b=st.integers(min_value=0, max_value=62),
+        c=st.integers(min_value=0, max_value=62),
+    )
+    def test_ffma_round_trip_property(self, dest, a, b, c):
+        instruction = Instruction(
+            opcode=Opcode.FFMA, dest=reg(dest), sources=(reg(a), reg(b), reg(c))
+        )
+        decoded = _round_trip(instruction)
+        assert decoded.dest == reg(dest)
+        assert decoded.sources == (reg(a), reg(b), reg(c))
+
+    @given(offset=st.integers(min_value=0, max_value=(1 << 20) - 4))
+    def test_memory_offset_round_trip(self, offset):
+        offset &= ~3
+        instruction = Instruction(
+            opcode=Opcode.LDS, dest=reg(8), sources=(MemRef(base=reg(40), offset=offset),), width=32
+        )
+        assert _round_trip(instruction).memory_operand.offset == offset
+
+
+class TestEncodingErrors:
+    def test_oversized_memory_offset_rejected(self):
+        instruction = Instruction(
+            opcode=Opcode.LDS,
+            dest=reg(8),
+            sources=(MemRef(base=reg(40), offset=1 << 20),),
+            width=32,
+        )
+        with pytest.raises(EncodingError):
+            encode_instruction(instruction)
+
+    def test_bytes_length(self):
+        instruction = Instruction(
+            opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(2), reg(3))
+        )
+        assert len(encode_instruction(instruction).to_bytes()) == 8
+        wide = Instruction(opcode=Opcode.MOV32I, dest=reg(0), sources=(Immediate(123456),))
+        assert len(encode_instruction(wide).to_bytes()) == 16

@@ -1,0 +1,143 @@
+"""Tests for the instruction dataclasses and their classification helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Immediate,
+    Instruction,
+    Label,
+    MemRef,
+    MemSpace,
+    Opcode,
+    Program,
+)
+from repro.isa.registers import PT, predicate, reg
+
+
+def ffma(dest, a, b, c):
+    return Instruction(opcode=Opcode.FFMA, dest=reg(dest), sources=(reg(a), reg(b), reg(c)))
+
+
+class TestClassification:
+    def test_ffma_is_math_with_two_flops(self):
+        instruction = ffma(0, 1, 2, 0)
+        assert instruction.is_math
+        assert instruction.is_ffma
+        assert instruction.flop_count == 2
+        assert not instruction.is_memory
+
+    def test_fadd_one_flop(self):
+        instruction = Instruction(opcode=Opcode.FADD, dest=reg(0), sources=(reg(1), reg(2)))
+        assert instruction.flop_count == 1
+
+    def test_lds_is_shared_load(self):
+        instruction = Instruction(
+            opcode=Opcode.LDS, dest=reg(4), sources=(MemRef(base=reg(10)),), width=64
+        )
+        assert instruction.is_shared_load
+        assert instruction.memory_space is MemSpace.SHARED
+        assert instruction.mnemonic == "LDS.64"
+
+    def test_global_store_classification(self):
+        instruction = Instruction(
+            opcode=Opcode.ST, sources=(MemRef(base=reg(10)), reg(4)), width=32
+        )
+        assert instruction.is_global_store
+        assert instruction.memory_space is MemSpace.GLOBAL
+        assert instruction.flop_count == 0
+
+    def test_bar_is_control_barrier(self):
+        instruction = Instruction(opcode=Opcode.BAR, sources=(Immediate(0),))
+        assert instruction.is_control
+        assert instruction.is_barrier
+
+
+class TestRegisterSets:
+    def test_wide_load_writes_register_pair(self):
+        instruction = Instruction(
+            opcode=Opcode.LDS, dest=reg(6), sources=(MemRef(base=reg(10)),), width=64
+        )
+        assert instruction.registers_written == (reg(6), reg(7))
+        assert reg(10) in instruction.registers_read
+
+    def test_quad_load_writes_four_registers(self):
+        instruction = Instruction(
+            opcode=Opcode.LD, dest=reg(8), sources=(MemRef(base=reg(10)),), width=128
+        )
+        assert instruction.registers_written == (reg(8), reg(9), reg(10), reg(11))
+
+    def test_wide_store_reads_register_pair(self):
+        instruction = Instruction(
+            opcode=Opcode.STS, sources=(MemRef(base=reg(20)), reg(4)), width=64
+        )
+        read = instruction.registers_read
+        assert reg(4) in read and reg(5) in read and reg(20) in read
+
+    def test_rz_not_tracked(self):
+        instruction = Instruction(opcode=Opcode.MOV, dest=reg(63), sources=(reg(5),))
+        assert instruction.registers_written == ()
+
+    def test_source_register_indices_skip_memrefs(self):
+        instruction = ffma(0, 1, 2, 0)
+        assert instruction.source_register_indices == (1, 2, 0)
+
+
+class TestValidation:
+    def test_bad_memory_width_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.LDS, dest=reg(0), sources=(MemRef(base=reg(1)),), width=48)
+
+    def test_isetp_requires_predicate_and_compare(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.ISETP, sources=(reg(0), Immediate(1)))
+
+    def test_bra_requires_target(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.BRA)
+
+    def test_s2r_requires_special(self):
+        with pytest.raises(IsaError):
+            Instruction(opcode=Opcode.S2R, dest=reg(0))
+
+    def test_isetp_bad_compare_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                opcode=Opcode.ISETP,
+                dest_predicate=predicate(0),
+                compare_op="ZZ",
+                sources=(reg(0), Immediate(1)),
+            )
+
+
+class TestProgram:
+    def test_label_positions(self):
+        program = Program(
+            items=(
+                Label("start"),
+                ffma(0, 1, 2, 0),
+                Label("mid"),
+                ffma(0, 1, 2, 0),
+            )
+        )
+        assert program.label_positions() == {"start": 0, "mid": 1}
+        assert len(program.instructions) == 2
+
+    def test_duplicate_label_rejected(self):
+        program = Program(items=(Label("x"), Label("x")))
+        with pytest.raises(IsaError):
+            program.label_positions()
+
+    def test_mnemonic_includes_width(self):
+        instruction = Instruction(
+            opcode=Opcode.LD, dest=reg(0), sources=(MemRef(base=reg(1)),), width=128
+        )
+        assert instruction.mnemonic == "LD.128"
+
+    def test_with_comment_preserves_fields(self):
+        instruction = ffma(0, 1, 2, 0).with_comment("main loop")
+        assert instruction.comment == "main loop"
+        assert instruction.predicate == PT
+        assert instruction.opcode is Opcode.FFMA

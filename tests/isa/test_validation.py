@@ -1,0 +1,78 @@
+"""Tests for the kernel validation passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.isa import KernelBuilder, assemble_text, validate_kernel
+from repro.isa.instructions import MemRef
+from repro.isa.registers import reg
+
+
+class TestRegisterLimit:
+    def test_kernel_at_limit_passes(self, fermi):
+        builder = KernelBuilder()
+        builder.ffma(62, 1, 2, 3)
+        builder.exit()
+        assert validate_kernel(builder.build(), fermi).ok
+
+    def test_gt200_allows_more_registers_than_fermi(self, gt200, fermi):
+        # The 63-register constraint is generation-specific: a 90-register
+        # kernel is representable in our IR (GT200's limit is 127) and must be
+        # rejected for Fermi but accepted for GT200.
+        builder = KernelBuilder()
+        builder.ffma(62, 1, 2, 3)
+        builder.exit()
+        kernel = builder.build()
+        assert validate_kernel(kernel, gt200).ok
+        assert validate_kernel(kernel, fermi).ok
+
+
+class TestStructuralChecks:
+    def test_missing_exit_flagged(self, fermi):
+        builder = KernelBuilder()
+        builder.nop()
+        report = validate_kernel(builder.build(), fermi)
+        assert not report.ok
+        assert any("EXIT" in error for error in report.errors)
+
+    def test_shared_memory_overflow_flagged(self, fermi):
+        builder = KernelBuilder(shared_memory_bytes=64 * 1024)
+        builder.exit()
+        report = validate_kernel(builder.build(), fermi)
+        assert not report.ok
+
+    def test_block_size_overflow_flagged(self, fermi):
+        builder = KernelBuilder(threads_per_block=2048)
+        builder.exit()
+        report = validate_kernel(builder.build(), fermi)
+        assert not report.ok
+
+    def test_wide_load_alignment_warning(self, fermi):
+        builder = KernelBuilder()
+        builder.lds(9, MemRef(base=reg(30), offset=0), width=64)  # odd destination register
+        builder.exit()
+        report = validate_kernel(builder.build(), fermi)
+        assert report.ok
+        assert any("aligned" in warning for warning in report.warnings)
+
+    def test_unaligned_offset_warning(self, fermi):
+        builder = KernelBuilder()
+        builder.lds(8, MemRef(base=reg(30), offset=6), width=64)
+        builder.exit()
+        report = validate_kernel(builder.build(), fermi)
+        assert any("aligned" in warning for warning in report.warnings)
+
+    def test_strict_mode_raises(self, fermi):
+        builder = KernelBuilder()
+        builder.nop()
+        with pytest.raises(ValidationError):
+            validate_kernel(builder.build(), fermi, strict=True)
+
+    def test_report_fields(self, fermi):
+        kernel = assemble_text("FFMA R10, R1, R2, R3;\nEXIT;", shared_memory_bytes=256)
+        report = validate_kernel(kernel, fermi)
+        assert report.kernel_name == kernel.name
+        assert report.register_count == 11
+        assert report.shared_memory_bytes == 256

@@ -1,0 +1,96 @@
+"""Tests for the PerfDatabase and the shipped paper dataset."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.microbench import PerfDatabase, ThroughputKey, ThroughputRecord, paper_database
+from repro.microbench.paper_data import PAPER_SECTION42_THROUGHPUTS, PAPER_UPPER_BOUNDS
+
+
+class TestDatabaseBasics:
+    def test_add_and_exact_lookup(self):
+        database = PerfDatabase("test")
+        record = database.add_measurement(
+            gpu="gtx580",
+            lds_width_bits=64,
+            ffma_per_lds=6.0,
+            active_threads=512,
+            instructions_per_cycle=30.4,
+            ffma_per_cycle=26.1,
+        )
+        assert database.exact(record.key) is record
+        assert len(database) == 1
+
+    def test_lookup_falls_back_to_nearest(self):
+        database = PerfDatabase("test")
+        database.add_measurement("gtx580", 64, 6.0, 512, 30.4, 26.1)
+        database.add_measurement("gtx580", 64, 3.0, 512, 31.0, 23.0)
+        hit = database.lookup("gtx580", 64, 5.5, 480)
+        assert hit.instructions_per_cycle == pytest.approx(30.4)
+
+    def test_lookup_prefers_at_or_below_thread_count(self):
+        database = PerfDatabase("test")
+        database.add_measurement("gtx680", 64, 6.0, 512, 100.0, 85.0)
+        database.add_measurement("gtx680", 64, 6.0, 2048, 130.0, 111.0)
+        hit = database.lookup("gtx680", 64, 6.0, 1024)
+        assert hit.key.active_threads == 512
+
+    def test_missing_gpu_raises(self):
+        database = PerfDatabase("test")
+        with pytest.raises(ModelError):
+            database.lookup("gtx580", 64, 6.0, 512)
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ModelError):
+            ThroughputRecord(
+                key=ThroughputKey("gtx580", 64, 6.0, 512),
+                instructions_per_cycle=-1.0,
+                ffma_per_cycle=0.0,
+            )
+
+    def test_json_round_trip(self, tmp_path):
+        database = PerfDatabase("round-trip")
+        database.add_measurement("gtx580", 64, 6.0, 512, 30.4, 26.1)
+        database.add_measurement("gtx680", 128, 12.0, 1024, 119.9, 110.7, dependent=False)
+        path = tmp_path / "db.json"
+        database.save(path)
+        loaded = PerfDatabase.load(path)
+        assert loaded.name == "round-trip"
+        assert len(loaded) == 2
+        assert loaded.lookup("gtx580", 64, 6.0, 512).instructions_per_cycle == pytest.approx(30.4)
+
+    @given(
+        ratio=st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+        threads=st.integers(min_value=32, max_value=2048),
+    )
+    def test_lookup_never_raises_once_width_is_covered(self, ratio, threads):
+        database = PerfDatabase("prop")
+        database.add_measurement("gtx580", 64, 6.0, 512, 30.4, 26.1)
+        record = database.lookup("gtx580", 64, ratio, threads)
+        assert record.instructions_per_cycle > 0
+
+
+class TestPaperDatabase:
+    def test_contains_both_gpus(self, paper_db):
+        assert paper_db.lookup("gtx580", 64, 6.0, 512).source == "paper"
+        assert paper_db.lookup("gtx680", 64, 6.0, 1024).source == "paper"
+
+    def test_kepler_values(self, paper_db):
+        assert paper_db.lookup("gtx680", 64, 6.0, 1024).instructions_per_cycle == pytest.approx(122.4)
+        assert paper_db.lookup("gtx680", 128, 12.0, 1024).instructions_per_cycle == pytest.approx(119.9)
+
+    def test_section42_reference_values(self):
+        assert PAPER_SECTION42_THROUGHPUTS == {32: 31.3, 64: 30.4, 128: 24.5}
+
+    def test_headline_bounds_recorded(self):
+        assert PAPER_UPPER_BOUNDS[("gtx580", 64)] == pytest.approx(0.825)
+        assert PAPER_UPPER_BOUNDS[("gtx680", 128)] == pytest.approx(0.576)
+
+    def test_databases_are_independent(self):
+        first = paper_database()
+        second = paper_database()
+        first.add_measurement("gtx580", 64, 1.0, 32, 5.0, 2.5)
+        assert len(second) < len(first)

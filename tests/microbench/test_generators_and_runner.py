@@ -1,0 +1,134 @@
+"""Tests for micro-benchmark kernel generators and the runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.microbench import (
+    MicrobenchRunner,
+    PerfDatabase,
+    ffma_register_pattern_kernel,
+    mix_kernel,
+    pure_ffma_kernel,
+)
+from repro.microbench.generators import FfmaOperandPattern
+from repro.microbench.instruction_table import TABLE2_FFMA_VARIANTS, format_table2, table2_rows
+
+
+class TestGenerators:
+    def test_pure_ffma_kernel_shape(self):
+        kernel = pure_ffma_kernel(FfmaOperandPattern(0, 1, 4, 0), instruction_count=128)
+        mix = kernel.instruction_mix()
+        assert mix["FFMA"] == 128
+        assert mix["EXIT"] == 1
+        assert kernel.register_count <= 63
+
+    def test_pure_ffma_independent_chains_preserve_banks(self):
+        pattern = FfmaOperandPattern(0, 1, 4, 0)
+        kernel = pure_ffma_kernel(pattern, instruction_count=16, independent_chains=4)
+        ffmas = [i for i in kernel.instructions if i.is_ffma]
+        base_banks = [r % 8 for r in (pattern.a, pattern.b, pattern.c)]
+        for instruction in ffmas:
+            banks = [index % 8 for index in instruction.source_register_indices]
+            assert banks == base_banks
+
+    def test_pure_ffma_register_limit_enforced(self):
+        with pytest.raises(ModelError):
+            pure_ffma_kernel(FfmaOperandPattern(40, 41, 44, 40), independent_chains=4)
+
+    @pytest.mark.parametrize("ratio", [0, 1, 6, 12])
+    @pytest.mark.parametrize("width", [32, 64, 128])
+    def test_mix_kernel_ratio(self, ratio, width):
+        kernel = mix_kernel(ratio, width, groups=8)
+        mix = kernel.instruction_mix()
+        lds_name = "LDS" if width == 32 else f"LDS.{width}"
+        assert mix[lds_name] == 8
+        assert mix.get("FFMA", 0) == 8 * ratio
+
+    def test_mix_kernel_dependent_consumes_load_destinations(self):
+        kernel = mix_kernel(6, 64, dependent=True, groups=4)
+        instructions = kernel.instructions
+        load_dest = None
+        found_dependence = False
+        for instruction in instructions:
+            if instruction.is_shared_load:
+                load_dest = {r.index for r in instruction.registers_written}
+            elif instruction.is_ffma and load_dest:
+                if set(instruction.source_register_indices) & load_dest:
+                    found_dependence = True
+                    break
+        assert found_dependence
+
+    def test_mix_kernel_rejects_bad_arguments(self):
+        with pytest.raises(ModelError):
+            mix_kernel(-1, 64)
+        with pytest.raises(ModelError):
+            mix_kernel(6, 48)
+        with pytest.raises(ModelError):
+            mix_kernel(6, 64, groups=0)
+
+    def test_pattern_kernel_repeats(self):
+        patterns = [FfmaOperandPattern(0, 1, 4, 0), FfmaOperandPattern(2, 3, 6, 2)]
+        kernel = ffma_register_pattern_kernel(patterns, repeats=10)
+        assert kernel.instruction_mix()["FFMA"] == 20
+
+
+class TestRunner:
+    def test_measure_kernel_requires_warp_multiple(self, fermi):
+        runner = MicrobenchRunner(fermi)
+        with pytest.raises(ModelError):
+            runner.measure_kernel(mix_kernel(6, 64, groups=4), active_threads=100)
+
+    def test_measurement_recorded_in_database(self, fermi):
+        runner = MicrobenchRunner(fermi)
+        database = PerfDatabase("unit")
+        measurement = runner.measure_mix(6, 64, groups=8, database=database)
+        assert len(database) == 1
+        stored = database.lookup(
+            "gtx580", 64, 6.0, measurement.active_threads, dependent=False
+        )
+        assert stored.instructions_per_cycle == pytest.approx(
+            measurement.instructions_per_cycle
+        )
+
+    def test_gpu_key_naming(self, fermi, kepler):
+        assert MicrobenchRunner(fermi).gpu_key == "gtx580"
+        assert MicrobenchRunner(kepler).gpu_key == "gtx680"
+
+    def test_populate_database_covers_requested_grid(self, fermi):
+        runner = MicrobenchRunner(fermi)
+        database = runner.populate_database(
+            ratios=(3, 6), widths=(64,), active_threads=(256,), groups=8
+        )
+        assert len(database) == 2
+        assert database.lookup("gtx580", 64, 3.0, 256).source == "simulator"
+
+
+class TestTable2:
+    def test_variants_cover_paper_rows(self):
+        labels = [label for label, _ in TABLE2_FFMA_VARIANTS]
+        assert "FFMA R0, R1, R4, R5" in labels
+        assert "FFMA R0, R1, R3, R9" in labels
+
+    def test_conflict_degrees(self, kepler):
+        rows = table2_rows(kepler, active_threads=512, instruction_count=64)
+        by_label = {row.instruction: row for row in rows}
+        assert by_label["FFMA R0, R1, R4, R5"].conflict_degree == 1
+        assert by_label["FFMA R0, R1, R3, R5"].conflict_degree == 2
+        assert by_label["FFMA R0, R1, R3, R9"].conflict_degree == 3
+
+    def test_measured_ordering_matches_paper(self, kepler):
+        # Conflict-free ≥ 2-way ≥ 3-way throughput, mirroring Table 2's 132 / 66 / 44.
+        rows = table2_rows(kepler, active_threads=1024, instruction_count=128)
+        by_label = {row.instruction: row for row in rows}
+        clean = by_label["FFMA R0, R1, R4, R5"].measured_per_cycle
+        two_way = by_label["FFMA R0, R1, R3, R5"].measured_per_cycle
+        three_way = by_label["FFMA R0, R1, R3, R9"].measured_per_cycle
+        assert clean > two_way > three_way
+
+    def test_format_table(self, kepler):
+        rows = table2_rows(kepler, active_threads=256, instruction_count=32)
+        text = format_table2(rows)
+        assert "instruction" in text
+        assert "FFMA" in text

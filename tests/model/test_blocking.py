@@ -1,0 +1,139 @@
+"""Tests for the register blocking analysis (Eq. 2-5, Fig 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.model import (
+    ffma_percentage,
+    ffma_to_lds_ratio,
+    loose_register_bound,
+    max_blocking_factor,
+    prefetch_registers,
+    register_requirement,
+    valid_strides,
+)
+from repro.model.blocking import BlockingAnalysis, figure3_series, instruction_counts_per_k
+from repro.model.params import FERMI_PAPER_CONFIG, SgemmConfig
+
+
+class TestFfmaPercentage:
+    """Figure 3: FFMA share of the main loop vs blocking factor and LDS width."""
+
+    def test_paper_values_for_blocking_six(self):
+        assert ffma_percentage(6, 32) == pytest.approx(75.0)
+        assert ffma_percentage(6, 64) == pytest.approx(85.7, abs=0.05)
+        assert ffma_percentage(6, 128) == pytest.approx(92.3, abs=0.05)
+
+    def test_ratios_for_blocking_six(self):
+        assert ffma_to_lds_ratio(6, 32) == pytest.approx(3.0)
+        assert ffma_to_lds_ratio(6, 64) == pytest.approx(6.0)
+        assert ffma_to_lds_ratio(6, 128) == pytest.approx(12.0)
+
+    def test_no_blocking_worst_case(self):
+        # Without register reuse, 2 loads feed 1 FFMA: only 1/3 are math.
+        assert ffma_percentage(1, 32) == pytest.approx(100.0 / 3.0)
+
+    @given(blocking=st.integers(min_value=1, max_value=16))
+    def test_wider_loads_always_raise_ffma_share(self, blocking):
+        assert (
+            ffma_percentage(blocking, 32)
+            < ffma_percentage(blocking, 64)
+            < ffma_percentage(blocking, 128)
+        )
+
+    @given(blocking=st.integers(min_value=1, max_value=15))
+    def test_percentage_monotone_in_blocking(self, blocking):
+        assert ffma_percentage(blocking, 64) < ffma_percentage(blocking + 1, 64)
+
+    def test_figure3_series_structure(self):
+        series = figure3_series(max_blocking=15)
+        assert set(series) == {32, 64, 128}
+        assert len(series[64]) == 15
+        assert series[64][6] == pytest.approx(85.7, abs=0.05)
+
+    def test_instruction_counts(self):
+        ffma, lds = instruction_counts_per_k(6, 64)
+        assert ffma == 36
+        assert lds == pytest.approx(6.0)
+
+
+class TestRegisterConstraints:
+    """Equations 2 and 4: what blocking factor fits 63 registers."""
+
+    def test_loose_bound_allows_seven(self):
+        # Paper: "with maximum 63 registers per thread, B_R <= 7" (Eq. 2).
+        assert loose_register_bound(7) <= 63
+        assert loose_register_bound(8) > 63
+
+    def test_strict_bound_allows_six(self):
+        # Paper Section 4.5: with prefetching the maximum blocking factor is 6.
+        assert max_blocking_factor(63, strict=True) == 6
+        assert max_blocking_factor(63, strict=False) == 7
+
+    def test_fermi_configuration_uses_exactly_63_registers(self):
+        assert register_requirement(FERMI_PAPER_CONFIG) == 63
+
+    def test_prefetch_register_count(self):
+        # 2 * sqrt(256) * 6 * 16 / 256 = 12 (paper Section 5.2, item 2).
+        assert prefetch_registers(6, 256, 16) == 12
+
+    def test_gt200_limit_allows_larger_blocking(self):
+        assert max_blocking_factor(127, strict=True) > 6
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            loose_register_bound(0)
+        with pytest.raises(ModelError):
+            prefetch_registers(6, 255, 16)
+        with pytest.raises(ModelError):
+            max_blocking_factor(0)
+
+    @given(blocking=st.integers(min_value=1, max_value=10))
+    def test_strict_requirement_dominates_loose(self, blocking):
+        config = SgemmConfig(
+            register_blocking=blocking, lds_width_bits=64, threads_per_block=256, stride=16
+        )
+        assert register_requirement(config) >= loose_register_bound(blocking) - 1
+
+
+class TestStrideFairness:
+    """Equation 3: every thread must load the same number of elements."""
+
+    def test_paper_strides(self):
+        # Paper: "L could be 8, 16, 24, ..." for the 256-thread, B_R=6 geometry.
+        strides = valid_strides(6, 256, limit=32)
+        assert strides == [8, 16, 24, 32]
+
+    def test_stride_divisibility_property(self):
+        for stride in valid_strides(6, 256, limit=48):
+            assert (16 * 6 * stride) % 256 == 0
+
+    def test_non_square_block_rejected(self):
+        with pytest.raises(ModelError):
+            valid_strides(6, 200)
+
+    def test_analysis_dataclass(self):
+        analysis = BlockingAnalysis.analyse(FERMI_PAPER_CONFIG, 63)
+        assert analysis.fits
+        assert analysis.registers_strict == 63
+        assert analysis.ffma_percent == pytest.approx(85.7, abs=0.05)
+
+
+class TestSgemmConfig:
+    def test_block_tile_and_shared_memory(self):
+        assert FERMI_PAPER_CONFIG.block_tile == 96
+        assert FERMI_PAPER_CONFIG.shared_memory_per_block_bytes == 2 * 96 * 16 * 4
+
+    def test_elements_per_thread(self):
+        assert FERMI_PAPER_CONFIG.elements_per_thread_per_tile == 6
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ModelError):
+            SgemmConfig(register_blocking=0)
+        with pytest.raises(ModelError):
+            SgemmConfig(register_blocking=6, lds_width_bits=96)
+        with pytest.raises(ModelError):
+            SgemmConfig(register_blocking=6, threads_per_block=100)

@@ -1,0 +1,110 @@
+"""Tests for the upper-bound equations (Eq. 6-9) and the headline results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.microbench import PerfDatabase
+from repro.model import (
+    UpperBoundModel,
+    instruction_factor,
+    memory_bound_gflops,
+    sm_bound_fraction,
+)
+from repro.model.params import (
+    FERMI_PAPER_CONFIG,
+    KEPLER_LDS64_CONFIG,
+    KEPLER_LDS128_CONFIG,
+    SgemmConfig,
+)
+from repro.model.report import format_report
+
+
+class TestHeadlineBounds:
+    """The paper's Section 4.5 headline numbers, recomputed from its own data."""
+
+    def test_fermi_upper_bound_is_82_5_percent(self, fermi, paper_db):
+        model = UpperBoundModel(fermi, paper_db, gpu_key="gtx580")
+        breakdown = model.analyse(FERMI_PAPER_CONFIG)
+        assert breakdown.potential_fraction == pytest.approx(0.825, abs=0.002)
+        assert breakdown.limited_by == "sm_throughput"
+
+    def test_kepler_lds64_bound_is_54_6_percent(self, kepler, paper_db):
+        model = UpperBoundModel(kepler, paper_db, gpu_key="gtx680")
+        breakdown = model.analyse(KEPLER_LDS64_CONFIG)
+        assert breakdown.potential_fraction == pytest.approx(0.546, abs=0.002)
+
+    def test_kepler_lds128_bound_is_57_6_percent(self, kepler, paper_db):
+        model = UpperBoundModel(kepler, paper_db, gpu_key="gtx680")
+        breakdown = model.analyse(KEPLER_LDS128_CONFIG)
+        assert breakdown.potential_fraction == pytest.approx(0.576, abs=0.002)
+
+    def test_fermi_bound_in_gflops(self, fermi, paper_db):
+        model = UpperBoundModel(fermi, paper_db, gpu_key="gtx580")
+        breakdown = model.analyse(FERMI_PAPER_CONFIG)
+        assert breakdown.potential_gflops == pytest.approx(0.825 * 1581, rel=0.01)
+
+    def test_occupancy_matches_paper(self, fermi, kepler, paper_db):
+        fermi_breakdown = UpperBoundModel(fermi, paper_db, gpu_key="gtx580").analyse(
+            FERMI_PAPER_CONFIG
+        )
+        kepler_breakdown = UpperBoundModel(kepler, paper_db, gpu_key="gtx680").analyse(
+            KEPLER_LDS64_CONFIG
+        )
+        assert fermi_breakdown.active_threads == 512
+        assert fermi_breakdown.registers_per_thread == 63
+        assert kepler_breakdown.active_threads == 1024
+
+
+class TestEquations:
+    def test_instruction_factor_values(self):
+        assert instruction_factor(FERMI_PAPER_CONFIG) == pytest.approx(0.5)
+        assert instruction_factor(KEPLER_LDS128_CONFIG) == pytest.approx(0.25)
+
+    def test_sm_bound_formula_matches_paper_arithmetic(self):
+        # 6² / (6² + 6·2·0.5) · 30.8/32 = 0.825
+        fraction = sm_bound_fraction(FERMI_PAPER_CONFIG, 30.8 / 32.0)
+        assert fraction == pytest.approx(0.825, abs=0.002)
+
+    def test_memory_bound_far_above_sm_bound(self, fermi):
+        # B_Sh = 96 → 24 flops/byte → ~4.6 TFLOPS of bandwidth headroom, so
+        # SGEMM is compute-bound on the GTX580 (as the paper concludes).
+        assert memory_bound_gflops(FERMI_PAPER_CONFIG, fermi) > 2.5 * fermi.theoretical_peak_gflops
+
+    def test_memory_bound_scales_with_tile(self, fermi):
+        small = SgemmConfig(register_blocking=3, threads_per_block=64, stride=8)
+        assert memory_bound_gflops(small, fermi) < memory_bound_gflops(FERMI_PAPER_CONFIG, fermi)
+
+    def test_invalid_throughput_factor_rejected(self):
+        with pytest.raises(ModelError):
+            sm_bound_fraction(FERMI_PAPER_CONFIG, 0.0)
+        with pytest.raises(ModelError):
+            sm_bound_fraction(FERMI_PAPER_CONFIG, 1.2)
+
+
+class TestModelGuards:
+    def test_register_limit_violation_rejected(self, fermi, paper_db):
+        model = UpperBoundModel(fermi, paper_db, gpu_key="gtx580")
+        too_big = SgemmConfig(register_blocking=7, lds_width_bits=64, threads_per_block=256, stride=16)
+        with pytest.raises(ModelError):
+            model.analyse(too_big)
+
+    def test_missing_measurements_rejected(self, fermi):
+        model = UpperBoundModel(fermi, PerfDatabase("empty"), gpu_key="gtx580")
+        with pytest.raises(ModelError):
+            model.analyse(FERMI_PAPER_CONFIG)
+
+    def test_throughput_factor_capped_at_one(self, fermi):
+        database = PerfDatabase("hot")
+        database.add_measurement("gtx580", 64, 6.0, 512, 64.0, 55.0)
+        model = UpperBoundModel(fermi, database, gpu_key="gtx580")
+        factor, _ = model.throughput_factor(FERMI_PAPER_CONFIG, 512)
+        assert factor == 1.0
+
+    def test_report_formatting(self, fermi, paper_db):
+        model = UpperBoundModel(fermi, paper_db, gpu_key="gtx580")
+        breakdown = model.analyse(FERMI_PAPER_CONFIG)
+        text = format_report("Fermi", [breakdown])
+        assert "82.5%" in text
+        assert "Eq.8" in text

@@ -1,0 +1,106 @@
+"""Integration tests: generate → simulate → validate SGEMM end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sgemm import SgemmKernelConfig, SgemmVariant
+from repro.sgemm.runner import build_launch, run_sgemm
+from repro.sgemm.reference import random_matrices
+
+
+class TestFunctionalCorrectness:
+    """The simulated kernels must compute the same C as NumPy."""
+
+    def test_single_block_nn(self, fermi):
+        run = run_sgemm(fermi, SgemmKernelConfig(m=96, n=96, k=16), validate=True)
+        assert run.max_error < 1e-3
+        assert run.result.flops >= 2 * 96 * 96 * 16
+
+    def test_two_k_iterations(self, fermi):
+        run = run_sgemm(fermi, SgemmKernelConfig(m=96, n=96, k=32), validate=True)
+        assert run.max_error < 1e-3
+
+    def test_transposed_variant(self, fermi):
+        run = run_sgemm(
+            fermi, SgemmKernelConfig(m=96, n=96, k=16, variant=SgemmVariant.TN), validate=True
+        )
+        assert run.max_error < 1e-3
+
+    def test_nt_variant(self, fermi):
+        run = run_sgemm(
+            fermi, SgemmKernelConfig(m=96, n=96, k=16, variant=SgemmVariant.NT), validate=True
+        )
+        assert run.max_error < 1e-3
+
+    def test_alpha_scaling(self, fermi):
+        run = run_sgemm(
+            fermi, SgemmKernelConfig(m=96, n=96, k=16, alpha=0.5), validate=True
+        )
+        assert run.max_error < 1e-3
+
+    def test_off_origin_block_of_larger_matrix(self, fermi):
+        # Simulate only block (1, 1) of a 192×192 problem and check its tile.
+        run = run_sgemm(
+            fermi,
+            SgemmKernelConfig(m=192, n=192, k=16),
+            blocks=[(1, 1)],
+            validate=True,
+        )
+        assert run.max_error < 1e-3
+
+    def test_naive_allocation_is_functionally_identical(self, fermi):
+        run = run_sgemm(
+            fermi,
+            SgemmKernelConfig(m=96, n=96, k=16, conflict_free_allocation=False),
+            validate=True,
+        )
+        assert run.max_error < 1e-3
+
+    def test_kepler_simulation_also_correct(self, kepler):
+        run = run_sgemm(kepler, SgemmKernelConfig(m=96, n=96, k=16), validate=True)
+        assert run.max_error < 1e-3
+
+
+class TestLaunchPlumbing:
+    def test_build_launch_geometry(self):
+        config = SgemmKernelConfig(m=192, n=288, k=32)
+        a, b = random_matrices(config)
+        memory, params, grid = build_launch(config, a, b)
+        assert (grid.grid_x, grid.grid_y) == (3, 2)
+        assert grid.threads_per_block == 256
+        assert params.read_word(0x20) == memory.address_of("A")
+        assert params.read_word(0x28) == memory.address_of("C")
+
+    def test_untouched_c_tiles_stay_zero(self, fermi):
+        run = run_sgemm(
+            fermi, SgemmKernelConfig(m=192, n=192, k=16), blocks=[(0, 0)], validate=True
+        )
+        # Only block (0,0) ran, so the far tile must still be zero.
+        assert np.all(run.c[96:, 96:] == 0.0)
+
+
+class TestTimingSanity:
+    def test_more_k_means_more_cycles(self, fermi):
+        short = run_sgemm(fermi, SgemmKernelConfig(m=96, n=96, k=16), validate=False)
+        long = run_sgemm(fermi, SgemmKernelConfig(m=96, n=96, k=48), validate=False)
+        assert long.result.cycles > short.result.cycles
+
+    def test_ffma_dominates_dynamic_mix(self, fermi):
+        run = run_sgemm(fermi, SgemmKernelConfig(m=96, n=96, k=32), validate=False)
+        assert run.result.ffma_fraction > 0.55
+
+    def test_throughput_improves_with_resident_blocks(self, fermi):
+        # Two resident blocks (the Fermi occupancy the paper uses) hide latency
+        # better than one: the per-SM FFMA rate must go up.
+        single = run_sgemm(
+            fermi, SgemmKernelConfig(m=192, n=192, k=32), blocks=[(0, 0)], validate=False
+        )
+        double = run_sgemm(
+            fermi,
+            SgemmKernelConfig(m=192, n=192, k=32),
+            blocks=[(0, 0), (1, 0)],
+            validate=False,
+        )
+        assert double.result.ffma_per_cycle > single.result.ffma_per_cycle

@@ -1,0 +1,143 @@
+"""Tests for the NumPy reference, the baselines and the performance models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.microbench import paper_database
+from repro.model import UpperBoundModel
+from repro.model.params import FERMI_PAPER_CONFIG, KEPLER_LDS128_CONFIG
+from repro.sgemm import (
+    AsmPerformanceModel,
+    SgemmKernelConfig,
+    SgemmVariant,
+    cublas_model,
+    magma_model,
+    performance_curve,
+    random_matrices,
+    reference_sgemm,
+    validate_result,
+)
+from repro.sgemm.reference import expected_result, variant_from_flags
+
+
+class TestReference:
+    def test_matches_numpy_matmul(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 5)).astype(np.float32)
+        b = rng.standard_normal((5, 7)).astype(np.float32)
+        assert np.allclose(reference_sgemm(a, b), a @ b, atol=1e-5)
+
+    def test_alpha_beta(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        c = rng.standard_normal((4, 4)).astype(np.float32)
+        result = reference_sgemm(a, b, alpha=2.0, beta=0.5, c=c)
+        assert np.allclose(result, 2.0 * (a @ b) + 0.5 * c, atol=1e-4)
+
+    def test_transposes(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((5, 8)).astype(np.float32)
+        b = rng.standard_normal((7, 5)).astype(np.float32)
+        result = reference_sgemm(a, b, transpose_a=True, transpose_b=True)
+        assert np.allclose(result, a.T @ b.T, atol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            reference_sgemm(np.zeros((3, 3), np.float32), np.zeros((4, 4), np.float32))
+
+    def test_beta_requires_c(self):
+        with pytest.raises(ReproError):
+            reference_sgemm(
+                np.zeros((3, 3), np.float32), np.zeros((3, 3), np.float32), beta=1.0
+            )
+
+    @pytest.mark.parametrize("variant", list(SgemmVariant))
+    def test_random_matrices_shapes_follow_variant(self, variant):
+        config = SgemmKernelConfig(m=96, n=192, k=32, variant=variant)
+        a, b = random_matrices(config)
+        expected = expected_result(config, a, b)
+        assert expected.shape == (96, 192)
+
+    def test_validate_result_tolerance(self):
+        expected = np.ones((4, 4), dtype=np.float32)
+        assert validate_result(expected + 1e-6, expected) < 1e-4
+        with pytest.raises(ReproError):
+            validate_result(expected + 1.0, expected)
+
+    def test_variant_from_flags(self):
+        assert variant_from_flags(False, True) is SgemmVariant.NT
+        assert variant_from_flags(True, True) is SgemmVariant.TT
+
+
+class TestBaselines:
+    def test_cublas_fermi_efficiency(self, fermi):
+        # Paper intro: CUBLAS reaches ~70 % of peak on Fermi.
+        model = cublas_model(fermi)
+        large = model.gflops(4800, 4800, 4800, fermi)
+        assert large / fermi.theoretical_peak_gflops == pytest.approx(0.70, abs=0.02)
+
+    def test_cublas_kepler_efficiency(self, kepler):
+        # ... and only ~42 % on Kepler.
+        model = cublas_model(kepler)
+        large = model.gflops(4800, 4800, 4800, kepler)
+        assert large / kepler.theoretical_peak_gflops == pytest.approx(0.42, abs=0.02)
+
+    def test_magma_below_cublas_on_fermi(self, fermi):
+        size = 4800
+        assert magma_model(fermi).gflops(size, size, size, fermi) < cublas_model(fermi).gflops(
+            size, size, size, fermi
+        )
+
+    def test_small_matrices_are_slower(self, fermi):
+        model = cublas_model(fermi)
+        assert model.gflops(512, 512, 512, fermi) < model.gflops(4800, 4800, 4800, fermi)
+
+    def test_utilisation_bounded(self, fermi):
+        model = cublas_model(fermi)
+        for size in (96, 500, 1000, 2400):
+            assert 0.0 < model.utilisation(size, size, fermi) <= 1.0
+
+
+class TestAsmPerformanceModel:
+    @pytest.fixture(scope="class")
+    def fermi_model(self, fermi):
+        bound = UpperBoundModel(fermi, paper_database(), gpu_key="gtx580").analyse(
+            FERMI_PAPER_CONFIG
+        )
+        return AsmPerformanceModel(fermi, bound)
+
+    def test_large_matrix_hits_90_percent_of_bound(self, fermi, fermi_model):
+        # Paper Section 5: ~74.2 % of peak = ~90 % of the 82.5 % bound.
+        gflops = fermi_model.gflops(4800, 4800, 4800)
+        assert gflops / fermi.theoretical_peak_gflops == pytest.approx(0.742, abs=0.02)
+
+    def test_assembly_beats_cublas_on_fermi(self, fermi, fermi_model):
+        # Figure 5/6: the assembly kernel wins by ~5 % for large matrices.
+        cublas = cublas_model(fermi)
+        for size in (2400, 4800):
+            assert fermi_model.gflops(size, size, size) > cublas.gflops(size, size, size, fermi)
+
+    def test_assembly_beats_cublas_on_kepler_by_a_large_factor(self, kepler):
+        # Figure 5/7: ~1300 vs ~1150-1250 GFLOPS on GTX680; the win is clear.
+        bound = UpperBoundModel(kepler, paper_database(), gpu_key="gtx680").analyse(
+            KEPLER_LDS128_CONFIG
+        )
+        asm = AsmPerformanceModel(kepler, bound)
+        cublas = cublas_model(kepler)
+        assert asm.gflops(4800, 4800, 4800) > cublas.gflops(4800, 4800, 4800, kepler)
+
+    def test_curve_is_monotone_towards_plateau(self, fermi_model):
+        points = fermi_model.curve([500, 1000, 2000, 4000])
+        assert points[0].gflops < points[-1].gflops
+        assert points[-1].fraction_of_peak < 0.85
+
+    def test_performance_curve_bundles_baselines(self, fermi, fermi_model):
+        curves = performance_curve(
+            [960, 2400, 4800], fermi_model, [cublas_model(fermi), magma_model(fermi)]
+        )
+        assert set(curves) == {"assembly", "cublas_4.1", "magma_sgemm_fermi"}
+        assert all(len(points) == 3 for points in curves.values())

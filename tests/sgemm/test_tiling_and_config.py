@@ -1,0 +1,87 @@
+"""Tests for tile geometry and kernel configuration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import KernelGenerationError, ModelError
+from repro.sgemm import SgemmKernelConfig, SgemmVariant, tile_geometry
+
+
+class TestTileGeometry:
+    def test_paper_geometry(self):
+        geometry = tile_geometry(256, 6, 16)
+        assert geometry.thread_grid == 16
+        assert geometry.block_tile == 96
+        assert geometry.shared_tile_elements == 96 * 16
+        assert geometry.shared_bytes_per_block == 12288
+        assert geometry.elements_per_thread_per_tile == 6
+
+    def test_grid_for_exact_multiples(self):
+        geometry = tile_geometry(256, 6, 16)
+        assert geometry.grid_for(96, 192) == (2, 1)
+        assert geometry.grid_for(2400, 4800) == (50, 25)
+
+    def test_grid_for_non_multiple_rejected(self):
+        geometry = tile_geometry(256, 6, 16)
+        with pytest.raises(ModelError):
+            geometry.grid_for(100, 96)
+
+    def test_k_iterations(self):
+        geometry = tile_geometry(256, 6, 16)
+        assert geometry.k_iterations(96) == 6
+        with pytest.raises(ModelError):
+            geometry.k_iterations(100)
+
+    def test_equation3_enforced(self):
+        with pytest.raises(ModelError):
+            tile_geometry(256, 6, 10)  # 16*6*10 = 960 is not a multiple of 256
+
+    def test_non_square_block_rejected(self):
+        with pytest.raises(ModelError):
+            tile_geometry(200, 6, 16)
+
+    @given(
+        blocking=st.integers(min_value=1, max_value=8),
+        stride=st.sampled_from([8, 16, 24, 32]),
+    )
+    def test_shared_bytes_consistency(self, blocking, stride):
+        try:
+            geometry = tile_geometry(256, blocking, stride)
+        except ModelError:
+            return
+        assert geometry.shared_bytes_per_block == 2 * geometry.block_tile * stride * 4
+
+
+class TestVariants:
+    def test_transpose_flags(self):
+        assert not SgemmVariant.NN.transpose_a and not SgemmVariant.NN.transpose_b
+        assert not SgemmVariant.NT.transpose_a and SgemmVariant.NT.transpose_b
+        assert SgemmVariant.TN.transpose_a and not SgemmVariant.TN.transpose_b
+        assert SgemmVariant.TT.transpose_a and SgemmVariant.TT.transpose_b
+
+
+class TestKernelConfig:
+    def test_useful_flops(self):
+        config = SgemmKernelConfig(m=96, n=192, k=32)
+        assert config.useful_flops == 2 * 96 * 192 * 32
+
+    def test_kernel_name_encodes_parameters(self):
+        config = SgemmKernelConfig(m=96, n=96, k=16, conflict_free_allocation=False)
+        assert "naive" in config.kernel_name
+        assert "sgemm_nn" in config.kernel_name
+
+    def test_dimension_constraints(self):
+        with pytest.raises(KernelGenerationError):
+            SgemmKernelConfig(m=100, n=96, k=16)
+        with pytest.raises(KernelGenerationError):
+            SgemmKernelConfig(m=96, n=96, k=20)
+
+    def test_lds128_not_supported_by_generator_config(self):
+        with pytest.raises(KernelGenerationError):
+            SgemmKernelConfig(m=96, n=96, k=16, lds_width_bits=128)
+
+    def test_geometry_property(self):
+        config = SgemmKernelConfig(m=192, n=192, k=64)
+        assert config.geometry.block_tile == 96

@@ -1,0 +1,211 @@
+"""Tests for the functional executor: kernels computing known values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import KernelBuilder
+from repro.isa.instructions import ConstRef, MemRef
+from repro.isa.registers import SpecialRegister, predicate, reg
+from repro.sim import BlockGrid, GlobalMemory, KernelParams, simulate_kernel
+
+
+def run_single_warp(builder_fn, *, fermi, global_memory=None, params=None, threads=32):
+    """Build a kernel with ``builder_fn`` and run it on one warp, returning the result."""
+    builder = KernelBuilder(shared_memory_bytes=4096, threads_per_block=threads)
+    builder_fn(builder)
+    builder.exit()
+    kernel = builder.build()
+    return simulate_kernel(
+        fermi,
+        kernel,
+        BlockGrid(grid_x=1, block_x=threads),
+        global_memory=global_memory,
+        params=params,
+    )
+
+
+class TestArithmetic:
+    def test_ffma_computes_mad(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+
+        def body(b):
+            b.mov32i(1, 3.0)
+            b.mov32i(2, 4.0)
+            b.mov32i(3, 5.0)
+            b.ffma(4, 1, 2, 3)           # 3*4+5 = 17
+            b.mov32i(10, out_base)
+            b.s2r(11, SpecialRegister.LANEID)
+            b.shl(11, 11, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 4)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory)
+        values = memory.read_array("out", np.float32, (32,))
+        assert np.allclose(values, 17.0)
+
+    def test_integer_madd_and_shifts(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+
+        def body(b):
+            b.mov32i(1, 6)
+            b.mov32i(5, 9)
+            b.imad(2, 1, 7, reg(5))      # 6*7+9 = 51
+            b.shl(3, 2, 1)               # 102
+            b.shr(3, 3, 1)               # 51
+            b.lop_and(3, 3, 0x3F)        # 51
+            b.mov32i(10, out_base)
+            b.s2r(11, SpecialRegister.LANEID)
+            b.shl(11, 11, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 3)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory)
+        assert np.all(memory.read_array("out", np.uint32, (32,)) == 51)
+
+    def test_fadd_fmul(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+
+        def body(b):
+            b.mov32i(1, 1.5)
+            b.fadd(2, 1, 2.5)            # 4.0
+            b.fmul(3, 2, 0.5)            # 2.0
+            b.mov32i(10, out_base)
+            b.s2r(11, SpecialRegister.LANEID)
+            b.shl(11, 11, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 3)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory)
+        assert np.allclose(memory.read_array("out", np.float32, (32,)), 2.0)
+
+
+class TestSpecialRegistersAndPredicates:
+    def test_laneid_and_tid(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 64)
+
+        def body(b):
+            b.s2r(1, SpecialRegister.TID_X)
+            b.mov32i(10, out_base)
+            b.s2r(11, SpecialRegister.TID_X)
+            b.shl(11, 11, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 1)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory, threads=64)
+        assert np.array_equal(
+            memory.read_array("out", np.uint32, (64,)), np.arange(64, dtype=np.uint32)
+        )
+
+    def test_predicated_write(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+
+        def body(b):
+            b.s2r(1, SpecialRegister.LANEID)
+            b.mov32i(2, 0)
+            b.isetp(predicate(0), "LT", 1, 16)
+            with b.guarded(predicate(0)):
+                b.mov32i(2, 1)
+            b.mov32i(10, out_base)
+            b.shl(11, 1, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 2)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory)
+        values = memory.read_array("out", np.uint32, (32,))
+        assert np.array_equal(values[:16], np.ones(16, dtype=np.uint32))
+        assert np.array_equal(values[16:], np.zeros(16, dtype=np.uint32))
+
+    def test_constant_bank_parameter(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+        params = KernelParams()
+        params.add_pointer("out", out_base)
+        params.add_int("value", 12345)
+
+        def body(b):
+            b.mov(10, ConstRef(bank=0, offset=0x20))
+            b.mov(1, ConstRef(bank=0, offset=0x24))
+            b.s2r(11, SpecialRegister.LANEID)
+            b.shl(11, 11, 2)
+            b.iadd(10, 10, reg(11))
+            b.st(MemRef(base=reg(10)), 1)
+
+        run_single_warp(body, fermi=fermi, global_memory=memory, params=params)
+        assert np.all(memory.read_array("out", np.uint32, (32,)) == 12345)
+
+
+class TestSharedMemoryAndLoops:
+    def test_shared_store_load_round_trip(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+        builder = KernelBuilder(shared_memory_bytes=4096, threads_per_block=32)
+        builder.s2r(1, SpecialRegister.LANEID)
+        builder.shl(2, 1, 2)
+        builder.sts(MemRef(base=reg(2)), 1)
+        builder.bar(0)
+        builder.lds(4, MemRef(base=reg(2)), width=32)
+        builder.mov32i(10, out_base)
+        builder.iadd(10, 10, reg(2))
+        builder.st(MemRef(base=reg(10)), 4)
+        builder.exit()
+        simulate_kernel(
+            fermi, builder.build(), BlockGrid(grid_x=1, block_x=32), global_memory=memory
+        )
+        assert np.array_equal(
+            memory.read_array("out", np.uint32, (32,)), np.arange(32, dtype=np.uint32)
+        )
+
+    def test_wide_shared_load_pairs(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 8 * 32)
+        builder = KernelBuilder(shared_memory_bytes=4096, threads_per_block=32)
+        builder.s2r(1, SpecialRegister.LANEID)
+        builder.shl(2, 1, 3)                       # 8-byte slots
+        builder.mov32i(3, 100)
+        builder.iadd(3, 3, reg(1))
+        builder.sts(MemRef(base=reg(2)), 3)        # word0 = 100 + lane
+        builder.mov32i(4, 200)
+        builder.iadd(4, 4, reg(1))
+        builder.sts(MemRef(base=reg(2), offset=4), 4)  # word1 = 200 + lane
+        builder.bar(0)
+        builder.lds(6, MemRef(base=reg(2)), width=64)  # R6, R7
+        builder.mov32i(10, out_base)
+        builder.iadd(10, 10, reg(2))
+        builder.st(MemRef(base=reg(10)), 6)
+        builder.st(MemRef(base=reg(10), offset=4), 7)
+        builder.exit()
+        simulate_kernel(
+            fermi, builder.build(), BlockGrid(grid_x=1, block_x=32), global_memory=memory
+        )
+        out = memory.read_array("out", np.uint32, (32, 2))
+        assert np.array_equal(out[:, 0], 100 + np.arange(32, dtype=np.uint32))
+        assert np.array_equal(out[:, 1], 200 + np.arange(32, dtype=np.uint32))
+
+    def test_counted_loop(self, fermi):
+        memory = GlobalMemory()
+        out_base = memory.allocate("out", 4 * 32)
+        builder = KernelBuilder(shared_memory_bytes=64, threads_per_block=32)
+        builder.mov32i(1, 0)      # accumulator
+        builder.mov32i(2, 10)     # trip count
+        loop = builder.label("LOOP")
+        builder.iadd(1, 1, 3)
+        builder.iadd(2, 2, -1)
+        builder.isetp(predicate(0), "GT", 2, 0)
+        builder.bra(loop, predicate=predicate(0))
+        builder.mov32i(10, out_base)
+        builder.s2r(11, SpecialRegister.LANEID)
+        builder.shl(11, 11, 2)
+        builder.iadd(10, 10, reg(11))
+        builder.st(MemRef(base=reg(10)), 1)
+        builder.exit()
+        simulate_kernel(
+            fermi, builder.build(), BlockGrid(grid_x=1, block_x=32), global_memory=memory
+        )
+        assert np.all(memory.read_array("out", np.uint32, (32,)) == 30)

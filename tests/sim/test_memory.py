@@ -1,0 +1,102 @@
+"""Tests for simulated global memory and kernel parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import GlobalMemory, KernelParams
+
+
+class TestGlobalMemory:
+    def test_allocation_returns_aligned_addresses(self):
+        memory = GlobalMemory(size_bytes=1 << 20)
+        first = memory.allocate("a", 100)
+        second = memory.allocate("b", 100)
+        assert first % GlobalMemory.ALIGNMENT == 0
+        assert second % GlobalMemory.ALIGNMENT == 0
+        assert second >= first + 100
+
+    def test_null_address_unused(self):
+        memory = GlobalMemory(size_bytes=1 << 20)
+        assert memory.allocate("a", 4) >= GlobalMemory.ALIGNMENT
+
+    def test_array_round_trip(self):
+        memory = GlobalMemory(size_bytes=1 << 20)
+        data = np.arange(96, dtype=np.float32).reshape(8, 12)
+        memory.allocate_array("m", data)
+        assert np.array_equal(memory.read_array("m", np.float32, (8, 12)), data)
+
+    def test_duplicate_name_rejected(self):
+        memory = GlobalMemory(size_bytes=1 << 20)
+        memory.allocate("a", 4)
+        with pytest.raises(SimulationError):
+            memory.allocate("a", 4)
+
+    def test_out_of_memory(self):
+        memory = GlobalMemory(size_bytes=4096)
+        with pytest.raises(SimulationError):
+            memory.allocate("big", 1 << 20)
+
+    def test_unknown_buffer_rejected(self):
+        memory = GlobalMemory(size_bytes=4096)
+        with pytest.raises(SimulationError):
+            memory.address_of("nope")
+
+    def test_word_load_store(self):
+        memory = GlobalMemory(size_bytes=1 << 16)
+        base = memory.allocate("buf", 256)
+        addresses = np.array([base + 4 * lane for lane in range(32)], dtype=np.int64)
+        values = np.arange(32, dtype=np.uint32)
+        mask = np.ones(32, dtype=bool)
+        memory.store_words(addresses, values, mask)
+        assert np.array_equal(memory.load_words(addresses, mask), values)
+
+    def test_masked_lanes_skipped(self):
+        memory = GlobalMemory(size_bytes=1 << 16)
+        base = memory.allocate("buf", 256)
+        addresses = np.full(32, base, dtype=np.int64)
+        mask = np.zeros(32, dtype=bool)
+        memory.store_words(addresses, np.full(32, 7, dtype=np.uint32), mask)
+        assert memory.read_array("buf", np.uint32, (1,))[0] == 0
+
+    def test_out_of_bounds_access_rejected(self):
+        memory = GlobalMemory(size_bytes=4096)
+        addresses = np.array([memory.size_bytes], dtype=np.int64)
+        with pytest.raises(SimulationError):
+            memory.load_words(addresses, np.array([True]))
+
+
+class TestKernelParams:
+    def test_layout_offsets(self):
+        params = KernelParams()
+        a = params.add_pointer("A", 0x1000)
+        b = params.add_pointer("B", 0x2000)
+        c = params.add_pointer("C", 0x3000)
+        assert (a, b, c) == (0x20, 0x24, 0x28)
+        assert params.offset_of("B") == 0x24
+
+    def test_read_word(self):
+        params = KernelParams()
+        params.add_pointer("A", 0xDEAD00)
+        params.add_int("n", -5)
+        params.add_float("alpha", 1.5)
+        assert params.read_word(0x20) == 0xDEAD00
+        assert params.read_word(0x24) == (-5) & 0xFFFFFFFF
+        assert np.array([params.read_word(0x28)], dtype=np.uint32).view(np.float32)[0] == 1.5
+
+    def test_unknown_parameter_rejected(self):
+        params = KernelParams()
+        with pytest.raises(SimulationError):
+            params.offset_of("missing")
+
+    def test_out_of_range_read_rejected(self):
+        params = KernelParams()
+        with pytest.raises(SimulationError):
+            params.read_word(0x20)
+
+    def test_pointer_must_fit_32_bits(self):
+        params = KernelParams()
+        with pytest.raises(SimulationError):
+            params.add_pointer("A", 1 << 33)

@@ -1,0 +1,136 @@
+"""Tests for the timing model: throughput of characteristic instruction streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.microbench import MicrobenchRunner, mix_kernel, pure_ffma_kernel
+from repro.microbench.generators import FfmaOperandPattern
+from repro.sim import BlockGrid, simulate_kernel
+from repro.sim.pipelines import CostModel, latency_table_for
+from repro.isa.instructions import Instruction, MemRef, Opcode
+from repro.isa.registers import reg
+
+
+class TestCostModel:
+    def test_fermi_ffma_sp_cost(self, fermi):
+        model = CostModel(fermi)
+        ffma = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(2), reg(3)))
+        assert model.sp_cost_cycles(ffma) == pytest.approx(1.0)
+        assert model.issue_cost_threads(ffma) == pytest.approx(32.0)
+
+    def test_kepler_ffma_sp_cost(self, kepler):
+        model = CostModel(kepler)
+        ffma = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(2), reg(3)))
+        assert model.sp_cost_cycles(ffma) == pytest.approx(32.0 / 192.0)
+
+    def test_kepler_bank_conflict_multiplier(self, kepler):
+        model = CostModel(kepler)
+        conflict2 = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(3), reg(5)))
+        conflict3 = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(3), reg(9)))
+        clean = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(4), reg(5)))
+        assert model.operand_bank_multiplier(clean) == 1.0
+        assert model.operand_bank_multiplier(conflict2) == 2.0
+        assert model.operand_bank_multiplier(conflict3) == 3.0
+
+    def test_fermi_has_no_bank_conflict_penalty(self, fermi):
+        model = CostModel(fermi)
+        conflict3 = Instruction(opcode=Opcode.FFMA, dest=reg(0), sources=(reg(1), reg(3), reg(9)))
+        assert model.operand_bank_multiplier(conflict3) == 1.0
+
+    def test_lds_pipe_costs_by_width(self, fermi, kepler):
+        fermi_model = CostModel(fermi)
+        kepler_model = CostModel(kepler)
+        for width, fermi_rate, kepler_rate in ((32, 16.0, 33.1), (64, 8.0, 33.1), (128, 2.0, 16.5)):
+            lds = Instruction(
+                opcode=Opcode.LDS, dest=reg(8), sources=(MemRef(base=reg(30)),), width=width
+            )
+            assert fermi_model.ldst_cost_cycles(lds) == pytest.approx(32.0 / fermi_rate)
+            assert kepler_model.ldst_cost_cycles(lds) == pytest.approx(32.0 / kepler_rate)
+
+    def test_smem_replays_multiply_ldst_cost_only(self, fermi):
+        model = CostModel(fermi)
+        lds = Instruction(
+            opcode=Opcode.LDS, dest=reg(8), sources=(MemRef(base=reg(30)),), width=32
+        )
+        assert model.ldst_cost_cycles(lds, smem_replays=4) == pytest.approx(4 * 32.0 / 16.0)
+        assert model.issue_cost_threads(lds, smem_replays=4) == pytest.approx(32.0)
+
+    def test_latency_regimes(self, fermi, kepler):
+        fermi_latencies = latency_table_for(fermi)
+        kepler_latencies = latency_table_for(kepler)
+        assert fermi_latencies.math > kepler_latencies.math
+        assert fermi_latencies.global_load > fermi_latencies.shared_load > fermi_latencies.math
+
+
+class TestPureFfmaThroughput:
+    def test_fermi_ffma_approaches_sp_peak(self, fermi):
+        kernel = pure_ffma_kernel(
+            FfmaOperandPattern(dest=0, a=1, b=4, c=0), instruction_count=512
+        )
+        result = simulate_kernel(
+            fermi, kernel, BlockGrid(grid_x=1, block_x=512), functional=False
+        )
+        assert result.ffma_per_cycle > 0.85 * fermi.sm.sp_count
+
+    def test_kepler_ffma_limited_by_issue_not_sp_count(self, kepler):
+        # Section 3.3: the useful FFMA ceiling is ~132/cycle, far below 192.
+        kernel = pure_ffma_kernel(
+            FfmaOperandPattern(dest=0, a=1, b=4, c=5), instruction_count=256
+        )
+        result = simulate_kernel(
+            kepler, kernel, BlockGrid(grid_x=1, block_x=1024), functional=False
+        )
+        assert 100.0 < result.ffma_per_cycle < 140.0
+
+    def test_kepler_bank_conflicts_halve_throughput(self, kepler):
+        runner = MicrobenchRunner(kepler)
+        clean = runner.measure_ffma_pattern(FfmaOperandPattern(dest=0, a=1, b=4, c=5))
+        conflicted = runner.measure_ffma_pattern(FfmaOperandPattern(dest=0, a=1, b=3, c=5))
+        assert conflicted < 0.62 * clean
+
+
+class TestMixThroughput:
+    def test_fermi_6to1_lds64_mix_matches_paper_regime(self, fermi):
+        # Paper Section 4.2: ~30.4 thread instructions/cycle for the 6:1 LDS.64 mix.
+        kernel = mix_kernel(6, 64, dependent=False, groups=32)
+        result = simulate_kernel(
+            fermi, kernel, BlockGrid(grid_x=1, block_x=512), functional=False
+        )
+        assert 28.0 < result.instructions_per_cycle <= 32.0
+
+    def test_fermi_lds128_mix_is_slower(self, fermi):
+        fast = mix_kernel(6, 64, dependent=False, groups=32)
+        slow = mix_kernel(12, 128, dependent=False, groups=32)
+        fast_result = simulate_kernel(
+            fermi, fast, BlockGrid(grid_x=1, block_x=512), functional=False
+        )
+        slow_result = simulate_kernel(
+            fermi, slow, BlockGrid(grid_x=1, block_x=512), functional=False
+        )
+        # LDS.128's 2-instr/cycle throughput caps the mixed rate well below the
+        # LDS.64 mix even though its FFMA share is higher (paper Section 4.2).
+        assert slow_result.instructions_per_cycle < fast_result.instructions_per_cycle
+
+    def test_more_active_threads_help_dependent_mix(self, kepler):
+        runner = MicrobenchRunner(kepler)
+        few = runner.measure_mix(6, 64, active_threads=256, dependent=True, groups=24)
+        many = runner.measure_mix(6, 64, active_threads=1024, dependent=True, groups=24)
+        assert many.instructions_per_cycle > few.instructions_per_cycle
+
+    def test_dependent_slower_than_independent_at_low_occupancy(self, kepler):
+        runner = MicrobenchRunner(kepler)
+        dependent = runner.measure_mix(6, 64, active_threads=256, dependent=True, groups=24)
+        independent = runner.measure_mix(6, 64, active_threads=256, dependent=False, groups=24)
+        assert dependent.instructions_per_cycle <= independent.instructions_per_cycle + 1e-6
+
+
+class TestStallAccounting:
+    def test_stall_breakdown_totals(self, fermi):
+        kernel = mix_kernel(2, 64, dependent=True, groups=16)
+        result = simulate_kernel(
+            fermi, kernel, BlockGrid(grid_x=1, block_x=64), functional=False
+        )
+        assert result.stalls.total() == sum(result.stalls.as_dict().values())
+        assert result.cycles > 0
+        assert result.warp_instructions == sum(result.instruction_histogram.values())
