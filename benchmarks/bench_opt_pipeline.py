@@ -1,0 +1,72 @@
+"""Optimization-pass pipeline: conflicts removed and cycles saved.
+
+Not a paper figure — this benchmark tracks the `repro.opt` subsystem itself:
+it times the full pipeline over the naive-allocation SGEMM kernel and records
+before/after FFMA bank-conflict counts and simulated cycle counts on both
+machine models into BENCH_opt.json (written by the conftest session hook), so
+the optimizer's perf trajectory is visible across PRs.
+"""
+
+from __future__ import annotations
+
+from repro.opt import optimize_kernel, simulate_one_block
+from repro.sgemm import (
+    SgemmKernelConfig,
+    analyse_ffma_conflicts,
+    generate_naive_sgemm_kernel,
+    generate_sgemm_kernel,
+)
+
+from conftest import print_series, record_opt_metric
+
+
+def _cycles(gpu, kernel) -> float:
+    return simulate_one_block(gpu, kernel, max_cycles=5_000_000).cycles
+
+
+def test_opt_pipeline_conflicts_and_cycles(benchmark, fermi, kepler):
+    """Pipeline output: zero FFMA conflicts, cycles no worse than naive."""
+    config = SgemmKernelConfig(m=96, n=96, k=16)
+    naive = generate_naive_sgemm_kernel(config)
+    hand = generate_sgemm_kernel(config)
+
+    def optimize_both():
+        return {
+            "fermi": optimize_kernel(naive, fermi),
+            "kepler": optimize_kernel(naive, kepler),
+        }
+
+    results = benchmark.pedantic(optimize_both, rounds=1, iterations=1)
+
+    before = analyse_ffma_conflicts(naive)
+    lines = [
+        f"naive: {before.two_way} two-way / {before.three_way} three-way conflicts "
+        f"over {before.ffma_count} FFMAs"
+    ]
+    metrics: dict[str, object] = {
+        "kernel": naive.name,
+        "ffma_count": before.ffma_count,
+        "conflicts_before": {"two_way": before.two_way, "three_way": before.three_way},
+    }
+    for gpu_name, gpu in (("fermi", fermi), ("kepler", kepler)):
+        optimized = results[gpu_name].kernel
+        after = analyse_ffma_conflicts(optimized)
+        naive_cycles = _cycles(gpu, naive)
+        hand_cycles = _cycles(gpu, hand)
+        opt_cycles = _cycles(gpu, optimized)
+        lines.append(
+            f"{gpu_name:7s} cycles: naive {naive_cycles:7.0f}  hand {hand_cycles:7.0f}  "
+            f"pipeline {opt_cycles:7.0f}   conflicts after: {after.two_way + after.three_way}"
+        )
+        metrics[gpu_name] = {
+            "conflicts_after": {"two_way": after.two_way, "three_way": after.three_way},
+            "cycles_naive": naive_cycles,
+            "cycles_hand_allocated": hand_cycles,
+            "cycles_pipeline": opt_cycles,
+        }
+
+        assert after.two_way == 0 and after.three_way == 0
+        assert opt_cycles <= naive_cycles
+
+    record_opt_metric("sgemm_b6_t256_l16", metrics)
+    print_series("Optimization pipeline — conflicts and cycles", lines)

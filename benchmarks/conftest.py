@@ -11,10 +11,37 @@ produces both the timing table and the experiment data.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.arch import fermi_gtx580, kepler_gtx680
 from repro.microbench import paper_database
+
+#: Where the machine-readable optimization metrics land (next to this file).
+BENCH_OPT_PATH = Path(__file__).parent / "BENCH_opt.json"
+
+#: Metrics recorded by benchmarks via :func:`record_opt_metric` this session.
+_OPT_METRICS: dict[str, object] = {}
+
+
+def record_opt_metric(name: str, payload: dict[str, object]) -> None:
+    """Record one named metric blob for the BENCH_opt.json report.
+
+    Benchmarks call this with before/after conflict counts and simulated
+    cycle counts; the session-finish hook writes everything to
+    :data:`BENCH_OPT_PATH` so the perf trajectory is tracked across PRs.
+    """
+    _OPT_METRICS[name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write BENCH_opt.json when any optimization metrics were recorded."""
+    if not _OPT_METRICS:
+        return
+    document = {"schema": 1, "metrics": dict(sorted(_OPT_METRICS.items()))}
+    BENCH_OPT_PATH.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

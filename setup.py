@@ -1,10 +1,29 @@
-"""Setuptools shim.
+"""Package the ``src/``-layout library so ``pip install -e .`` works.
 
-Kept so that ``pip install -e .`` works on environments whose setuptools
-predates PEP-660 editable wheel support (the configuration itself lives in
-``pyproject.toml``).
+The repository keeps the importable package under ``src/repro``; declaring
+``package_dir``/``find_packages`` here means an editable (or regular) install
+puts ``repro`` on ``sys.path`` without the manual ``PYTHONPATH=src`` the test
+command uses.  Metadata is kept in this file (rather than ``pyproject.toml``)
+so environments whose setuptools predates PEP-621/PEP-660 still install
+cleanly; ``pyproject.toml`` only pins the build backend and tool config.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-cgo-lais13",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Performance Upper Bound Analysis and Optimization "
+        "of SGEMM on Fermi and Kepler GPUs' (CGO 2013): analytic model, "
+        "SASS-level kernel generator, optimization-pass pipeline and "
+        "cycle-level SM simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "ruff"],
+    },
+)

@@ -9,7 +9,7 @@ the end without an EXIT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.specs import GpuSpec
 from repro.errors import ValidationError

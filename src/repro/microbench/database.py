@@ -11,7 +11,7 @@ interpolate between measured active-thread counts and mix ratios.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.errors import ModelError

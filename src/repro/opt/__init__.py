@@ -1,0 +1,79 @@
+"""SASS optimization-pass pipeline (paper Sections 3.2-3.3, 5.4-5.5).
+
+The :mod:`repro.opt` subsystem turns the hand-crafted optimizations of the
+paper's SGEMM kernels — bank-conflict-free register allocation, careful
+LDS/FFMA interleaving, Kepler control notations — into reusable passes over
+any assembled :class:`~repro.isa.assembler.Kernel`:
+
+* :mod:`repro.opt.liveness` — def-use and liveness analysis;
+* :mod:`repro.opt.reallocation` — register recoloring that eliminates FFMA
+  operand bank conflicts (generalises Figure 9);
+* :mod:`repro.opt.scheduling` — latency-aware list scheduling of
+  straight-line regions;
+* :mod:`repro.opt.control_hints` — per-instruction Kepler control-notation
+  assignment;
+* :mod:`repro.opt.pipeline` — the pass pipeline with invariant checking;
+* :mod:`repro.opt.autotune` — a parallel sweep of pass configurations ×
+  SGEMM variants with kernel-hash-keyed result caching.
+"""
+
+from repro.opt.autotune import (
+    AutotuneCache,
+    TuneCandidate,
+    TuneOutcome,
+    autotune,
+    default_candidates,
+    evaluate_candidate,
+    format_leaderboard,
+    simulate_one_block,
+)
+from repro.opt.control_hints import assign_control_hints
+from repro.opt.liveness import DefUse, LivenessInfo, analyse_liveness, def_use
+from repro.opt.pipeline import (
+    ControlHintPass,
+    LatencyAwareSchedulingPass,
+    LivenessReportPass,
+    PassContext,
+    PassPipeline,
+    PassStats,
+    PipelineResult,
+    RegisterReallocationPass,
+    default_pipeline,
+    optimize_kernel,
+)
+from repro.opt.reallocation import ReallocationResult, reallocate_registers
+from repro.opt.rewrite import kernel_hash, replace_instructions
+from repro.opt.scheduling import ScheduleStats, derive_ffma_lds_ratio, schedule_kernel
+
+__all__ = [
+    "AutotuneCache",
+    "ControlHintPass",
+    "DefUse",
+    "LatencyAwareSchedulingPass",
+    "LivenessInfo",
+    "LivenessReportPass",
+    "PassContext",
+    "PassPipeline",
+    "PassStats",
+    "PipelineResult",
+    "ReallocationResult",
+    "RegisterReallocationPass",
+    "ScheduleStats",
+    "TuneCandidate",
+    "TuneOutcome",
+    "analyse_liveness",
+    "assign_control_hints",
+    "autotune",
+    "default_candidates",
+    "default_pipeline",
+    "def_use",
+    "derive_ffma_lds_ratio",
+    "evaluate_candidate",
+    "format_leaderboard",
+    "kernel_hash",
+    "optimize_kernel",
+    "reallocate_registers",
+    "replace_instructions",
+    "schedule_kernel",
+    "simulate_one_block",
+]

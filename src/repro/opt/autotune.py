@@ -1,0 +1,385 @@
+"""Parallel autotuner: sweep pass configurations × SGEMM variants.
+
+Section 5.5 of the paper argues the upper-bound analysis tells an auto-tuner
+*where* to look; this module supplies the *how*: every candidate is one
+(kernel configuration, pass-pipeline configuration) pair, evaluated by
+generating the kernel, running the optimization pipeline, simulating one
+block on :class:`~repro.sim.sm_sim.SmSimulator` (timing mode) and comparing
+against the analytic bound of :class:`~repro.model.bounds.UpperBoundModel`.
+
+Evaluations are independent, so the sweep fans out over a
+``multiprocessing`` pool (``workers=1`` runs serially in-process, which the
+tests use).  Simulation results are cached keyed by the **kernel content
+hash** (see :func:`repro.opt.rewrite.kernel_hash`): two candidates that
+generate byte-identical kernels — or the same candidate re-evaluated in a
+later sweep against a persisted cache file — share one simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.arch.specs import GpuSpec, get_gpu_spec
+from repro.errors import ModelError, ReproError
+from repro.model.params import SgemmConfig
+from repro.opt.pipeline import default_pipeline
+from repro.opt.rewrite import kernel_hash
+from repro.sgemm.config import SgemmKernelConfig, SgemmVariant
+from repro.sgemm.conflict_analysis import analyse_ffma_conflicts
+from repro.sgemm.generator import generate_naive_sgemm_kernel, generate_sgemm_kernel
+from repro.sim.launch import BlockGrid, LaunchConfig
+from repro.sim.sm_sim import SmSimulator
+
+
+@dataclass(frozen=True)
+class TuneCandidate:
+    """One point of the sweep: a kernel config plus a pipeline config.
+
+    Attributes
+    ----------
+    config:
+        The SGEMM kernel configuration to generate.
+    optimize:
+        Whether to run the pass pipeline over the generated kernel.
+    reallocate / schedule / control_hints:
+        Pipeline toggles (ignored when ``optimize`` is false).
+    ffma_per_lds:
+        Scheduler interleave steer (None → pure critical-path priority).
+    label:
+        Human-readable name used in reports.
+    """
+
+    config: SgemmKernelConfig
+    optimize: bool = True
+    reallocate: bool = True
+    schedule: bool = True
+    control_hints: bool = True
+    ffma_per_lds: float | None = None
+    label: str = ""
+
+    @property
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        suffix = "opt" if self.optimize else "asis"
+        return f"{self.config.kernel_name}:{suffix}"
+
+
+@dataclass(frozen=True)
+class TuneOutcome:
+    """Evaluation result of one candidate on one GPU."""
+
+    label: str
+    kernel_name: str
+    kernel_hash: str
+    gpu_key: str
+    cycles: float
+    gflops: float
+    efficiency: float
+    ffma_conflicts: int
+    register_count: int
+    bound_gflops: float | None
+    from_cache: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the candidate evaluated successfully."""
+        return self.error is None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view."""
+        return asdict(self)
+
+
+@dataclass
+class AutotuneCache:
+    """Simulation results keyed by kernel hash (optionally persisted).
+
+    The key includes the GPU and the cycle cap, so one cache file can hold
+    sweeps over several machines.
+    """
+
+    path: str | None = None
+    entries: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @staticmethod
+    def key_for(kernel_digest: str, gpu_key: str, max_cycles: int) -> str:
+        return f"{kernel_digest}:{gpu_key}:{max_cycles}"
+
+    @classmethod
+    def load(cls, path: str) -> "AutotuneCache":
+        """Load a cache file (an empty cache when the file does not exist)."""
+        entries: dict[str, dict[str, float]] = {}
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                entries = json.load(handle)
+        return cls(path=path, entries=entries)
+
+    def save(self) -> None:
+        """Persist the cache when a path was configured."""
+        if self.path is None:
+            return
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(self.entries, handle, indent=1, sort_keys=True)
+
+
+def _gpu_key(gpu: GpuSpec) -> str:
+    return gpu.name.lower().replace("geforce ", "").replace(" ", "")
+
+
+def _analytic_bound(gpu: GpuSpec, config: SgemmKernelConfig) -> float | None:
+    """Potential-peak GFLOPS of the configuration, None when unavailable."""
+    from repro.microbench import paper_database
+    from repro.model.bounds import UpperBoundModel
+
+    try:
+        model_config = SgemmConfig(
+            register_blocking=config.register_blocking,
+            lds_width_bits=config.lds_width_bits,
+            threads_per_block=config.threads_per_block,
+            stride=config.stride,
+        )
+        breakdown = UpperBoundModel(gpu, paper_database(), gpu_key=_gpu_key(gpu)).analyse(
+            model_config
+        )
+    except (ModelError, ReproError, KeyError):
+        return None
+    return breakdown.potential_gflops
+
+
+def simulate_one_block(
+    gpu: GpuSpec,
+    kernel,
+    *,
+    max_cycles: int = 2_000_000,
+    functional: bool = False,
+):
+    """Timing-mode simulation of one block of ``kernel`` on one SM.
+
+    The shared evaluation primitive behind the autotuner, the opt benchmark
+    and the examples: one `threads_per_block`-wide block, no functional
+    execution unless requested.
+    """
+    simulator = SmSimulator(gpu, kernel)
+    launch = LaunchConfig(
+        grid=BlockGrid(grid_x=1, grid_y=1, block_x=kernel.threads_per_block or 256),
+        functional=functional,
+        max_cycles=max_cycles,
+    )
+    return simulator.run(launch, block_indices=[(0, 0)])
+
+
+def evaluate_candidate(
+    gpu: GpuSpec | str,
+    candidate: TuneCandidate,
+    *,
+    max_cycles: int = 2_000_000,
+    cache_entries: dict[str, dict[str, float]] | None = None,
+) -> TuneOutcome:
+    """Generate, optimize and simulate one candidate (picklable worker fn).
+
+    ``gpu`` may be a machine description (preserving any caller
+    customisation) or a name resolved via :func:`get_gpu_spec`.
+    ``cache_entries`` is a read-only snapshot; on a hash hit the simulation
+    is skipped and the cached cycle count reused.
+    """
+    label = candidate.display_label
+    try:
+        spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+        gpu_key = _gpu_key(spec)
+    except ReproError as exc:
+        return TuneOutcome(
+            label=label,
+            kernel_name=candidate.config.kernel_name,
+            kernel_hash="",
+            gpu_key=str(gpu),
+            cycles=float("inf"),
+            gflops=0.0,
+            efficiency=0.0,
+            ffma_conflicts=-1,
+            register_count=-1,
+            bound_gflops=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    try:
+        if candidate.optimize:
+            kernel = generate_naive_sgemm_kernel(candidate.config)
+            pipeline = default_pipeline(
+                spec,
+                reallocate=candidate.reallocate,
+                schedule=candidate.schedule,
+                control_hints=candidate.control_hints,
+                options={"schedule.ffma_per_lds": candidate.ffma_per_lds},
+            )
+            kernel = pipeline.run(kernel).kernel
+        else:
+            kernel = generate_sgemm_kernel(candidate.config)
+        digest = kernel_hash(kernel)
+        conflicts = analyse_ffma_conflicts(kernel)
+
+        cache_key = AutotuneCache.key_for(digest, gpu_key, max_cycles)
+        cached = (cache_entries or {}).get(cache_key)
+        if cached is not None:
+            cycles = float(cached["cycles"])
+            gflops = float(cached["gflops"])
+            efficiency = float(cached["efficiency"])
+            from_cache = True
+        else:
+            result = simulate_one_block(spec, kernel, max_cycles=max_cycles)
+            cycles = result.cycles
+            gflops = result.gflops(spec)
+            efficiency = result.efficiency(spec)
+            from_cache = False
+        return TuneOutcome(
+            label=label,
+            kernel_name=kernel.name,
+            kernel_hash=digest,
+            gpu_key=gpu_key,
+            cycles=cycles,
+            gflops=gflops,
+            efficiency=efficiency,
+            ffma_conflicts=conflicts.two_way + conflicts.three_way,
+            register_count=kernel.register_count,
+            bound_gflops=_analytic_bound(spec, candidate.config),
+            from_cache=from_cache,
+        )
+    except ReproError as exc:
+        return TuneOutcome(
+            label=label,
+            kernel_name=candidate.config.kernel_name,
+            kernel_hash="",
+            gpu_key=gpu_key,
+            cycles=float("inf"),
+            gflops=0.0,
+            efficiency=0.0,
+            ffma_conflicts=-1,
+            register_count=-1,
+            bound_gflops=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def default_candidates(
+    *,
+    variants: tuple[SgemmVariant, ...] = tuple(SgemmVariant),
+    k: int = 16,
+    include_unoptimized: bool = True,
+    include_golden: bool = True,
+) -> list[TuneCandidate]:
+    """The standard sweep: every variant × {naive, pipeline, hand allocation}.
+
+    All candidates use the paper's Fermi-point geometry (B_R=6, 256 threads,
+    L=16, LDS.64) on a single-tile problem so one simulated block covers the
+    whole grid.
+    """
+    candidates: list[TuneCandidate] = []
+    for variant in variants:
+        base = SgemmKernelConfig(
+            m=96, n=96, k=k, variant=variant, conflict_free_allocation=False
+        )
+        if include_unoptimized:
+            candidates.append(
+                TuneCandidate(
+                    config=base, optimize=False, label=f"{variant.value.lower()}:naive"
+                )
+            )
+        candidates.append(
+            TuneCandidate(config=base, optimize=True, label=f"{variant.value.lower()}:pipeline")
+        )
+        if include_golden:
+            golden = replace(base, conflict_free_allocation=True)
+            candidates.append(
+                TuneCandidate(
+                    config=golden, optimize=False, label=f"{variant.value.lower()}:hand"
+                )
+            )
+    return candidates
+
+
+def _evaluate_star(packed: tuple) -> TuneOutcome:
+    gpu, candidate, max_cycles, cache_entries = packed
+    return evaluate_candidate(
+        gpu, candidate, max_cycles=max_cycles, cache_entries=cache_entries
+    )
+
+
+def autotune(
+    gpu: GpuSpec | str,
+    candidates: list[TuneCandidate] | None = None,
+    *,
+    workers: int | None = None,
+    cache: AutotuneCache | None = None,
+    max_cycles: int = 2_000_000,
+) -> list[TuneOutcome]:
+    """Evaluate ``candidates`` on ``gpu``, best (fewest cycles) first.
+
+    Parameters
+    ----------
+    gpu:
+        Machine description or its name (``"gtx580"``, ``"gtx680"``, …).
+    candidates:
+        Sweep points; defaults to :func:`default_candidates`.
+    workers:
+        Process count for the multiprocessing pool; ``None`` uses the CPU
+        count (capped by the candidate count), ``1`` runs serially
+        in-process.
+    cache:
+        Simulation cache; hits skip the simulator entirely.  New results are
+        added and, when the cache has a path, persisted.
+    max_cycles:
+        Per-simulation cycle cap.
+    """
+    spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+    if candidates is None:
+        candidates = default_candidates()
+    if cache is None:
+        cache = AutotuneCache()
+
+    if workers is None:
+        workers = min(len(candidates), os.cpu_count() or 1)
+    workers = max(1, min(workers, len(candidates)))
+
+    snapshot = dict(cache.entries)
+    if workers == 1:
+        outcomes = [
+            evaluate_candidate(spec, candidate, max_cycles=max_cycles, cache_entries=snapshot)
+            for candidate in candidates
+        ]
+    else:
+        jobs = [(spec, candidate, max_cycles, snapshot) for candidate in candidates]
+        with multiprocessing.Pool(processes=workers) as pool:
+            outcomes = pool.map(_evaluate_star, jobs)
+
+    for outcome in outcomes:
+        if outcome.ok and not outcome.from_cache:
+            cache.entries[AutotuneCache.key_for(outcome.kernel_hash, outcome.gpu_key, max_cycles)] = {
+                "cycles": outcome.cycles,
+                "gflops": outcome.gflops,
+                "efficiency": outcome.efficiency,
+            }
+    cache.save()
+    return sorted(outcomes, key=lambda o: (not o.ok, o.cycles, o.label))
+
+
+def format_leaderboard(outcomes: list[TuneOutcome]) -> str:
+    """Render autotune outcomes as an aligned text table."""
+    header = (
+        f"{'candidate':28s} {'cycles':>10s} {'GFLOPS':>8s} {'eff %':>7s} "
+        f"{'conf':>5s} {'regs':>5s} {'bound':>8s} {'cached':>6s}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        if not outcome.ok:
+            lines.append(f"{outcome.label:28s} failed: {outcome.error}")
+            continue
+        bound = f"{outcome.bound_gflops:8.1f}" if outcome.bound_gflops else f"{'-':>8s}"
+        lines.append(
+            f"{outcome.label:28s} {outcome.cycles:10.0f} {outcome.gflops:8.1f} "
+            f"{100.0 * outcome.efficiency:7.2f} {outcome.ffma_conflicts:5d} "
+            f"{outcome.register_count:5d} {bound} {str(outcome.from_cache):>6s}"
+        )
+    return "\n".join(lines)

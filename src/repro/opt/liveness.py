@@ -1,0 +1,176 @@
+"""Liveness and def-use analysis over assembled kernels.
+
+The optimization passes need to know, per instruction, which registers and
+predicates are defined and used, and — across the whole kernel — where values
+are live.  The analysis works on the resolved instruction stream of a
+:class:`~repro.isa.assembler.Kernel`:
+
+* :func:`def_use` classifies one instruction's register/predicate defs and
+  uses (wide loads and stores expand to their register pairs/quads, memory
+  bases count as uses, guard predicates count as predicate uses);
+* :func:`analyse_liveness` runs the classic backward dataflow over the
+  control-flow graph implied by the branch-target map and returns per-index
+  live-in/live-out sets plus derived statistics (register pressure, live
+  ranges) that the reallocation pass and the pipeline report consume.
+
+Predicated instructions deserve one note: a write under a guard predicate may
+not happen, so it does **not** kill the previous value — the analysis treats
+predicated defs as non-killing, which keeps the live ranges conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.assembler import Kernel
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class DefUse:
+    """Register and predicate defs/uses of one instruction.
+
+    Attributes
+    ----------
+    reg_defs:
+        Indices of general-purpose registers written (RZ excluded, wide loads
+        expanded to all written registers).
+    reg_uses:
+        Indices of general-purpose registers read (memory bases and wide
+        stores included).
+    pred_defs:
+        Indices of predicate registers written (ISETP destinations).
+    pred_uses:
+        Indices of predicate registers read (guard predicates; PT excluded).
+    killing:
+        Whether the register defs unconditionally overwrite their targets
+        (false for predicated instructions).
+    """
+
+    reg_defs: tuple[int, ...]
+    reg_uses: tuple[int, ...]
+    pred_defs: tuple[int, ...]
+    pred_uses: tuple[int, ...]
+    killing: bool
+
+
+def def_use(instruction: Instruction) -> DefUse:
+    """Classify the register/predicate defs and uses of ``instruction``."""
+    reg_defs = tuple(r.index for r in instruction.registers_written)
+    reg_uses = tuple(r.index for r in instruction.registers_read)
+    pred_defs: tuple[int, ...] = ()
+    if instruction.dest_predicate is not None and not instruction.dest_predicate.is_true:
+        pred_defs = (instruction.dest_predicate.index,)
+    pred_uses: tuple[int, ...] = ()
+    if not instruction.predicate.is_true:
+        pred_uses = (instruction.predicate.index,)
+    return DefUse(
+        reg_defs=reg_defs,
+        reg_uses=reg_uses,
+        pred_defs=pred_defs,
+        pred_uses=pred_uses,
+        killing=instruction.predicate.is_true,
+    )
+
+
+def successors(kernel: Kernel, index: int) -> tuple[int, ...]:
+    """Control-flow successors of the instruction at ``index``.
+
+    EXIT has no successors; an unconditional BRA only its target; a
+    predicated BRA both the fall-through and the target.  The index one past
+    the last instruction is a legal successor (kernel end).
+    """
+    instruction = kernel.instructions[index]
+    if instruction.opcode is Opcode.EXIT:
+        return ()
+    if instruction.opcode is Opcode.BRA:
+        target = kernel.branch_targets.get(index)
+        if target is None:  # pragma: no cover - assembler guarantees resolution
+            return (index + 1,)
+        if instruction.predicate.is_true and not instruction.predicate_negated:
+            return (target,)
+        return (index + 1, target)
+    return (index + 1,)
+
+
+@dataclass(frozen=True)
+class LivenessInfo:
+    """Result of the backward liveness dataflow over one kernel.
+
+    Attributes
+    ----------
+    live_in / live_out:
+        Per-instruction-index sets of live general-purpose register indices.
+    def_points / use_points:
+        For every register index, the instruction indices that define/use it.
+    """
+
+    live_in: tuple[frozenset[int], ...]
+    live_out: tuple[frozenset[int], ...]
+    def_points: dict[int, tuple[int, ...]]
+    use_points: dict[int, tuple[int, ...]]
+
+    @property
+    def max_pressure(self) -> int:
+        """Maximum number of simultaneously live registers."""
+        if not self.live_in:
+            return 0
+        return max(len(live) for live in self.live_in)
+
+    def pressure_at(self, index: int) -> int:
+        """Number of registers live into instruction ``index``."""
+        return len(self.live_in[index])
+
+    def live_range(self, register: int) -> tuple[int, int] | None:
+        """(first, last) instruction index at which ``register`` is live-in."""
+        live_at = [i for i, live in enumerate(self.live_in) if register in live]
+        if not live_at:
+            return None
+        return live_at[0], live_at[-1]
+
+    def registers_used(self) -> tuple[int, ...]:
+        """All register indices defined or used anywhere in the kernel."""
+        return tuple(sorted(set(self.def_points) | set(self.use_points)))
+
+
+def analyse_liveness(kernel: Kernel) -> LivenessInfo:
+    """Backward liveness dataflow over ``kernel``'s control-flow graph."""
+    instructions = kernel.instructions
+    count = len(instructions)
+    info = [def_use(instruction) for instruction in instructions]
+
+    def_points: dict[int, list[int]] = {}
+    use_points: dict[int, list[int]] = {}
+    for index, du in enumerate(info):
+        for register in du.reg_defs:
+            def_points.setdefault(register, []).append(index)
+        for register in du.reg_uses:
+            use_points.setdefault(register, []).append(index)
+
+    live_in: list[set[int]] = [set() for _ in range(count)]
+    live_out: list[set[int]] = [set() for _ in range(count)]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(count - 1, -1, -1):
+            du = info[index]
+            out: set[int] = set()
+            for successor in successors(kernel, index):
+                if successor < count:
+                    out |= live_in[successor]
+            kills = set(du.reg_defs) if du.killing else set()
+            new_in = set(du.reg_uses) | (out - kills)
+            if not du.killing:
+                # A predicated def still needs its destination allocated.
+                new_in |= set(du.reg_defs) & out
+            if out != live_out[index] or new_in != live_in[index]:
+                live_out[index] = out
+                live_in[index] = new_in
+                changed = True
+
+    return LivenessInfo(
+        live_in=tuple(frozenset(s) for s in live_in),
+        live_out=tuple(frozenset(s) for s in live_out),
+        def_points={r: tuple(points) for r, points in def_points.items()},
+        use_points={r: tuple(points) for r, points in use_points.items()},
+    )

@@ -17,7 +17,12 @@ from repro.sgemm.register_allocation import (
     allocate_naive,
 )
 from repro.sgemm.conflict_analysis import ConflictReport, analyse_ffma_conflicts
-from repro.sgemm.generator import SgemmKernelGenerator, generate_sgemm_kernel
+from repro.sgemm.generator import (
+    SgemmKernelGenerator,
+    generate_naive_sgemm_kernel,
+    generate_optimized_sgemm_kernel,
+    generate_sgemm_kernel,
+)
 from repro.sgemm.reference import reference_sgemm, random_matrices, validate_result
 from repro.sgemm.baselines import BaselinePerformanceModel, cublas_model, magma_model
 from repro.sgemm.performance import (
@@ -39,6 +44,8 @@ __all__ = [
     "ConflictReport",
     "analyse_ffma_conflicts",
     "SgemmKernelGenerator",
+    "generate_naive_sgemm_kernel",
+    "generate_optimized_sgemm_kernel",
     "generate_sgemm_kernel",
     "reference_sgemm",
     "random_matrices",

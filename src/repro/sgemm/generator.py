@@ -34,7 +34,7 @@ from repro.isa.assembler import Kernel
 from repro.isa.builder import KernelBuilder
 from repro.isa.instructions import MemRef
 from repro.isa.registers import Register, SpecialRegister, predicate
-from repro.sgemm.config import SgemmKernelConfig, SgemmVariant
+from repro.sgemm.config import SgemmKernelConfig
 from repro.sgemm.register_allocation import (
     RegisterAllocation,
     allocate_conflict_free,
@@ -217,7 +217,6 @@ class SgemmKernelGenerator:
         tile = geometry.block_tile
         b_r = config.register_blocking
         stride = geometry.stride
-        elements = geometry.elements_per_thread_per_tile
         shared_b_base = tile * stride * 4
 
         builder = KernelBuilder(
@@ -471,5 +470,62 @@ class SgemmKernelGenerator:
 
 
 def generate_sgemm_kernel(config: SgemmKernelConfig) -> Kernel:
-    """Generate one specialised SGEMM kernel."""
+    """Generate one specialised SGEMM kernel.
+
+    With ``config.conflict_free_allocation`` set this emits the hand-crafted
+    Figure 9 allocation directly — the *golden reference* the optimization
+    pipeline is validated against.  The production path for optimized kernels
+    is :func:`generate_optimized_sgemm_kernel`, which starts from the naive
+    allocation and lets :mod:`repro.opt` recolor and reschedule it.
+    """
     return SgemmKernelGenerator(config).generate()
+
+
+def generate_naive_sgemm_kernel(config: SgemmKernelConfig) -> Kernel:
+    """Generate the bank-oblivious (compiler-like) kernel for ``config``.
+
+    This is the pipeline's input: the same code structure as the optimized
+    kernel but with the sequential register allocation whose conflicts
+    Figure 8 quantifies, and no scheduling effort beyond program order.
+    """
+    from dataclasses import replace
+
+    return SgemmKernelGenerator(
+        replace(config, conflict_free_allocation=False)
+    ).generate()
+
+
+def generate_optimized_sgemm_kernel(
+    config: SgemmKernelConfig,
+    gpu=None,
+    **pipeline_kwargs,
+):
+    """Generate a naive kernel and optimize it through :mod:`repro.opt`.
+
+    Emits the naive-allocation kernel for ``config`` and runs the default
+    optimization pipeline (register reallocation, latency-aware scheduling
+    and — on Kepler — control-notation assignment) over it.
+
+    Parameters
+    ----------
+    config:
+        Kernel configuration; ``conflict_free_allocation`` is ignored (the
+        pipeline always starts from the naive allocation).
+    gpu:
+        Optional :class:`~repro.arch.specs.GpuSpec` the pipeline targets.
+    pipeline_kwargs:
+        Forwarded to :func:`repro.opt.pipeline.default_pipeline`
+        (``reallocate=``, ``schedule=``, ``control_hints=``, ``options=``).
+
+    Returns
+    -------
+    tuple[Kernel, "repro.opt.pipeline.PipelineResult"]
+        The optimized kernel and the per-pass report.
+    """
+    # Imported lazily: repro.opt.autotune imports this module, and the
+    # generator must stay importable without pulling the whole opt package.
+    from repro.opt.pipeline import optimize_kernel
+
+    naive = generate_naive_sgemm_kernel(config)
+    result = optimize_kernel(naive, gpu, **pipeline_kwargs)
+    return result.kernel, result

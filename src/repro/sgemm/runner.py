@@ -17,12 +17,10 @@ from repro.isa.assembler import Kernel
 from repro.sgemm.config import SgemmKernelConfig
 from repro.sgemm.generator import (
     PARAM_A_OFFSET,
-    PARAM_B_OFFSET,
     PARAM_C_OFFSET,
     generate_sgemm_kernel,
 )
 from repro.sgemm.reference import expected_result, random_matrices, validate_result
-from repro.sim.gpu_sim import GpuSimulator
 from repro.sim.launch import BlockGrid
 from repro.sim.memory import GlobalMemory, KernelParams
 from repro.sim.results import SimResult
@@ -109,7 +107,6 @@ def run_sgemm(
     a, b = random_matrices(config, seed=seed)
     memory, params, grid = build_launch(config, a, b)
 
-    simulator = GpuSimulator(gpu)
     if blocks is None:
         blocks = grid.block_indices()
     from repro.sim.launch import LaunchConfig

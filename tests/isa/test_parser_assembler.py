@@ -8,7 +8,7 @@ from repro.errors import AssemblyError
 from repro.isa import assemble_text, disassemble, format_instruction, parse_program
 from repro.isa.instructions import ConstRef, Immediate, MemRef, Opcode
 from repro.isa.parser import parse_instruction_line
-from repro.isa.registers import PT, predicate, reg
+from repro.isa.registers import predicate, reg
 
 SAMPLE_KERNEL = """
 // SGEMM-style main loop fragment

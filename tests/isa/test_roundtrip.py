@@ -1,0 +1,103 @@
+"""Assembler ↔ disassembler round-trip property over generated kernels.
+
+The disassembler promises parser-compatible output; this test enforces the
+full loop — generate → disassemble → parse → re-assemble — over a grid of
+SGEMM kernels (all transpose variants, several blocking factors and LDS
+widths, both allocations) *and* over pipeline-optimized kernels, so encoding
+drift introduced by an optimization pass cannot hide behind the pass's own
+rewrite machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro.isa.assembler import assemble_text
+from repro.isa.disassembler import disassemble
+from repro.sgemm.config import SgemmKernelConfig, SgemmVariant
+from repro.sgemm.generator import generate_sgemm_kernel
+
+
+def _strip_label(instruction):
+    """Branch targets are renamed by the disassembler; compare them canonical."""
+    from repro.isa.instructions import Label
+
+    if instruction.target is not None:
+        return dc_replace(instruction, target=Label("L"), comment="")
+    if instruction.comment:
+        return dc_replace(instruction, comment="")
+    return instruction
+
+
+def assert_round_trips(kernel) -> None:
+    text = disassemble(kernel)
+    rebuilt = assemble_text(
+        text,
+        name=kernel.name,
+        shared_memory_bytes=kernel.shared_memory_bytes,
+        threads_per_block=kernel.threads_per_block,
+    )
+    assert rebuilt.instruction_count == kernel.instruction_count
+    assert rebuilt.branch_targets == kernel.branch_targets
+    for original, parsed in zip(kernel.instructions, rebuilt.instructions):
+        assert _strip_label(original) == _strip_label(parsed)
+    # Binary encodings must survive byte-for-byte (label names are not
+    # encoded, so this holds for every instruction including branches).
+    for original, parsed in zip(kernel.encoded, rebuilt.encoded):
+        assert original.to_bytes() == parsed.to_bytes()
+
+
+@pytest.mark.parametrize("variant", list(SgemmVariant))
+@pytest.mark.parametrize("conflict_free", [True, False])
+def test_all_variants_round_trip(variant, conflict_free):
+    kernel = generate_sgemm_kernel(
+        SgemmKernelConfig(
+            m=96, n=96, k=16, variant=variant, conflict_free_allocation=conflict_free
+        )
+    )
+    assert_round_trips(kernel)
+
+
+@pytest.mark.parametrize(
+    "blocking,lds_width,threads",
+    [(3, 32, 256), (4, 64, 256), (5, 64, 256), (6, 32, 256), (4, 32, 64)],
+)
+def test_other_shapes_round_trip(blocking, lds_width, threads):
+    tile = int(threads**0.5) * blocking
+    size = tile * (2 if tile % 2 else 1)
+    kernel = generate_sgemm_kernel(
+        SgemmKernelConfig(
+            m=size,
+            n=size,
+            k=16,
+            register_blocking=blocking,
+            lds_width_bits=lds_width,
+            threads_per_block=threads,
+        )
+    )
+    assert_round_trips(kernel)
+
+
+def test_pipeline_optimized_kernel_round_trips(kepler):
+    """Optimized kernels go through replace_instructions, not the assembler —
+    the round trip is the independent check that their encodings are sound."""
+    from repro.opt import optimize_kernel
+    from repro.sgemm.generator import generate_naive_sgemm_kernel
+
+    naive = generate_naive_sgemm_kernel(SgemmKernelConfig(m=96, n=96, k=16))
+    optimized = optimize_kernel(naive, kepler).kernel
+    assert_round_trips(optimized)
+
+
+def test_round_trip_is_idempotent():
+    kernel = generate_sgemm_kernel(SgemmKernelConfig(m=96, n=96, k=16))
+    once = disassemble(kernel)
+    rebuilt = assemble_text(
+        once,
+        name=kernel.name,
+        shared_memory_bytes=kernel.shared_memory_bytes,
+        threads_per_block=kernel.threads_per_block,
+    )
+    assert disassemble(rebuilt) == once

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import ModelError
 from repro.microbench import PerfDatabase
 from repro.model import DesignSpaceSweep
-from repro.model.params import SgemmConfig
 
 
 def _rich_database() -> PerfDatabase:

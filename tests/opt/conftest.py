@@ -1,0 +1,14 @@
+"""Shared fixtures for the optimization-pass tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def naive_kernel():
+    """The naive-allocation SGEMM kernel the pipeline is pointed at."""
+    from repro.sgemm.config import SgemmKernelConfig
+    from repro.sgemm.generator import generate_naive_sgemm_kernel
+
+    return generate_naive_sgemm_kernel(SgemmKernelConfig(m=96, n=96, k=16))

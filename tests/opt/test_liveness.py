@@ -1,0 +1,101 @@
+"""Tests for the def-use and liveness analysis."""
+
+from __future__ import annotations
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import MemRef
+from repro.isa.registers import Register, predicate
+from repro.opt.liveness import analyse_liveness, def_use
+
+
+def _toy_kernel():
+    builder = KernelBuilder(name="toy")
+    builder.mov32i(0, 1)               # R0 = 1
+    builder.mov32i(1, 2)               # R1 = 2
+    builder.iadd(2, 0, Register(1))    # R2 = R0 + R1
+    builder.iadd(3, 2, 5)              # R3 = R2 + 5
+    builder.st(MemRef(base=Register(4)), 3)
+    builder.exit()
+    return builder.build()
+
+
+class TestDefUse:
+    def test_plain_alu(self):
+        kernel = _toy_kernel()
+        du = def_use(kernel.instructions[2])
+        assert du.reg_defs == (2,)
+        assert set(du.reg_uses) == {0, 1}
+        assert du.killing
+
+    def test_store_has_no_defs_and_reads_base(self):
+        kernel = _toy_kernel()
+        du = def_use(kernel.instructions[4])
+        assert du.reg_defs == ()
+        assert set(du.reg_uses) == {3, 4}
+
+    def test_wide_load_defines_pair(self):
+        builder = KernelBuilder()
+        builder.lds(6, MemRef(base=Register(1)), width=64)
+        builder.exit()
+        kernel = builder.build()
+        assert def_use(kernel.instructions[0]).reg_defs == (6, 7)
+
+    def test_predicated_write_is_not_killing(self):
+        builder = KernelBuilder()
+        p = predicate(1)
+        builder.isetp(p, "GT", 0, 0)
+        with builder.guarded(p):
+            builder.mov32i(2, 7)
+        builder.exit()
+        kernel = builder.build()
+        guarded = def_use(kernel.instructions[1])
+        assert not guarded.killing
+        assert guarded.pred_uses == (1,)
+        assert def_use(kernel.instructions[0]).pred_defs == (1,)
+
+
+class TestLiveness:
+    def test_straight_line_ranges(self):
+        kernel = _toy_kernel()
+        info = analyse_liveness(kernel)
+        # R0 live from its def's successor until the add consumes it.
+        assert 0 in info.live_in[2]
+        assert 0 not in info.live_in[3]
+        # R3 live between the second add and the store.
+        assert 3 in info.live_in[4]
+        assert info.live_range(3) == (4, 4)
+
+    def test_pressure_counts_simultaneous_values(self):
+        kernel = _toy_kernel()
+        info = analyse_liveness(kernel)
+        # Right before the first IADD: R0, R1 and the store base R4 are live
+        # (R4 is live-in to the whole kernel — it is never written).
+        assert info.pressure_at(2) == 3
+        assert info.max_pressure == 3
+
+    def test_loop_keeps_carried_values_live(self):
+        builder = KernelBuilder()
+        builder.mov32i(0, 4)                 # loop counter
+        builder.mov32i(1, 0)                 # accumulator
+        top = builder.label("TOP")
+        builder.iadd(1, 1, 3)
+        builder.iadd(0, 0, -1)
+        p = predicate(0)
+        builder.isetp(p, "GT", 0, 0)
+        builder.bra(top, predicate=p)
+        builder.st(MemRef(base=Register(2)), 1)
+        builder.exit()
+        kernel = builder.build()
+        info = analyse_liveness(kernel)
+        # The accumulator and counter are live around the back edge.
+        assert 1 in info.live_in[2]
+        assert 0 in info.live_in[2]
+        assert 1 in info.live_out[5]  # live across the conditional branch
+
+    def test_sgemm_kernel_uses_full_register_file(self, naive_kernel):
+        info = analyse_liveness(naive_kernel)
+        assert len(info.registers_used()) == 63
+        assert info.max_pressure <= 63
+        # The accumulator tile alone keeps 36 registers live through the
+        # main loop, so pressure must be well above it.
+        assert info.max_pressure >= 36

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.errors import ModelError, RegisterAllocationError
+from repro.errors import RegisterAllocationError
 from repro.model.params import SgemmConfig
 from repro.sgemm import (
     allocate_conflict_free,

@@ -1,0 +1,116 @@
+"""Edge cases of the FFMA bank-conflict analyser (paper Figure 8).
+
+Covers the cases the main SGEMM kernels never produce: FFMAs with repeated
+source registers, predicated FFMAs, and kernels with no FFMAs at all.
+"""
+
+from __future__ import annotations
+
+from repro.arch.register_file import RegisterBank, register_bank
+from repro.isa.builder import KernelBuilder
+from repro.isa.registers import Register, predicate
+from repro.sgemm.conflict_analysis import analyse_ffma_conflicts, format_conflict_table
+
+
+def _registers_on(bank: RegisterBank, count: int) -> list[Register]:
+    """The first ``count`` register indices residing on ``bank``."""
+    found = [Register(i) for i in range(63) if register_bank(i) == bank]
+    return found[:count]
+
+
+class TestRepeatedSources:
+    def test_squaring_ffma_never_conflicts(self):
+        """FFMA R0, R4, R4, R0 — a register read twice is one port access."""
+        a, c = _registers_on(RegisterBank.EVEN1, 2)
+        builder = KernelBuilder()
+        builder.ffma(0, a, a, 0)
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.ffma_count == 1
+        assert report.no_conflict == 1
+        assert report.two_way == 0
+
+    def test_repeated_source_with_distinct_conflicting_third(self):
+        """FFMA Rd, Ra, Ra, Rc with bank(Ra) == bank(Rc): one 2-way conflict."""
+        a, c = _registers_on(RegisterBank.EVEN1, 2)
+        builder = KernelBuilder()
+        builder.ffma(0, a, a, c)
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.two_way == 1
+        assert report.three_way == 0
+
+    def test_accumulate_in_place_counts_distinct_pair_only(self):
+        """FFMA Rc, Ra, Rb, Rc — dest==source c, only a/b/c distinct matter."""
+        a, c = _registers_on(RegisterBank.EVEN1, 2)
+        r0 = Register(0)  # even0 — no clash with the even1 pair's third source
+        builder = KernelBuilder()
+        builder.ffma(c, a, r0, c)  # sources a, r0, c: a/c share even1
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.two_way == 1
+
+    def test_three_way_needs_three_distinct_registers(self):
+        a, b, c = _registers_on(RegisterBank.ODD0, 3)
+        builder = KernelBuilder()
+        builder.ffma(0, a, b, c)
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.three_way == 1
+        assert report.two_way == 0
+
+
+class TestPredicatedFfmas:
+    def test_predicated_ffmas_are_analysed(self):
+        """The static analysis counts guarded FFMAs like unguarded ones."""
+        a, c = _registers_on(RegisterBank.EVEN1, 2)
+        builder = KernelBuilder()
+        guard = predicate(2)
+        builder.isetp(guard, "GT", 1, 0)
+        with builder.guarded(guard):
+            builder.ffma(0, a, c, 0)  # 2-way: a/c share even1
+        with builder.guarded(guard, negated=True):
+            builder.ffma(1, Register(0), Register(1), 1)  # conflict-free
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.ffma_count == 2
+        assert report.two_way == 1
+        assert report.no_conflict == 1
+
+    def test_guard_predicate_is_not_a_source_register(self):
+        """@P0 FFMA must not count P0 toward the bank-conflict degree."""
+        builder = KernelBuilder()
+        with builder.guarded(predicate(0)):
+            # R0/R1/R4 sit on even0/odd0/even1 — conflict-free by banks.
+            builder.ffma(4, 0, 1, 4)
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.no_conflict == 1
+
+
+class TestZeroFfmaKernels:
+    def test_empty_report_fractions_are_zero(self):
+        builder = KernelBuilder(name="no_math")
+        builder.mov32i(0, 1)
+        builder.iadd(1, 0, 2)
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        assert report.ffma_count == 0
+        assert report.no_conflict == 0
+        assert report.no_conflict_fraction == 0.0
+        assert report.two_way_fraction == 0.0
+        assert report.three_way_fraction == 0.0
+        assert report.as_percentages() == {
+            "no_conflict": 0.0,
+            "two_way": 0.0,
+            "three_way": 0.0,
+        }
+
+    def test_zero_ffma_kernel_formats_without_division_errors(self):
+        builder = KernelBuilder(name="control_only")
+        builder.nop()
+        builder.exit()
+        report = analyse_ffma_conflicts(builder.build())
+        table = format_conflict_table([report])
+        assert "control_only" in table
+        assert "0" in table

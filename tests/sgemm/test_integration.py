@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.sgemm import SgemmKernelConfig, SgemmVariant
 from repro.sgemm.runner import build_launch, run_sgemm
