@@ -1,0 +1,86 @@
+"""Workload-registry sweep: naive vs pipeline cycles and bounds per kernel.
+
+Not a paper figure — this benchmark tracks the multi-workload framework
+(`repro.kernels`): for every registered workload it simulates the naive and
+the pipeline-optimized kernel on both machine models, compares against the
+generic memory-/compute-bound ceiling, and records everything into
+BENCH_kernels.json (written by the conftest session hook) so each
+workload's perf trajectory is visible across PRs.
+"""
+
+from __future__ import annotations
+
+from repro.kernels import list_workloads, workload_cycles
+from repro.model import analyse_workload_bound
+from repro.sgemm import analyse_ffma_conflicts
+
+from conftest import print_series, record_kernel_metric
+
+
+def test_registry_sweep_naive_vs_pipeline(benchmark, fermi, kepler):
+    """Every workload: pipeline output no slower than naive on both GPUs."""
+    workloads = list_workloads()
+    assert len(workloads) >= 4  # sgemm + sgemv + transpose + reduction
+
+    def generate_all():
+        generated = {}
+        for workload in workloads:
+            config = workload.default_config()
+            naive = workload.generate_naive(config)
+            generated[workload.name] = {
+                "config": config,
+                "naive": naive,
+                "fermi": workload.generate_optimized(config, fermi)[0],
+                "kepler": workload.generate_optimized(config, kepler)[0],
+            }
+        return generated
+
+    generated = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+
+    lines: list[str] = []
+    for workload in workloads:
+        bundle = generated[workload.name]
+        naive = bundle["naive"]
+        before = analyse_ffma_conflicts(naive)
+        resources = workload.resources(bundle["config"])
+        metrics: dict[str, object] = {
+            "kernel": naive.name,
+            "ffma_count": before.ffma_count,
+            "conflicts_before": {
+                "two_way": before.two_way,
+                "three_way": before.three_way,
+            },
+            "resources": {
+                "flops": resources.flops,
+                "dram_bytes": resources.dram_bytes,
+                "shared_bytes": resources.shared_bytes,
+            },
+        }
+        for gpu_name, gpu in (("fermi", fermi), ("kepler", kepler)):
+            optimized = bundle[gpu_name]
+            after = analyse_ffma_conflicts(optimized)
+            naive_cycles = workload_cycles(gpu, naive)
+            opt_cycles = workload_cycles(gpu, optimized)
+            bound = analyse_workload_bound(resources, gpu)
+            lines.append(
+                f"{workload.name:10s} {gpu_name:7s} cycles: naive {naive_cycles:7.0f}  "
+                f"pipeline {opt_cycles:7.0f}   conflicts after: "
+                f"{after.two_way + after.three_way}   bound: {bound.limited_by}"
+            )
+            metrics[gpu_name] = {
+                "cycles_naive": naive_cycles,
+                "cycles_pipeline": opt_cycles,
+                "conflicts_after": {
+                    "two_way": after.two_way,
+                    "three_way": after.three_way,
+                },
+                "bound_limited_by": bound.limited_by,
+                "bound_potential_gflops": bound.potential_gflops,
+                "bound_effective_bandwidth_gbs": bound.effective_bandwidth_gbs,
+            }
+
+            assert after.two_way == 0 and after.three_way == 0
+            assert opt_cycles <= naive_cycles
+
+        record_kernel_metric(workload.name, metrics)
+    print_series("Workload registry — naive vs pipeline", lines)

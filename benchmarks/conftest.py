@@ -22,8 +22,15 @@ from repro.microbench import paper_database
 #: Where the machine-readable optimization metrics land (next to this file).
 BENCH_OPT_PATH = Path(__file__).parent / "BENCH_opt.json"
 
-#: Metrics recorded by benchmarks via :func:`record_opt_metric` this session.
-_OPT_METRICS: dict[str, object] = {}
+#: Where the per-workload registry sweep metrics land (next to this file).
+BENCH_KERNELS_PATH = Path(__file__).parent / "BENCH_kernels.json"
+
+#: Metrics recorded this session, keyed by output path.
+_REPORTS: dict[Path, dict[str, object]] = {}
+
+
+def _record(path: Path, name: str, payload: dict[str, object]) -> None:
+    _REPORTS.setdefault(path, {})[name] = payload
 
 
 def record_opt_metric(name: str, payload: dict[str, object]) -> None:
@@ -33,15 +40,19 @@ def record_opt_metric(name: str, payload: dict[str, object]) -> None:
     cycle counts; the session-finish hook writes everything to
     :data:`BENCH_OPT_PATH` so the perf trajectory is tracked across PRs.
     """
-    _OPT_METRICS[name] = payload
+    _record(BENCH_OPT_PATH, name, payload)
+
+
+def record_kernel_metric(name: str, payload: dict[str, object]) -> None:
+    """Record one per-workload metric blob for the BENCH_kernels.json report."""
+    _record(BENCH_KERNELS_PATH, name, payload)
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
-    """Write BENCH_opt.json when any optimization metrics were recorded."""
-    if not _OPT_METRICS:
-        return
-    document = {"schema": 1, "metrics": dict(sorted(_OPT_METRICS.items()))}
-    BENCH_OPT_PATH.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    """Write every metrics report that benchmarks recorded this session."""
+    for path, metrics in _REPORTS.items():
+        document = {"schema": 1, "metrics": dict(sorted(metrics.items()))}
+        path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

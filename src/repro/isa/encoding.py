@@ -48,6 +48,15 @@ _COMPARE_CODES = {name: i for i, name in enumerate(ISETP_OPERATORS)}
 _CODE_COMPARES = {v: k for k, v in _COMPARE_CODES.items()}
 
 
+def opcode_code(opcode: Opcode) -> int:
+    """The numeric code the encoder assigns to ``opcode``.
+
+    Exposed for the ISA reference generator (``docs/isa.md``); the binary
+    layout itself is internal to this module.
+    """
+    return _OPCODE_CODES[opcode]
+
+
 def _encode_register_field(register: Register | None) -> int:
     """Encode a register (or absence thereof) into a 6-bit field."""
     if register is None:

@@ -174,6 +174,64 @@ _CONTROL_OPCODES = {Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP}
 #: ISETP comparison operators accepted by the parser and the simulator.
 ISETP_OPERATORS = ("LT", "LE", "EQ", "NE", "GE", "GT")
 
+#: Assembly operand signatures per opcode, consumed by the ISA reference
+#: generator (``scripts/gen_isa_reference.py`` → ``docs/isa.md``).  ``src``
+#: stands for a register, immediate or constant-bank operand.
+OPCODE_OPERANDS: dict[Opcode, str] = {
+    Opcode.FFMA: "Rd, Ra, Rb, Rc",
+    Opcode.FADD: "Rd, Ra, src",
+    Opcode.FMUL: "Rd, Ra, src",
+    Opcode.IADD: "Rd, Ra, src",
+    Opcode.IMUL: "Rd, Ra, src",
+    Opcode.IMAD: "Rd, Ra, src, src",
+    Opcode.ISCADD: "Rd, Ra, src, shift",
+    Opcode.SHL: "Rd, Ra, src",
+    Opcode.SHR: "Rd, Ra, src",
+    Opcode.LOP_AND: "Rd, Ra, src",
+    Opcode.LOP_OR: "Rd, Ra, src",
+    Opcode.LOP_XOR: "Rd, Ra, src",
+    Opcode.MOV: "Rd, src",
+    Opcode.MOV32I: "Rd, imm32",
+    Opcode.S2R: "Rd, SR_*",
+    Opcode.ISETP: "P, Ra, src",
+    Opcode.LDS: "Rd, [Ra+offset]",
+    Opcode.STS: "[Ra+offset], Rs",
+    Opcode.LD: "Rd, [Ra+offset]",
+    Opcode.ST: "[Ra+offset], Rs",
+    Opcode.BRA: "label",
+    Opcode.BAR: "id",
+    Opcode.EXIT: "",
+    Opcode.NOP: "",
+}
+
+#: One-line semantics notes per opcode, consumed by the ISA reference generator.
+OPCODE_NOTES: dict[Opcode, str] = {
+    Opcode.FFMA: "Rd := Ra * Rb + Rc (fused, 2 flops)",
+    Opcode.FADD: "Rd := Ra + src (1 flop)",
+    Opcode.FMUL: "Rd := Ra * src (1 flop)",
+    Opcode.IADD: "Rd := Ra + src",
+    Opcode.IMUL: "Rd := Ra * src",
+    Opcode.IMAD: "Rd := Ra * src + src",
+    Opcode.ISCADD: "Rd := (Ra << shift) + src",
+    Opcode.SHL: "Rd := Ra << src",
+    Opcode.SHR: "Rd := Ra >> src (logical)",
+    Opcode.LOP_AND: "Rd := Ra & src",
+    Opcode.LOP_OR: "Rd := Ra | src",
+    Opcode.LOP_XOR: "Rd := Ra ^ src",
+    Opcode.MOV: "Rd := src (register, immediate or c[bank][offset])",
+    Opcode.MOV32I: "Rd := 32-bit immediate (int or float bits)",
+    Opcode.S2R: "Rd := special register (tid/ctaid/laneid/warpid)",
+    Opcode.ISETP: "P := Ra <op> src, op in {LT,LE,EQ,NE,GE,GT}",
+    Opcode.LDS: "shared-memory load; .64/.128 fill a register pair/quad",
+    Opcode.STS: "shared-memory store; .64/.128 drain a register pair/quad",
+    Opcode.LD: "global-memory load; .64/.128 fill a register pair/quad",
+    Opcode.ST: "global-memory store; .64/.128 drain a register pair/quad",
+    Opcode.BRA: "warp-uniform (optionally predicated) branch",
+    Opcode.BAR: "BAR.SYNC block-wide barrier",
+    Opcode.EXIT: "terminate the thread",
+    Opcode.NOP: "no operation (scheduling filler)",
+}
+
 
 @dataclass(frozen=True)
 class Instruction:

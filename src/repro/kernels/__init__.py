@@ -1,0 +1,68 @@
+"""The multi-workload kernel framework.
+
+Generalises the paper's SGEMM methodology — analytic upper bound → SASS
+kernel → mechanical optimization → simulated validation — into a
+:class:`~repro.kernels.base.Workload` protocol plus a registry, so the
+optimization pipeline, the autotuner, the benchmarks and the examples can
+iterate over *every* kernel the repository knows how to build:
+
+* ``sgemm`` — the paper's register-blocked GEMM (SM-throughput-bound),
+* ``sgemv`` — matrix-vector product with shared-memory x staging,
+* ``transpose`` — padded tiled transpose (zero-FFMA, pure bandwidth),
+* ``reduction`` — strided loads + predicated shared-memory tree sum.
+
+Each workload ships a *naive* generator (compiler-like program order and
+register assignment) and an *optimized* variant produced by pushing the
+naive kernel through :mod:`repro.opt`; both are validated against NumPy on
+the functional simulator by :func:`~repro.kernels.base.run_workload`.
+"""
+
+from repro.kernels.base import (
+    Workload,
+    WorkloadLaunch,
+    WorkloadRun,
+    run_workload,
+    workload_cycles,
+)
+from repro.kernels.registry import (
+    get_workload,
+    list_workloads,
+    register_workload,
+    workload_names,
+)
+
+# Shipped workloads self-register on import.
+from repro.kernels.sgemm import SgemmWorkload
+from repro.kernels.sgemv import SgemvKernelConfig, SgemvWorkload, generate_naive_sgemv_kernel
+from repro.kernels.transpose import (
+    TransposeKernelConfig,
+    TransposeWorkload,
+    generate_naive_transpose_kernel,
+)
+from repro.kernels.reduction import (
+    ReductionKernelConfig,
+    ReductionWorkload,
+    generate_naive_reduction_kernel,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadLaunch",
+    "WorkloadRun",
+    "run_workload",
+    "workload_cycles",
+    "get_workload",
+    "list_workloads",
+    "register_workload",
+    "workload_names",
+    "SgemmWorkload",
+    "SgemvKernelConfig",
+    "SgemvWorkload",
+    "generate_naive_sgemv_kernel",
+    "TransposeKernelConfig",
+    "TransposeWorkload",
+    "generate_naive_transpose_kernel",
+    "ReductionKernelConfig",
+    "ReductionWorkload",
+    "generate_naive_reduction_kernel",
+]

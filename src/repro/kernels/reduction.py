@@ -1,0 +1,217 @@
+"""Block-parallel sum-reduction workload: ``out[b] = Σ in[b·chunk : (b+1)·chunk]``.
+
+Each block reduces a contiguous chunk: every thread first accumulates
+``elements_per_thread`` strided global loads into a register, the partials
+are published to shared memory, and a fully unrolled barrier-synchronised
+tree halves the active thread count per level.  The tree is expressed with
+*predicated* loads/adds/stores (``@P1 LDS / FADD / STS``) instead of
+branches — the simulator only supports warp-uniform control flow, and
+predication is also how hand-written SASS avoids divergence bookkeeping.
+
+The workload exists to drag the optimization pipeline away from SGEMM's
+comfort zone: almost every instruction past the prologue is predicated or a
+barrier, regions are tiny, and the analytic bound is DRAM bandwidth with a
+trailing log-depth shared-memory tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelGenerationError
+from repro.isa.assembler import Kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import ConstRef, MemRef
+from repro.isa.registers import Register, SpecialRegister, predicate
+from repro.kernels.base import Workload, WorkloadLaunch
+from repro.kernels.registry import register_workload
+from repro.model.workload_bounds import WorkloadResources
+from repro.sim.launch import BlockGrid
+from repro.sim.memory import GlobalMemory, KernelParams
+
+#: Constant-bank offsets of the kernel parameters (input, output pointers).
+PARAM_IN_OFFSET = 0x20
+PARAM_OUT_OFFSET = 0x24
+
+
+@dataclass(frozen=True)
+class ReductionKernelConfig:
+    """One reduction specialisation.
+
+    Attributes
+    ----------
+    n:
+        Input length; a multiple of the per-block chunk
+        ``threads_per_block × elements_per_thread``.
+    threads_per_block:
+        Tree width (a power of two).
+    elements_per_thread:
+        Strided global loads each thread folds in before the tree.
+    """
+
+    n: int
+    threads_per_block: int = 64
+    elements_per_thread: int = 4
+
+    def __post_init__(self) -> None:
+        t = self.threads_per_block
+        if t < 2 or t & (t - 1):
+            raise KernelGenerationError(
+                f"threads_per_block must be a power of two >= 2, got {t}"
+            )
+        if self.elements_per_thread < 1:
+            raise KernelGenerationError("elements_per_thread must be >= 1")
+        if self.n % self.chunk:
+            raise KernelGenerationError(
+                f"n={self.n} must be a multiple of the block chunk {self.chunk}"
+            )
+
+    @property
+    def chunk(self) -> int:
+        """Elements reduced per block."""
+        return self.threads_per_block * self.elements_per_thread
+
+    @property
+    def grid_blocks(self) -> int:
+        return self.n // self.chunk
+
+    @property
+    def kernel_name(self) -> str:
+        return (
+            f"reduce_t{self.threads_per_block}"
+            f"_e{self.elements_per_thread}_{self.n}"
+        )
+
+
+def generate_naive_reduction_kernel(config: ReductionKernelConfig) -> Kernel:
+    """Emit the reduction kernel in program order with sequential registers."""
+    t = config.threads_per_block
+
+    builder = KernelBuilder(
+        name=config.kernel_name,
+        shared_memory_bytes=t * 4,
+        threads_per_block=t,
+        metadata={
+            "workload": "reduction",
+            "n": config.n,
+            "threads_per_block": t,
+            "elements_per_thread": config.elements_per_thread,
+        },
+    )
+
+    acc = Register(0)
+    stage = Register(1)  # load staging / tree partner value
+    in_ptr = Register(2)
+    shared_slot = Register(3)  # this thread's shared cell (store and read base)
+    out_ptr = Register(4)
+    tid = Register(5)  # kept live for the whole tree (ISETP guards)
+
+    builder.s2r(tid, SpecialRegister.TID_X)
+    builder.s2r(stage, SpecialRegister.CTAID_X)
+    # in + (bx·chunk + tid) · 4 — thread t folds elements t, t+T, t+2T, …
+    builder.mov(in_ptr, ConstRef(bank=0, offset=PARAM_IN_OFFSET))
+    builder.imad(in_ptr, stage, config.chunk * 4, in_ptr)
+    builder.imad(in_ptr, tid, 4, in_ptr)
+    # out + bx · 4
+    builder.mov(out_ptr, ConstRef(bank=0, offset=PARAM_OUT_OFFSET))
+    builder.imad(out_ptr, stage, 4, out_ptr)
+    builder.shl(shared_slot, tid, 2)
+
+    builder.mov32i(acc, 0.0)
+    for element in range(config.elements_per_thread):
+        builder.ld(stage, MemRef(base=in_ptr, offset=element * t * 4))
+        builder.fadd(acc, acc, stage)
+
+    builder.sts(MemRef(base=shared_slot), acc)
+    builder.bar(0)
+
+    p_active = predicate(1)
+    span = t // 2
+    while span >= 1:
+        builder.isetp(p_active, "LT", tid, span)
+        with builder.guarded(p_active):
+            builder.lds(stage, MemRef(base=shared_slot, offset=span * 4))
+            builder.fadd(acc, acc, stage)
+            builder.sts(MemRef(base=shared_slot), acc)
+        builder.bar(0)
+        span //= 2
+
+    p_leader = predicate(2)
+    builder.isetp(p_leader, "EQ", tid, 0)
+    with builder.guarded(p_leader):
+        builder.st(MemRef(base=out_ptr), acc)
+    builder.exit()
+    return builder.build()
+
+
+class ReductionWorkload(Workload):
+    """Per-block sum reduction through the workload registry."""
+
+    name = "reduction"
+    description = "strided loads + predicated shared-memory tree sum (DRAM-bound)"
+
+    def default_config(self) -> ReductionKernelConfig:
+        return ReductionKernelConfig(n=512, threads_per_block=64, elements_per_thread=4)
+
+    def config_space(self) -> tuple[ReductionKernelConfig, ...]:
+        return (
+            ReductionKernelConfig(n=512, threads_per_block=64, elements_per_thread=4),
+            ReductionKernelConfig(n=512, threads_per_block=128, elements_per_thread=2),
+        )
+
+    def generate_naive(self, config: ReductionKernelConfig) -> Kernel:
+        return generate_naive_reduction_kernel(config)
+
+    def prepare_inputs(
+        self, config: ReductionKernelConfig, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-1.0, 1.0, size=(config.n,)).astype(np.float32)
+        return {"in": data}
+
+    def reference(
+        self, config: ReductionKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        chunks = inputs["in"].reshape(config.grid_blocks, config.chunk)
+        return chunks.astype(np.float64).sum(axis=1).astype(np.float32)
+
+    def build_launch(
+        self, config: ReductionKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> WorkloadLaunch:
+        memory = GlobalMemory()
+        in_base = memory.allocate_array("in", inputs["in"])
+        out_base = memory.allocate("out", config.grid_blocks * 4)
+        params = KernelParams()
+        params.add_pointer("in", in_base)
+        params.add_pointer("out", out_base)
+        if (
+            params.offset_of("in") != PARAM_IN_OFFSET
+            or params.offset_of("out") != PARAM_OUT_OFFSET
+        ):
+            # The generator hard-codes the constant-bank offsets; keep them in sync.
+            raise AssertionError(
+                "kernel parameter layout drifted from the generator's convention"
+            )
+        grid = BlockGrid(grid_x=config.grid_blocks, block_x=config.threads_per_block)
+        return WorkloadLaunch(memory=memory, params=params, grid=grid)
+
+    def read_output(
+        self, config: ReductionKernelConfig, memory: GlobalMemory
+    ) -> np.ndarray:
+        return memory.read_array("out", np.float32, (config.grid_blocks,))
+
+    def resources(self, config: ReductionKernelConfig) -> WorkloadResources:
+        t = config.threads_per_block
+        blocks = config.grid_blocks
+        # One FADD per element folded in, plus the per-block tree adds.
+        flops = config.n + blocks * (t - 1)
+        dram = 4 * (config.n + blocks)
+        # Shared: the initial T partial stores, then per level `span` each of
+        # {read, add-store} — total T + 2·(T - 1) accesses per block.
+        shared = 4 * blocks * (t + 2 * (t - 1))
+        return WorkloadResources(flops=flops, dram_bytes=dram, shared_bytes=shared)
+
+
+REDUCTION = register_workload(ReductionWorkload())

@@ -1,0 +1,73 @@
+"""The workload registry.
+
+The registry maps workload names to :class:`~repro.kernels.base.Workload`
+instances so that the autotuner, the benchmarks and the examples can sweep
+"every kernel this repository knows how to build" without hard-coding the
+list.  Workload modules register themselves at import time via
+:func:`register_workload`; importing :mod:`repro.kernels` pulls all shipped
+workloads in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernels.base import Workload
+
+_REGISTRY: dict[str, "Workload"] = {}
+
+
+def register_workload(workload: "Workload") -> "Workload":
+    """Register ``workload`` under its ``name`` (idempotent per name+type).
+
+    Registering two different workload objects under one name is a
+    programming error and raises; re-registering the same class (e.g. on a
+    module reload) silently replaces the entry.
+    """
+    existing = _REGISTRY.get(workload.name)
+    if existing is not None:
+        # Compare by class identity *name*, not object identity: a module
+        # reload re-creates the class and must still count as "the same".
+        existing_cls = (type(existing).__module__, type(existing).__qualname__)
+        incoming_cls = (type(workload).__module__, type(workload).__qualname__)
+        if existing_cls != incoming_cls:
+            raise ReproError(
+                f"workload name '{workload.name}' already registered by "
+                f"{type(existing).__name__}"
+            )
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> "Workload":
+    """Look up a registered workload by name."""
+    _ensure_builtin_workloads()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ReproError(f"unknown workload '{name}'; registered workloads: {known}")
+    return _REGISTRY[name]
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of all registered workloads, sorted."""
+    _ensure_builtin_workloads()
+    return tuple(sorted(_REGISTRY))
+
+
+def list_workloads() -> tuple["Workload", ...]:
+    """All registered workloads, sorted by name."""
+    _ensure_builtin_workloads()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def _ensure_builtin_workloads() -> None:
+    """Import the shipped workload modules so they self-register.
+
+    Lookup helpers call this so the registry is complete even when a caller
+    imports :mod:`repro.kernels.registry` directly (e.g. a multiprocessing
+    worker unpickling a candidate).
+    """
+    import repro.kernels  # noqa: F401  (importing the package registers everything)

@@ -1,0 +1,252 @@
+"""SASS-level SGEMV (matrix-vector product) workload: ``y = alpha · A · x``.
+
+SGEMV carries the paper's kernel structure over to a bandwidth-limited
+workload: every block owns ``threads_per_block`` consecutive rows of A (one
+row per thread), and the vector ``x`` is staged through shared memory in
+tiles of ``threads_per_block`` elements — each thread cooperatively loads
+one element per tile, a barrier publishes the tile, and the unrolled inner
+loop broadcasts the staged elements via LDS into the per-row FFMA chain.
+
+Unlike SGEMM there is no register blocking to tune: each A element is used
+exactly once, so the kernel's arithmetic intensity is fixed at ~0.5 flops
+per DRAM byte and the analytic bound (see
+:func:`repro.model.analyse_workload_bound`) is DRAM-limited on every GPU the
+paper studies.  The interesting optimization questions are the ones the
+:mod:`repro.opt` pipeline answers mechanically: hoisting the A loads (LD.64
+pairs when ``wide_loads`` is set) above the FFMA chain and keeping the
+LDS broadcast stream interleaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelGenerationError
+from repro.isa.assembler import Kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import ConstRef, MemRef
+from repro.isa.registers import RZ, Register, SpecialRegister, predicate
+from repro.kernels.base import Workload, WorkloadLaunch
+from repro.kernels.registry import register_workload
+from repro.model.workload_bounds import WorkloadResources
+from repro.sim.launch import BlockGrid
+from repro.sim.memory import GlobalMemory, KernelParams
+
+#: Constant-bank offsets of the kernel parameters (A, x, y base pointers).
+PARAM_A_OFFSET = 0x20
+PARAM_X_OFFSET = 0x24
+PARAM_Y_OFFSET = 0x28
+
+
+@dataclass(frozen=True)
+class SgemvKernelConfig:
+    """One SGEMV specialisation: ``y = alpha · A · x`` with A stored m × k row-major.
+
+    Attributes
+    ----------
+    m, k:
+        Matrix dimensions; ``m`` must divide into row blocks of
+        ``threads_per_block`` and ``k`` into x tiles of the same size.
+    threads_per_block:
+        Rows per block == staged x elements per tile (a power of two).
+    alpha:
+        Scalar applied in the epilogue.
+    wide_loads:
+        Fetch A row elements with LD.64 register pairs (two per instruction).
+    """
+
+    m: int
+    k: int
+    threads_per_block: int = 32
+    alpha: float = 1.0
+    wide_loads: bool = True
+
+    def __post_init__(self) -> None:
+        t = self.threads_per_block
+        if t < 2 or t & (t - 1):
+            raise KernelGenerationError(
+                f"threads_per_block must be a power of two >= 2, got {t}"
+            )
+        if self.m % t:
+            raise KernelGenerationError(f"m={self.m} must be a multiple of {t}")
+        if self.k % t:
+            raise KernelGenerationError(f"k={self.k} must be a multiple of {t}")
+
+    @property
+    def kernel_name(self) -> str:
+        width = "w64" if self.wide_loads else "w32"
+        return f"sgemv_t{self.threads_per_block}_{width}_{self.m}x{self.k}"
+
+    @property
+    def grid_blocks(self) -> int:
+        """Blocks in the 1D launch grid (one per row block)."""
+        return self.m // self.threads_per_block
+
+
+def generate_naive_sgemv_kernel(config: SgemvKernelConfig) -> Kernel:
+    """Emit the SGEMV kernel in compiler-like form.
+
+    Registers are assigned sequentially in first-use order and every A
+    element is loaded immediately before the FFMA that consumes it — the
+    load-use adjacency a naive compiler produces and the scheduling pass is
+    expected to break up.
+    """
+    t = config.threads_per_block
+    iterations = config.k // t
+
+    builder = KernelBuilder(
+        name=config.kernel_name,
+        shared_memory_bytes=t * 4,
+        threads_per_block=t,
+        metadata={
+            "workload": "sgemv",
+            "m": config.m,
+            "k": config.k,
+            "threads_per_block": t,
+            "wide_loads": config.wide_loads,
+        },
+    )
+
+    acc = Register(0)
+    stage = Register(1)  # x stage / LDS broadcast / epilogue scratch
+    a_regs = (
+        (Register(2), Register(3)) if config.wide_loads else (Register(2),)
+    )
+    a_ptr = Register(4)
+    x_ptr = Register(5)
+    shared_store = Register(6)
+    counter = Register(7)
+
+    # Prologue: acc/stage double as tid/bx scratch until the accumulator is
+    # zeroed (the same trick the SGEMM generator uses).
+    tid, bx = acc, stage
+    builder.s2r(tid, SpecialRegister.TID_X)
+    builder.s2r(bx, SpecialRegister.CTAID_X)
+    # A row pointer: A + (bx·T + tid) · K · 4.
+    builder.mov(a_ptr, ConstRef(bank=0, offset=PARAM_A_OFFSET))
+    builder.imad(a_ptr, bx, t * config.k * 4, a_ptr)
+    builder.imad(a_ptr, tid, config.k * 4, a_ptr)
+    # x pointer: this thread stages x[iteration·T + tid].
+    builder.mov(x_ptr, ConstRef(bank=0, offset=PARAM_X_OFFSET))
+    builder.imad(x_ptr, tid, 4, x_ptr)
+    # Shared staging slot.
+    builder.shl(shared_store, tid, 2)
+    builder.mov32i(counter, iterations)
+    builder.mov32i(acc, 0.0)
+
+    loop_label = builder.label("SGEMV_LOOP")
+    # Publish this tile of x: one element per thread, double barrier so the
+    # previous tile is fully consumed before being overwritten.
+    builder.bar(0)
+    builder.ld(stage, MemRef(base=x_ptr))
+    builder.sts(MemRef(base=shared_store), stage)
+    builder.bar(0)
+    builder.iadd(x_ptr, x_ptr, t * 4)
+
+    # Unrolled dot-product slice over the staged tile.
+    step = 2 if config.wide_loads else 1
+    for kk in range(0, t, step):
+        builder.ld(
+            a_regs[0],
+            MemRef(base=a_ptr, offset=kk * 4),
+            width=64 if config.wide_loads else 32,
+        )
+        for lane in range(step):
+            builder.lds(stage, MemRef(base=RZ, offset=(kk + lane) * 4))
+            builder.ffma(acc, a_regs[lane], stage, acc)
+    builder.iadd(a_ptr, a_ptr, t * 4)
+
+    builder.iadd(counter, counter, -1)
+    p_more = predicate(0)
+    builder.isetp(p_more, "GT", counter, 0)
+    builder.bra(loop_label, predicate=p_more)
+
+    # Epilogue: y + (bx·T + tid) · 4, reusing dead bookkeeping registers.
+    tid_again, bx_again = a_regs[0], stage
+    builder.s2r(tid_again, SpecialRegister.TID_X)
+    builder.s2r(bx_again, SpecialRegister.CTAID_X)
+    builder.mov(x_ptr, ConstRef(bank=0, offset=PARAM_Y_OFFSET))
+    builder.imad(x_ptr, bx_again, t * 4, x_ptr)
+    builder.imad(x_ptr, tid_again, 4, x_ptr)
+    if abs(config.alpha - 1.0) > 1e-12:
+        builder.fmul(acc, acc, float(config.alpha))
+    builder.st(MemRef(base=x_ptr), acc)
+    builder.exit()
+    return builder.build()
+
+
+class SgemvWorkload(Workload):
+    """`y = alpha·A·x` through the workload registry."""
+
+    name = "sgemv"
+    description = "matrix-vector product with shared-memory x staging (DRAM-bound)"
+
+    def default_config(self) -> SgemvKernelConfig:
+        return SgemvKernelConfig(m=64, k=64, threads_per_block=32)
+
+    def config_space(self) -> tuple[SgemvKernelConfig, ...]:
+        return (
+            SgemvKernelConfig(m=64, k=64, threads_per_block=32, wide_loads=True),
+            SgemvKernelConfig(m=64, k=64, threads_per_block=32, wide_loads=False),
+        )
+
+    def generate_naive(self, config: SgemvKernelConfig) -> Kernel:
+        return generate_naive_sgemv_kernel(config)
+
+    def prepare_inputs(
+        self, config: SgemvKernelConfig, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1.0, 1.0, size=(config.m, config.k)).astype(np.float32)
+        x = rng.uniform(-1.0, 1.0, size=(config.k,)).astype(np.float32)
+        return {"a": a, "x": x}
+
+    def reference(
+        self, config: SgemvKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        return (np.float32(config.alpha) * (inputs["a"] @ inputs["x"])).astype(
+            np.float32
+        )
+
+    def build_launch(
+        self, config: SgemvKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> WorkloadLaunch:
+        memory = GlobalMemory()
+        a_base = memory.allocate_array("A", inputs["a"])
+        x_base = memory.allocate_array("x", inputs["x"])
+        y_base = memory.allocate("y", config.m * 4)
+        params = KernelParams()
+        params.add_pointer("A", a_base)
+        params.add_pointer("x", x_base)
+        params.add_pointer("y", y_base)
+        if (
+            params.offset_of("A") != PARAM_A_OFFSET
+            or params.offset_of("y") != PARAM_Y_OFFSET
+        ):
+            # The generator hard-codes the constant-bank offsets; keep them in sync.
+            raise AssertionError(
+                "kernel parameter layout drifted from the generator's convention"
+            )
+        grid = BlockGrid(grid_x=config.grid_blocks, block_x=config.threads_per_block)
+        return WorkloadLaunch(memory=memory, params=params, grid=grid)
+
+    def read_output(
+        self, config: SgemvKernelConfig, memory: GlobalMemory
+    ) -> np.ndarray:
+        return memory.read_array("y", np.float32, (config.m,))
+
+    def resources(self, config: SgemvKernelConfig) -> WorkloadResources:
+        t = config.threads_per_block
+        blocks = config.grid_blocks
+        # A streamed once, x re-read by every row block, y written once.
+        dram = 4 * (config.m * config.k + blocks * config.k + config.m)
+        # Staging: each x tile is written once and broadcast-read T times.
+        shared = 4 * blocks * (config.k + config.k * t)
+        return WorkloadResources(
+            flops=2 * config.m * config.k, dram_bytes=dram, shared_bytes=shared
+        )
+
+
+SGEMV = register_workload(SgemvWorkload())

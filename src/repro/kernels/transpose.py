@@ -1,0 +1,224 @@
+"""Tiled matrix-transpose workload: ``out = inᵀ`` through shared memory.
+
+The classic bandwidth kernel: a ``tile × tile`` block of the input is read
+with unit-stride global loads, rotated through shared memory, and written
+back with unit-stride global stores — both memory streams stay coalesced and
+the strided access lands on shared memory instead of DRAM.  The staging
+array is padded by one word per row so the column-order reads are free of
+shared-memory bank conflicts (the paper's §5.1 "proper padding" device).
+
+As a *zero-FFMA* body, transpose is the stress case for the optimization
+pipeline: the conflict analyser must report an empty FFMA population, the
+register reallocator has nothing to recolor, and the scheduler only sees
+memory and address chains.  Its analytic bound is pure bandwidth — the
+:func:`repro.model.analyse_workload_bound` breakdown reports effective GB/s
+with no GFLOPS ceiling at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelGenerationError
+from repro.isa.assembler import Kernel
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import ConstRef, MemRef
+from repro.isa.registers import Register, SpecialRegister
+from repro.kernels.base import Workload, WorkloadLaunch
+from repro.kernels.registry import register_workload
+from repro.model.workload_bounds import WorkloadResources
+from repro.sim.launch import BlockGrid
+from repro.sim.memory import GlobalMemory, KernelParams
+
+#: Constant-bank offsets of the kernel parameters (input, output pointers).
+PARAM_IN_OFFSET = 0x20
+PARAM_OUT_OFFSET = 0x24
+
+
+@dataclass(frozen=True)
+class TransposeKernelConfig:
+    """One transpose specialisation: ``out (n × m) = in (m × n)ᵀ``.
+
+    Attributes
+    ----------
+    m, n:
+        Input dimensions, each a multiple of ``tile``.
+    tile:
+        Edge of the square block tile; the block runs ``tile²`` threads.
+    """
+
+    m: int
+    n: int
+    tile: int = 16
+
+    def __post_init__(self) -> None:
+        if self.tile < 2 or self.tile & (self.tile - 1):
+            raise KernelGenerationError(
+                f"tile must be a power of two >= 2, got {self.tile}"
+            )
+        if self.tile * self.tile > 1024:
+            raise KernelGenerationError("tile² exceeds the 1024-thread block limit")
+        if self.m % self.tile or self.n % self.tile:
+            raise KernelGenerationError(
+                f"m={self.m}, n={self.n} must be multiples of tile {self.tile}"
+            )
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.tile * self.tile
+
+    @property
+    def padded_row_words(self) -> int:
+        """Shared-memory row pitch in words (tile + 1 to dodge bank conflicts)."""
+        return self.tile + 1
+
+    @property
+    def kernel_name(self) -> str:
+        return f"transpose_t{self.tile}_{self.m}x{self.n}"
+
+    def grid(self) -> tuple[int, int]:
+        """(grid_x, grid_y) = (n / tile, m / tile)."""
+        return self.n // self.tile, self.m // self.tile
+
+
+def generate_naive_transpose_kernel(config: TransposeKernelConfig) -> Kernel:
+    """Emit the tiled transpose kernel in program order.
+
+    Thread (tx, ty) of block (bx, by) copies
+    ``in[by·tile + ty][bx·tile + tx]`` to ``out[bx·tile + ty][by·tile + tx]``
+    via the padded staging array.
+    """
+    tile = config.tile
+    pitch = config.padded_row_words
+
+    builder = KernelBuilder(
+        name=config.kernel_name,
+        shared_memory_bytes=tile * pitch * 4,
+        threads_per_block=config.threads_per_block,
+        metadata={
+            "workload": "transpose",
+            "m": config.m,
+            "n": config.n,
+            "tile": tile,
+        },
+    )
+
+    tid = Register(0)
+    bx = Register(1)
+    by = Register(2)
+    tx = Register(3)
+    ty = Register(4)
+    in_ptr = Register(5)
+    shared_store = Register(6)
+    shared_read = Register(7)
+    value = Register(8)
+    out_ptr = Register(9)
+
+    builder.s2r(tid, SpecialRegister.TID_X)
+    builder.s2r(bx, SpecialRegister.CTAID_X)
+    builder.s2r(by, SpecialRegister.CTAID_Y)
+    builder.lop_and(tx, tid, tile - 1)
+    builder.shr(ty, tid, tile.bit_length() - 1)
+
+    # in + ((by·tile + ty)·n + bx·tile + tx) · 4
+    builder.mov(in_ptr, ConstRef(bank=0, offset=PARAM_IN_OFFSET))
+    builder.imad(in_ptr, by, tile * config.n * 4, in_ptr)
+    builder.imad(in_ptr, ty, config.n * 4, in_ptr)
+    builder.imad(in_ptr, bx, tile * 4, in_ptr)
+    builder.imad(in_ptr, tx, 4, in_ptr)
+
+    # Row-order store slot, column-order read slot (both on the padded pitch).
+    builder.imul(shared_store, ty, pitch * 4)
+    builder.imad(shared_store, tx, 4, shared_store)
+    builder.imul(shared_read, tx, pitch * 4)
+    builder.imad(shared_read, ty, 4, shared_read)
+
+    # out + ((bx·tile + ty)·m + by·tile + tx) · 4
+    builder.mov(out_ptr, ConstRef(bank=0, offset=PARAM_OUT_OFFSET))
+    builder.imad(out_ptr, bx, tile * config.m * 4, out_ptr)
+    builder.imad(out_ptr, ty, config.m * 4, out_ptr)
+    builder.imad(out_ptr, by, tile * 4, out_ptr)
+    builder.imad(out_ptr, tx, 4, out_ptr)
+
+    builder.ld(value, MemRef(base=in_ptr))
+    builder.sts(MemRef(base=shared_store), value)
+    builder.bar(0)
+    builder.lds(value, MemRef(base=shared_read))
+    builder.st(MemRef(base=out_ptr), value)
+    builder.exit()
+    return builder.build()
+
+
+class TransposeWorkload(Workload):
+    """``out = inᵀ`` through the workload registry."""
+
+    name = "transpose"
+    description = "tiled matrix transpose via padded shared memory (zero-FFMA)"
+    # Pure data movement: results must match bit-for-bit.
+    rtol = 0.0
+    atol = 0.0
+
+    def default_config(self) -> TransposeKernelConfig:
+        return TransposeKernelConfig(m=32, n=32, tile=16)
+
+    def config_space(self) -> tuple[TransposeKernelConfig, ...]:
+        return (
+            TransposeKernelConfig(m=32, n=32, tile=16),
+            TransposeKernelConfig(m=32, n=32, tile=8),
+        )
+
+    def generate_naive(self, config: TransposeKernelConfig) -> Kernel:
+        return generate_naive_transpose_kernel(config)
+
+    def prepare_inputs(
+        self, config: TransposeKernelConfig, seed: int = 0
+    ) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        matrix = rng.uniform(-1.0, 1.0, size=(config.m, config.n)).astype(np.float32)
+        return {"in": matrix}
+
+    def reference(
+        self, config: TransposeKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> np.ndarray:
+        return np.ascontiguousarray(inputs["in"].T)
+
+    def build_launch(
+        self, config: TransposeKernelConfig, inputs: dict[str, np.ndarray]
+    ) -> WorkloadLaunch:
+        memory = GlobalMemory()
+        in_base = memory.allocate_array("in", inputs["in"])
+        out_base = memory.allocate("out", config.m * config.n * 4)
+        params = KernelParams()
+        params.add_pointer("in", in_base)
+        params.add_pointer("out", out_base)
+        if (
+            params.offset_of("in") != PARAM_IN_OFFSET
+            or params.offset_of("out") != PARAM_OUT_OFFSET
+        ):
+            # The generator hard-codes the constant-bank offsets; keep them in sync.
+            raise AssertionError(
+                "kernel parameter layout drifted from the generator's convention"
+            )
+        grid_x, grid_y = config.grid()
+        grid = BlockGrid(
+            grid_x=grid_x, grid_y=grid_y, block_x=config.threads_per_block
+        )
+        return WorkloadLaunch(memory=memory, params=params, grid=grid)
+
+    def read_output(
+        self, config: TransposeKernelConfig, memory: GlobalMemory
+    ) -> np.ndarray:
+        return memory.read_array("out", np.float32, (config.n, config.m))
+
+    def resources(self, config: TransposeKernelConfig) -> WorkloadResources:
+        elements = config.m * config.n
+        # Every element: one global read, one global write, one shared
+        # write, one shared read — no arithmetic at all.
+        return WorkloadResources(
+            flops=0, dram_bytes=8 * elements, shared_bytes=8 * elements
+        )
+
+
+TRANSPOSE = register_workload(TransposeWorkload())

@@ -39,6 +39,13 @@ from repro.model.bounds import (
 )
 from repro.model.sweep import DesignSpaceSweep, SweepEntry
 from repro.model.report import UpperBoundReport, format_report
+from repro.model.workload_bounds import (
+    WorkloadBound,
+    WorkloadResources,
+    analyse_workload_bound,
+    format_bound,
+    shared_memory_bandwidth_gbs,
+)
 
 __all__ = [
     "BlockingAnalysis",
@@ -59,4 +66,9 @@ __all__ = [
     "SweepEntry",
     "UpperBoundReport",
     "format_report",
+    "WorkloadBound",
+    "WorkloadResources",
+    "analyse_workload_bound",
+    "format_bound",
+    "shared_memory_bandwidth_gbs",
 ]

@@ -1,0 +1,165 @@
+"""Generic memory-/compute-bound ceilings for arbitrary workloads.
+
+The SGEMM-specific equations in :mod:`repro.model.bounds` fold the paper's
+Eq. 6 (memory bound) and Eq. 8 (SM throughput bound) around SGEMM's blocking
+parameters.  Other kernels — SGEMV, transpose, reductions — are *bandwidth*
+limited, so their upper bound needs the general form of the same argument:
+
+* a kernel that must perform ``flops`` useful floating-point operations can
+  never finish faster than ``flops / P_theoretical`` (the Eq. 8 ceiling with
+  F_I = 0 and F_T = 1);
+* a kernel that must move ``dram_bytes`` over the global-memory interface can
+  never finish faster than ``dram_bytes / BW_dram`` (the Eq. 6 ceiling,
+  expressed in traffic rather than arithmetic-intensity form);
+* a kernel that must move ``shared_bytes`` through the shared-memory banks is
+  additionally limited by the aggregate bank bandwidth (the Section 4.1
+  LDS-throughput measurements, turned into a byte rate).
+
+The bound (Eq. 9 generalised) is the *maximum* of those three times — or,
+equivalently, the minimum of the implied performance ceilings.  For pure
+data-movement kernels (``flops == 0``) the natural figure of merit is the
+effective bandwidth rather than GFLOPS, so the breakdown reports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class WorkloadResources:
+    """The bound model's inputs: what one kernel launch *must* do.
+
+    Attributes
+    ----------
+    flops:
+        Useful floating-point operations (an FFMA counts as 2).
+    dram_bytes:
+        Compulsory global-memory traffic, reads plus writes, assuming perfect
+        caching/reuse of staged data (the paper's Eq. 6 counts exactly this).
+    shared_bytes:
+        Shared-memory traffic, reads plus writes, of the staging scheme.
+    """
+
+    flops: int
+    dram_bytes: int
+    shared_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0 or self.shared_bytes < 0:
+            raise ModelError("workload resources must be non-negative")
+        if self.flops == 0 and self.dram_bytes == 0 and self.shared_bytes == 0:
+            raise ModelError("workload does no arithmetic and moves no data")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of compulsory global-memory traffic (0 when no flops)."""
+        if self.dram_bytes == 0:
+            return float("inf") if self.flops else 0.0
+        return self.flops / self.dram_bytes
+
+
+@dataclass(frozen=True)
+class WorkloadBound:
+    """Upper-bound breakdown of one workload on one GPU.
+
+    Times are the minimum seconds each resource needs; the bound is their
+    maximum.  ``potential_gflops`` is ``None`` for pure data-movement kernels
+    (``flops == 0``) — use ``effective_bandwidth_gbs`` for those.
+    """
+
+    gpu_name: str
+    resources: WorkloadResources
+    compute_time_s: float
+    dram_time_s: float
+    shared_time_s: float
+    bound_time_s: float
+    limited_by: str
+    compute_bound_gflops: float
+    dram_bound_gflops: float | None
+    shared_bound_gflops: float | None
+    potential_gflops: float | None
+    effective_bandwidth_gbs: float
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether a bandwidth ceiling (DRAM or shared) sets the bound."""
+        return self.limited_by in ("dram_bandwidth", "shared_bandwidth")
+
+
+def shared_memory_bandwidth_gbs(gpu: GpuSpec) -> float:
+    """Aggregate shared-memory bandwidth of the GPU in GB/s.
+
+    Each SM's banks deliver ``bank_count × bank_width_bytes`` per shader
+    cycle when conflict-free (Section 4.1's LDS peak corresponds to exactly
+    this rate on Fermi: 32 banks × 4 B × 1544 MHz).
+    """
+    shared = gpu.shared_memory
+    per_sm = shared.bank_count * shared.bank_width_bytes
+    return per_sm * gpu.sm_count * gpu.clocks.shader_mhz / 1000.0
+
+
+def analyse_workload_bound(resources: WorkloadResources, gpu: GpuSpec) -> WorkloadBound:
+    """Eq. 6/8/9 generalised: the fastest ``resources`` can execute on ``gpu``.
+
+    Each resource requirement implies a minimum execution time; the bound is
+    set by the slowest one.  The per-resource *performance* ceilings are the
+    workload's flops divided by each time (undefined for zero-flop kernels).
+    """
+    peak_flops = gpu.theoretical_peak_gflops * 1e9
+    dram_rate = gpu.global_memory_bandwidth_gbs * 1e9
+    shared_rate = shared_memory_bandwidth_gbs(gpu) * 1e9
+
+    compute_time = resources.flops / peak_flops
+    dram_time = resources.dram_bytes / dram_rate
+    shared_time = resources.shared_bytes / shared_rate
+
+    times = {
+        "sm_throughput": compute_time,
+        "dram_bandwidth": dram_time,
+        "shared_bandwidth": shared_time,
+    }
+    limited_by = max(times, key=lambda k: times[k])
+    bound_time = times[limited_by]
+
+    def ceiling(time_s: float) -> float | None:
+        if resources.flops == 0:
+            return None
+        if time_s == 0.0:
+            return float("inf")
+        return resources.flops / time_s / 1e9
+
+    return WorkloadBound(
+        gpu_name=gpu.name,
+        resources=resources,
+        compute_time_s=compute_time,
+        dram_time_s=dram_time,
+        shared_time_s=shared_time,
+        bound_time_s=bound_time,
+        limited_by=limited_by,
+        compute_bound_gflops=gpu.theoretical_peak_gflops,
+        dram_bound_gflops=ceiling(dram_time),
+        shared_bound_gflops=ceiling(shared_time),
+        potential_gflops=ceiling(bound_time),
+        effective_bandwidth_gbs=resources.dram_bytes / bound_time / 1e9 if bound_time else 0.0,
+    )
+
+
+def format_bound(bound: WorkloadBound) -> str:
+    """One-paragraph text rendering of a :class:`WorkloadBound`."""
+    lines = [
+        f"{bound.gpu_name}: limited by {bound.limited_by}",
+        f"  compute time {bound.compute_time_s * 1e6:9.3f} us"
+        f"  (peak {bound.compute_bound_gflops:.1f} GFLOPS)",
+        f"  DRAM    time {bound.dram_time_s * 1e6:9.3f} us"
+        f"  ({bound.resources.dram_bytes} bytes)",
+        f"  shared  time {bound.shared_time_s * 1e6:9.3f} us"
+        f"  ({bound.resources.shared_bytes} bytes)",
+    ]
+    if bound.potential_gflops is not None:
+        lines.append(f"  potential: {bound.potential_gflops:.1f} GFLOPS")
+    lines.append(f"  effective bandwidth: {bound.effective_bandwidth_gbs:.1f} GB/s")
+    return "\n".join(lines)

@@ -21,11 +21,15 @@ from repro.opt.autotune import (
     AutotuneCache,
     TuneCandidate,
     TuneOutcome,
+    WorkloadCandidate,
     autotune,
+    autotune_workloads,
     default_candidates,
     evaluate_candidate,
+    evaluate_workload_candidate,
     format_leaderboard,
     simulate_one_block,
+    workload_candidates,
 )
 from repro.opt.control_hints import assign_control_hints
 from repro.opt.liveness import DefUse, LivenessInfo, analyse_liveness, def_use
@@ -61,14 +65,17 @@ __all__ = [
     "ScheduleStats",
     "TuneCandidate",
     "TuneOutcome",
+    "WorkloadCandidate",
     "analyse_liveness",
     "assign_control_hints",
     "autotune",
+    "autotune_workloads",
     "default_candidates",
     "default_pipeline",
     "def_use",
     "derive_ffma_lds_ratio",
     "evaluate_candidate",
+    "evaluate_workload_candidate",
     "format_leaderboard",
     "kernel_hash",
     "optimize_kernel",
@@ -76,4 +83,5 @@ __all__ = [
     "replace_instructions",
     "schedule_kernel",
     "simulate_one_block",
+    "workload_candidates",
 ]

@@ -1,4 +1,4 @@
-"""Parallel autotuner: sweep pass configurations × SGEMM variants.
+"""Parallel autotuner: sweep pass configurations × kernel configurations.
 
 Section 5.5 of the paper argues the upper-bound analysis tells an auto-tuner
 *where* to look; this module supplies the *how*: every candidate is one
@@ -6,6 +6,12 @@ Section 5.5 of the paper argues the upper-bound analysis tells an auto-tuner
 generating the kernel, running the optimization pipeline, simulating one
 block on :class:`~repro.sim.sm_sim.SmSimulator` (timing mode) and comparing
 against the analytic bound of :class:`~repro.model.bounds.UpperBoundModel`.
+
+Two candidate kinds share the harness: :class:`TuneCandidate` sweeps the
+SGEMM-specific space (transpose variants × pass toggles × interleave
+steers), and :class:`WorkloadCandidate` sweeps any workload registered in
+:mod:`repro.kernels` — the per-workload configuration space crossed with
+{naive, pipeline}, bounded by :func:`repro.model.analyse_workload_bound`.
 
 Evaluations are independent, so the sweep fans out over a
 ``multiprocessing`` pool (``workers=1`` runs serially in-process, which the
@@ -192,19 +198,7 @@ def evaluate_candidate(
         spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
         gpu_key = _gpu_key(spec)
     except ReproError as exc:
-        return TuneOutcome(
-            label=label,
-            kernel_name=candidate.config.kernel_name,
-            kernel_hash="",
-            gpu_key=str(gpu),
-            cycles=float("inf"),
-            gflops=0.0,
-            efficiency=0.0,
-            ffma_conflicts=-1,
-            register_count=-1,
-            bound_gflops=None,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+        return _error_outcome(label, candidate.config.kernel_name, str(gpu), exc)
     try:
         if candidate.optimize:
             kernel = generate_naive_sgemm_kernel(candidate.config)
@@ -218,49 +212,176 @@ def evaluate_candidate(
             kernel = pipeline.run(kernel).kernel
         else:
             kernel = generate_sgemm_kernel(candidate.config)
-        digest = kernel_hash(kernel)
-        conflicts = analyse_ffma_conflicts(kernel)
-
-        cache_key = AutotuneCache.key_for(digest, gpu_key, max_cycles)
-        cached = (cache_entries or {}).get(cache_key)
-        if cached is not None:
-            cycles = float(cached["cycles"])
-            gflops = float(cached["gflops"])
-            efficiency = float(cached["efficiency"])
-            from_cache = True
-        else:
-            result = simulate_one_block(spec, kernel, max_cycles=max_cycles)
-            cycles = result.cycles
-            gflops = result.gflops(spec)
-            efficiency = result.efficiency(spec)
-            from_cache = False
-        return TuneOutcome(
-            label=label,
-            kernel_name=kernel.name,
-            kernel_hash=digest,
-            gpu_key=gpu_key,
-            cycles=cycles,
-            gflops=gflops,
-            efficiency=efficiency,
-            ffma_conflicts=conflicts.two_way + conflicts.three_way,
-            register_count=kernel.register_count,
-            bound_gflops=_analytic_bound(spec, candidate.config),
-            from_cache=from_cache,
+        return _measure_kernel(
+            spec,
+            gpu_key,
+            label,
+            kernel,
+            _analytic_bound(spec, candidate.config),
+            max_cycles=max_cycles,
+            cache_entries=cache_entries,
         )
     except ReproError as exc:
-        return TuneOutcome(
-            label=label,
-            kernel_name=candidate.config.kernel_name,
-            kernel_hash="",
-            gpu_key=gpu_key,
-            cycles=float("inf"),
-            gflops=0.0,
-            efficiency=0.0,
-            ffma_conflicts=-1,
-            register_count=-1,
-            bound_gflops=None,
-            error=f"{type(exc).__name__}: {exc}",
+        return _error_outcome(label, candidate.config.kernel_name, gpu_key, exc)
+
+
+def _measure_kernel(
+    spec: GpuSpec,
+    gpu_key: str,
+    label: str,
+    kernel,
+    bound_gflops: float | None,
+    *,
+    max_cycles: int,
+    cache_entries: dict[str, dict[str, float]] | None,
+) -> TuneOutcome:
+    """Hash, cache-check and (if needed) simulate one generated kernel."""
+    digest = kernel_hash(kernel)
+    conflicts = analyse_ffma_conflicts(kernel)
+    cache_key = AutotuneCache.key_for(digest, gpu_key, max_cycles)
+    cached = (cache_entries or {}).get(cache_key)
+    if cached is not None:
+        cycles = float(cached["cycles"])
+        gflops = float(cached["gflops"])
+        efficiency = float(cached["efficiency"])
+        from_cache = True
+    else:
+        result = simulate_one_block(spec, kernel, max_cycles=max_cycles)
+        cycles = result.cycles
+        gflops = result.gflops(spec)
+        efficiency = result.efficiency(spec)
+        from_cache = False
+    return TuneOutcome(
+        label=label,
+        kernel_name=kernel.name,
+        kernel_hash=digest,
+        gpu_key=gpu_key,
+        cycles=cycles,
+        gflops=gflops,
+        efficiency=efficiency,
+        ffma_conflicts=conflicts.two_way + conflicts.three_way,
+        register_count=kernel.register_count,
+        bound_gflops=bound_gflops,
+        from_cache=from_cache,
+    )
+
+
+def _error_outcome(label: str, kernel_name: str, gpu_key: str, exc: Exception) -> TuneOutcome:
+    """The failed-candidate placeholder outcome."""
+    return TuneOutcome(
+        label=label,
+        kernel_name=kernel_name,
+        kernel_hash="",
+        gpu_key=gpu_key,
+        cycles=float("inf"),
+        gflops=0.0,
+        efficiency=0.0,
+        ffma_conflicts=-1,
+        register_count=-1,
+        bound_gflops=None,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadCandidate:
+    """One registry-workload sweep point.
+
+    Attributes
+    ----------
+    workload:
+        Registry name (see :func:`repro.kernels.workload_names`).
+    config:
+        Workload configuration; ``None`` uses the workload's default.
+    optimize:
+        Whether to run the naive kernel through the pass pipeline.
+    label:
+        Human-readable name used in reports.
+    """
+
+    workload: str
+    config: object | None = None
+    optimize: bool = True
+    label: str = ""
+
+    @property
+    def display_label(self) -> str:
+        if self.label:
+            return self.label
+        suffix = "pipeline" if self.optimize else "naive"
+        return f"{self.workload}:{suffix}"
+
+
+def evaluate_workload_candidate(
+    gpu: GpuSpec | str,
+    candidate: WorkloadCandidate,
+    *,
+    max_cycles: int = 2_000_000,
+    cache_entries: dict[str, dict[str, float]] | None = None,
+) -> TuneOutcome:
+    """Generate, (optionally) optimize and simulate one registry workload.
+
+    Picklable worker function: the workload is resolved by name inside the
+    call so candidates can cross process boundaries.
+    """
+    label = candidate.display_label
+    try:
+        spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+        gpu_key = _gpu_key(spec)
+    except ReproError as exc:
+        return _error_outcome(label, candidate.workload, str(gpu), exc)
+    try:
+        from repro.kernels.registry import get_workload
+
+        workload = get_workload(candidate.workload)
+        config = candidate.config if candidate.config is not None else workload.default_config()
+        if candidate.optimize:
+            kernel, _ = workload.generate_optimized(config, spec)
+        else:
+            kernel = workload.generate_naive(config)
+        try:
+            bound = workload.bound(config, spec).potential_gflops
+        except ReproError:
+            bound = None
+        return _measure_kernel(
+            spec,
+            gpu_key,
+            label,
+            kernel,
+            bound,
+            max_cycles=max_cycles,
+            cache_entries=cache_entries,
         )
+    except ReproError as exc:
+        return _error_outcome(label, candidate.workload, gpu_key, exc)
+
+
+def workload_candidates(
+    names: tuple[str, ...] | None = None,
+    *,
+    include_naive: bool = True,
+) -> list[WorkloadCandidate]:
+    """The registry sweep: every workload's config space × {naive, pipeline}."""
+    from repro.kernels.registry import get_workload, workload_names
+
+    candidates: list[WorkloadCandidate] = []
+    for name in names if names is not None else workload_names():
+        workload = get_workload(name)
+        space = workload.config_space()
+        for index, config in enumerate(space):
+            tag = f"{name}#{index}" if len(space) > 1 else name
+            if include_naive:
+                candidates.append(
+                    WorkloadCandidate(
+                        workload=name, config=config, optimize=False, label=f"{tag}:naive"
+                    )
+                )
+            candidates.append(
+                WorkloadCandidate(
+                    workload=name, config=config, optimize=True, label=f"{tag}:pipeline"
+                )
+            )
+    return candidates
 
 
 def default_candidates(
@@ -302,9 +423,47 @@ def default_candidates(
 
 def _evaluate_star(packed: tuple) -> TuneOutcome:
     gpu, candidate, max_cycles, cache_entries = packed
-    return evaluate_candidate(
-        gpu, candidate, max_cycles=max_cycles, cache_entries=cache_entries
+    evaluate = (
+        evaluate_workload_candidate
+        if isinstance(candidate, WorkloadCandidate)
+        else evaluate_candidate
     )
+    return evaluate(gpu, candidate, max_cycles=max_cycles, cache_entries=cache_entries)
+
+
+def _sweep(
+    spec: GpuSpec,
+    candidates: list,
+    *,
+    workers: int | None,
+    cache: AutotuneCache,
+    max_cycles: int,
+) -> list[TuneOutcome]:
+    """Evaluate ``candidates`` (of either kind) with pooling and caching."""
+    if workers is None:
+        workers = min(len(candidates), os.cpu_count() or 1)
+    workers = max(1, min(workers, len(candidates)))
+
+    snapshot = dict(cache.entries)
+    if workers == 1:
+        outcomes = [
+            _evaluate_star((spec, candidate, max_cycles, snapshot))
+            for candidate in candidates
+        ]
+    else:
+        jobs = [(spec, candidate, max_cycles, snapshot) for candidate in candidates]
+        with multiprocessing.Pool(processes=workers) as pool:
+            outcomes = pool.map(_evaluate_star, jobs)
+
+    for outcome in outcomes:
+        if outcome.ok and not outcome.from_cache:
+            cache.entries[AutotuneCache.key_for(outcome.kernel_hash, outcome.gpu_key, max_cycles)] = {
+                "cycles": outcome.cycles,
+                "gflops": outcome.gflops,
+                "efficiency": outcome.efficiency,
+            }
+    cache.save()
+    return sorted(outcomes, key=lambda o: (not o.ok, o.cycles, o.label))
 
 
 def autotune(
@@ -338,31 +497,30 @@ def autotune(
         candidates = default_candidates()
     if cache is None:
         cache = AutotuneCache()
+    return _sweep(spec, candidates, workers=workers, cache=cache, max_cycles=max_cycles)
 
-    if workers is None:
-        workers = min(len(candidates), os.cpu_count() or 1)
-    workers = max(1, min(workers, len(candidates)))
 
-    snapshot = dict(cache.entries)
-    if workers == 1:
-        outcomes = [
-            evaluate_candidate(spec, candidate, max_cycles=max_cycles, cache_entries=snapshot)
-            for candidate in candidates
-        ]
-    else:
-        jobs = [(spec, candidate, max_cycles, snapshot) for candidate in candidates]
-        with multiprocessing.Pool(processes=workers) as pool:
-            outcomes = pool.map(_evaluate_star, jobs)
+def autotune_workloads(
+    gpu: GpuSpec | str,
+    candidates: list[WorkloadCandidate] | None = None,
+    *,
+    workers: int | None = None,
+    cache: AutotuneCache | None = None,
+    max_cycles: int = 2_000_000,
+) -> list[TuneOutcome]:
+    """Evaluate registry workloads on ``gpu``, best (fewest cycles) first.
 
-    for outcome in outcomes:
-        if outcome.ok and not outcome.from_cache:
-            cache.entries[AutotuneCache.key_for(outcome.kernel_hash, outcome.gpu_key, max_cycles)] = {
-                "cycles": outcome.cycles,
-                "gflops": outcome.gflops,
-                "efficiency": outcome.efficiency,
-            }
-    cache.save()
-    return sorted(outcomes, key=lambda o: (not o.ok, o.cycles, o.label))
+    The registry analogue of :func:`autotune`: candidates default to
+    :func:`workload_candidates` (every registered workload's configuration
+    space × {naive, pipeline}) and share the same kernel-hash cache, pool
+    fan-out and leaderboard ordering.
+    """
+    spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+    if candidates is None:
+        candidates = workload_candidates()
+    if cache is None:
+        cache = AutotuneCache()
+    return _sweep(spec, candidates, workers=workers, cache=cache, max_cycles=max_cycles)
 
 
 def format_leaderboard(outcomes: list[TuneOutcome]) -> str:

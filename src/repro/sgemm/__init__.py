@@ -6,6 +6,11 @@ tiling, global-memory prefetching, LDS.64 operand fetch), the register budget
 accounting of Section 5.2, the bank-conflict-free register allocation of
 Section 5.4 / Figure 9, the static conflict analyzer behind Figure 8, and the
 CUBLAS/MAGMA-like baselines used for Figures 5-7.
+
+SGEMM is also the first entry of the workload registry
+(:mod:`repro.kernels`); :func:`workload` returns that registration, and the
+functions exported here remain the thin, SGEMM-named wrappers around the
+same machinery.
 """
 
 from repro.sgemm.tiling import TileGeometry, tile_geometry
@@ -30,6 +35,17 @@ from repro.sgemm.performance import (
     PerformancePoint,
     performance_curve,
 )
+
+
+def workload():
+    """SGEMM's :class:`~repro.kernels.base.Workload` registration.
+
+    Imported lazily — :mod:`repro.kernels` depends on this package, so the
+    registry cannot be imported at module load time.
+    """
+    from repro.kernels.registry import get_workload
+
+    return get_workload("sgemm")
 
 __all__ = [
     "TileGeometry",
@@ -56,4 +72,5 @@ __all__ = [
     "AsmPerformanceModel",
     "PerformancePoint",
     "performance_curve",
+    "workload",
 ]

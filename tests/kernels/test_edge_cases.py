@@ -1,0 +1,147 @@
+"""Conflict-analysis and scheduling edge cases on non-FFMA-dominated kernels.
+
+The opt passes were written against SGEMM's FFMA-saturated main loop; the
+new workloads exercise the shapes SGEMM never produced — bodies with zero
+FFMAs (transpose), wide LD.64 register pairs feeding scalars (SGEMV), and
+predicated shared-memory stores (reduction tree).
+"""
+
+import pytest
+
+from repro.isa.instructions import Opcode
+from repro.kernels import (
+    ReductionKernelConfig,
+    SgemvKernelConfig,
+    TransposeKernelConfig,
+    generate_naive_reduction_kernel,
+    generate_naive_sgemv_kernel,
+    generate_naive_transpose_kernel,
+)
+from repro.opt import (
+    def_use,
+    optimize_kernel,
+    reallocate_registers,
+    schedule_kernel,
+)
+from repro.sgemm import analyse_ffma_conflicts
+
+
+class TestZeroFfmaBodies:
+    """Transpose has no FFMA at all — every analysis must degrade gracefully."""
+
+    @pytest.fixture()
+    def kernel(self):
+        return generate_naive_transpose_kernel(TransposeKernelConfig(m=32, n=32))
+
+    def test_conflict_report_is_empty_not_wrong(self, kernel):
+        report = analyse_ffma_conflicts(kernel)
+        assert report.ffma_count == 0
+        assert report.no_conflict_fraction == 0.0
+        assert report.two_way_fraction == 0.0
+        assert report.three_way_fraction == 0.0
+        percentages = report.as_percentages()
+        assert all(value == 0.0 for value in percentages.values())
+
+    def test_reallocation_has_nothing_to_recolor(self, kernel):
+        result = reallocate_registers(kernel)
+        assert result.conflicts_removed == 0
+        assert result.kernel.instruction_mix() == kernel.instruction_mix()
+
+    def test_scheduler_handles_memory_only_regions(self, kernel, fermi):
+        scheduled, stats = schedule_kernel(kernel, gpu=fermi)
+        assert stats.regions >= 2  # split at the staging barrier
+        opcodes_before = sorted(i.opcode for i in kernel.instructions)
+        opcodes_after = sorted(i.opcode for i in scheduled.instructions)
+        assert opcodes_before == opcodes_after
+        # The LDS must stay on the far side of the barrier from the STS.
+        order = [i.opcode for i in scheduled.instructions]
+        assert order.index(Opcode.STS) < order.index(Opcode.BAR) < order.index(Opcode.LDS)
+
+    def test_full_pipeline_runs_clean(self, kernel, kepler):
+        result = optimize_kernel(kernel, kepler)
+        assert result.ffma_conflicts == 0
+        assert result.kernel.instruction_mix() == kernel.instruction_mix()
+
+
+class TestWideLoads:
+    """SGEMV's LD.64 writes a register pair; dependences must track both."""
+
+    @pytest.fixture()
+    def kernel(self):
+        return generate_naive_sgemv_kernel(SgemvKernelConfig(m=64, k=64))
+
+    def test_ld64_def_covers_the_pair(self, kernel):
+        wide = [i for i in kernel.instructions if i.opcode is Opcode.LD and i.width == 64]
+        assert wide
+        for load in wide:
+            defs = def_use(load).reg_defs
+            assert len(defs) == 2
+            assert defs[1] == defs[0] + 1
+
+    def test_scheduler_never_lifts_a_pair_consumer_above_its_load(self, kernel, fermi):
+        scheduled, _ = schedule_kernel(kernel, gpu=fermi)
+        pending: set[int] = set()
+        for instruction in scheduled.instructions:
+            if instruction.opcode is Opcode.LD and instruction.width == 64:
+                pending.difference_update(def_use(instruction).reg_defs)
+            if instruction.is_ffma:
+                uses = def_use(instruction).reg_uses
+                assert not (set(uses) & pending)
+        # Walk again in reverse logic: every FFMA source register written by
+        # a wide load must have been written earlier in the stream.
+        written: set[int] = set()
+        for instruction in scheduled.instructions:
+            if instruction.is_ffma:
+                for register in def_use(instruction).reg_uses:
+                    assert register in written
+            written.update(def_use(instruction).reg_defs)
+
+    def test_wide_and_narrow_variants_optimize_to_zero_conflicts(self, fermi):
+        for wide in (True, False):
+            config = SgemvKernelConfig(m=64, k=64, wide_loads=wide)
+            result = optimize_kernel(generate_naive_sgemv_kernel(config), fermi)
+            assert result.ffma_conflicts == 0
+
+
+class TestPredicatedStores:
+    """The reduction tree is all predicated LDS/FADD/STS between barriers."""
+
+    @pytest.fixture()
+    def kernel(self):
+        return generate_naive_reduction_kernel(ReductionKernelConfig(n=256))
+
+    def test_scheduler_keeps_guard_definitions_ahead_of_uses(self, kernel, fermi):
+        scheduled, _ = schedule_kernel(kernel, gpu=fermi)
+        defined: set[int] = set()
+        for instruction in scheduled.instructions:
+            for predicate in def_use(instruction).pred_uses:
+                assert predicate in defined, "guard used before its ISETP"
+            defined.update(def_use(instruction).pred_defs)
+
+    def test_scheduler_keeps_tree_level_order(self, kernel, fermi):
+        scheduled, _ = schedule_kernel(kernel, gpu=fermi)
+        # Within every barrier-delimited region the predicated LDS must stay
+        # ahead of the predicated STS to the same shared cell.
+        region: list = []
+        for instruction in scheduled.instructions:
+            if instruction.is_barrier:
+                region = []
+                continue
+            if instruction.is_shared_load and not instruction.predicate.is_true:
+                region.append("load")
+            if instruction.is_shared_store and not instruction.predicate.is_true:
+                assert "load" in region, "tree store scheduled before its load"
+
+    def test_predicated_stores_survive_the_pipeline(self, kernel, kepler):
+        result = optimize_kernel(kernel, kepler)
+        before = sum(
+            1
+            for i in kernel.instructions
+            if i.is_shared_store and not i.predicate.is_true
+        )
+        after = sum(
+            1
+            for i in result.kernel.instructions
+            if i.is_shared_store and not i.predicate.is_true
+        )
+        assert before == after > 0

@@ -1,0 +1,73 @@
+"""Reduction workload specifics: tree structure, predication, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelGenerationError
+from repro.isa.instructions import Opcode
+from repro.kernels import (
+    ReductionKernelConfig,
+    generate_naive_reduction_kernel,
+    get_workload,
+    run_workload,
+)
+
+
+class TestConfigValidation:
+    def test_threads_must_be_power_of_two(self):
+        with pytest.raises(KernelGenerationError):
+            ReductionKernelConfig(n=480, threads_per_block=96)
+
+    def test_n_must_tile_into_chunks(self):
+        with pytest.raises(KernelGenerationError):
+            ReductionKernelConfig(n=500, threads_per_block=64, elements_per_thread=4)
+
+    def test_chunk_accounting(self):
+        config = ReductionKernelConfig(n=512, threads_per_block=64, elements_per_thread=4)
+        assert config.chunk == 256
+        assert config.grid_blocks == 2
+
+
+class TestKernelShape:
+    def test_kernel_is_branch_free(self):
+        kernel = generate_naive_reduction_kernel(ReductionKernelConfig(n=256))
+        assert not any(i.opcode is Opcode.BRA for i in kernel.instructions)
+
+    def test_tree_depth_matches_block_width(self):
+        config = ReductionKernelConfig(n=256, threads_per_block=64, elements_per_thread=4)
+        kernel = generate_naive_reduction_kernel(config)
+        # One barrier after publishing the partials plus one per tree level.
+        barriers = sum(1 for i in kernel.instructions if i.is_barrier)
+        assert barriers == 1 + 6  # log2(64) levels
+
+    def test_tree_body_is_predicated(self):
+        kernel = generate_naive_reduction_kernel(ReductionKernelConfig(n=256))
+        predicated_stores = [
+            i
+            for i in kernel.instructions
+            if i.is_shared_store and not i.predicate.is_true
+        ]
+        assert len(predicated_stores) == 6  # one per tree level
+        # The final global store is guarded by the leader predicate.
+        final = [i for i in kernel.instructions if i.is_global_store]
+        assert len(final) == 1 and not final[0].predicate.is_true
+
+
+class TestCorrectness:
+    def test_matches_numpy_sum_per_chunk(self, fermi):
+        workload = get_workload("reduction")
+        config = ReductionKernelConfig(n=512, threads_per_block=64, elements_per_thread=4)
+        run = run_workload(fermi, workload, config, optimized=False)
+        inputs = workload.prepare_inputs(config, seed=0)
+        expected = inputs["in"].reshape(2, 256).sum(axis=1)
+        np.testing.assert_allclose(run.output, expected, rtol=1e-4, atol=1e-3)
+
+    def test_single_element_per_thread(self, fermi):
+        config = ReductionKernelConfig(n=128, threads_per_block=64, elements_per_thread=1)
+        run = run_workload(fermi, get_workload("reduction"), config, optimized=True)
+        assert run.max_error <= 1e-3
+
+    def test_wider_block(self, kepler):
+        config = ReductionKernelConfig(n=512, threads_per_block=128, elements_per_thread=2)
+        run = run_workload(kepler, get_workload("reduction"), config, optimized=True)
+        assert run.max_error <= 1e-3

@@ -1,0 +1,72 @@
+"""Tests for the workload registry and the SGEMM port."""
+
+import pytest
+
+import repro.sgemm
+from repro.errors import ReproError
+from repro.kernels import (
+    SgemmWorkload,
+    Workload,
+    get_workload,
+    list_workloads,
+    register_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_shipped_workloads_registered(self):
+        names = workload_names()
+        assert len(names) >= 4
+        for expected in ("sgemm", "sgemv", "transpose", "reduction"):
+            assert expected in names
+
+    def test_list_matches_names(self):
+        assert tuple(w.name for w in list_workloads()) == workload_names()
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ReproError, match="unknown workload"):
+            get_workload("does-not-exist")
+
+    def test_conflicting_registration_raises(self):
+        class Impostor(SgemmWorkload):
+            pass
+
+        impostor = Impostor()
+        with pytest.raises(ReproError, match="already registered"):
+            register_workload(impostor)
+
+    def test_reregistering_same_type_is_idempotent(self):
+        sgemm = get_workload("sgemm")
+        assert register_workload(sgemm) is sgemm
+        assert get_workload("sgemm") is sgemm
+
+    def test_every_workload_has_metadata_and_config_space(self):
+        for workload in list_workloads():
+            assert isinstance(workload, Workload)
+            assert workload.name
+            assert workload.description
+            assert len(workload.config_space()) >= 1
+
+
+class TestSgemmPort:
+    def test_sgemm_package_exposes_its_registration(self):
+        assert repro.sgemm.workload() is get_workload("sgemm")
+
+    def test_sgemm_workload_generates_via_the_existing_generator(self):
+        workload = get_workload("sgemm")
+        config = workload.default_config()
+        kernel = workload.generate_naive(config)
+        # Same kernel the sgemm-named wrapper produces.
+        from repro.sgemm import generate_naive_sgemm_kernel
+
+        assert kernel.name == generate_naive_sgemm_kernel(config).name
+
+    def test_sgemm_bound_is_consistent_with_resources(self, fermi):
+        workload = get_workload("sgemm")
+        config = workload.default_config()
+        resources = workload.resources(config)
+        assert resources.flops == config.useful_flops
+        bound = workload.bound(config, fermi)
+        assert bound.potential_gflops is not None
+        assert bound.potential_gflops <= fermi.theoretical_peak_gflops

@@ -1,0 +1,76 @@
+"""SGEMV workload specifics: config validation, variants, kernel shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelGenerationError
+from repro.isa.instructions import Opcode
+from repro.kernels import (
+    SgemvKernelConfig,
+    generate_naive_sgemv_kernel,
+    get_workload,
+    run_workload,
+)
+
+
+class TestConfigValidation:
+    def test_threads_must_be_power_of_two(self):
+        with pytest.raises(KernelGenerationError):
+            SgemvKernelConfig(m=60, k=64, threads_per_block=30)
+
+    def test_m_must_tile(self):
+        with pytest.raises(KernelGenerationError):
+            SgemvKernelConfig(m=50, k=64, threads_per_block=32)
+
+    def test_k_must_tile(self):
+        with pytest.raises(KernelGenerationError):
+            SgemvKernelConfig(m=64, k=50, threads_per_block=32)
+
+
+class TestKernelShape:
+    def test_wide_loads_emit_ld64(self):
+        kernel = generate_naive_sgemv_kernel(SgemvKernelConfig(m=64, k=64))
+        widths = {
+            i.width for i in kernel.instructions if i.opcode is Opcode.LD and i.width > 32
+        }
+        assert widths == {64}
+
+    def test_narrow_variant_has_no_wide_loads(self):
+        config = SgemvKernelConfig(m=64, k=64, wide_loads=False)
+        kernel = generate_naive_sgemv_kernel(config)
+        assert all(
+            i.width == 32 for i in kernel.instructions if i.opcode is Opcode.LD
+        )
+
+    def test_ffma_count_matches_the_dot_product(self):
+        config = SgemvKernelConfig(m=64, k=64, threads_per_block=32)
+        kernel = generate_naive_sgemv_kernel(config)
+        # The k-loop body is unrolled over one tile of 32 elements.
+        ffmas = sum(1 for i in kernel.instructions if i.is_ffma)
+        assert ffmas == config.threads_per_block
+
+    def test_loop_branch_present(self):
+        kernel = generate_naive_sgemv_kernel(SgemvKernelConfig(m=64, k=64))
+        assert any(i.opcode is Opcode.BRA for i in kernel.instructions)
+
+
+class TestCorrectness:
+    def test_narrow_loads_match_numpy(self, fermi):
+        workload = get_workload("sgemv")
+        config = SgemvKernelConfig(m=64, k=64, threads_per_block=32, wide_loads=False)
+        run = run_workload(fermi, workload, config, optimized=True)
+        assert run.max_error <= 1e-3
+
+    def test_alpha_scaling(self, fermi):
+        workload = get_workload("sgemv")
+        config = SgemvKernelConfig(m=32, k=32, threads_per_block=32, alpha=2.5)
+        run = run_workload(fermi, workload, config, optimized=False)
+        inputs = workload.prepare_inputs(config, seed=0)
+        expected = np.float32(2.5) * (inputs["a"] @ inputs["x"])
+        np.testing.assert_allclose(run.output, expected, rtol=1e-4, atol=1e-3)
+
+    def test_multiple_k_tiles(self, fermi):
+        # k = 4 tiles exercises the software loop and the x re-staging.
+        config = SgemvKernelConfig(m=32, k=128, threads_per_block=32)
+        run = run_workload(fermi, get_workload("sgemv"), config, optimized=True)
+        assert run.max_error <= 1e-3

@@ -1,0 +1,69 @@
+"""Transpose workload specifics: bit-exactness, padding, non-square shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelGenerationError
+from repro.isa.instructions import Opcode
+from repro.kernels import (
+    TransposeKernelConfig,
+    generate_naive_transpose_kernel,
+    get_workload,
+    run_workload,
+)
+
+
+class TestConfigValidation:
+    def test_tile_must_be_power_of_two(self):
+        with pytest.raises(KernelGenerationError):
+            TransposeKernelConfig(m=36, n=36, tile=6)
+
+    def test_tile_squared_limited_by_block_size(self):
+        with pytest.raises(KernelGenerationError):
+            TransposeKernelConfig(m=64, n=64, tile=64)
+
+    def test_dimensions_must_tile(self):
+        with pytest.raises(KernelGenerationError):
+            TransposeKernelConfig(m=40, n=32, tile=16)
+
+    def test_padded_pitch_is_conflict_free(self):
+        config = TransposeKernelConfig(m=32, n=32, tile=16)
+        assert config.padded_row_words == 17
+        assert config.padded_row_words % 2 == 1  # odd pitch -> distinct banks
+
+
+class TestKernelShape:
+    def test_body_has_zero_ffma(self):
+        kernel = generate_naive_transpose_kernel(TransposeKernelConfig(m=32, n=32))
+        assert not any(i.is_ffma for i in kernel.instructions)
+
+    def test_single_barrier_between_store_and_read(self):
+        kernel = generate_naive_transpose_kernel(TransposeKernelConfig(m=32, n=32))
+        opcodes = [i.opcode for i in kernel.instructions]
+        assert opcodes.count(Opcode.BAR) == 1
+        assert opcodes.index(Opcode.STS) < opcodes.index(Opcode.BAR) < opcodes.index(Opcode.LDS)
+
+    def test_shared_footprint_includes_padding(self):
+        config = TransposeKernelConfig(m=32, n=32, tile=16)
+        kernel = generate_naive_transpose_kernel(config)
+        assert kernel.shared_memory_bytes == 16 * 17 * 4
+
+
+class TestCorrectness:
+    def test_result_is_bit_exact(self, fermi):
+        workload = get_workload("transpose")
+        run = run_workload(fermi, workload, optimized=True)
+        assert run.max_error == 0.0
+
+    def test_non_square_matrix(self, fermi):
+        workload = get_workload("transpose")
+        config = TransposeKernelConfig(m=32, n=16, tile=16)
+        run = run_workload(fermi, workload, config, optimized=True)
+        inputs = workload.prepare_inputs(config, seed=0)
+        np.testing.assert_array_equal(run.output, inputs["in"].T)
+        assert run.output.shape == (16, 32)
+
+    def test_smaller_tile(self, kepler):
+        config = TransposeKernelConfig(m=16, n=16, tile=8)
+        run = run_workload(kepler, get_workload("transpose"), config, optimized=True)
+        assert run.max_error == 0.0

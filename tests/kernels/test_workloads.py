@@ -1,0 +1,63 @@
+"""Acceptance tests for the new registry workloads.
+
+The PR-level criteria live here: every new workload's naive and optimized
+kernels are functionally equivalent to NumPy under the simulator, and the
+optimized variant is no slower than the naive one (simulated cycles) on
+both the Fermi and the Kepler machine model.
+"""
+
+import pytest
+
+from repro.kernels import get_workload, run_workload, workload_cycles
+
+NEW_WORKLOADS = ("sgemv", "transpose", "reduction")
+
+
+@pytest.mark.parametrize("name", NEW_WORKLOADS)
+class TestFunctionalEquivalence:
+    def test_naive_matches_numpy(self, name, fermi):
+        run = run_workload(fermi, get_workload(name), optimized=False)
+        assert run.max_error <= 1e-3
+
+    def test_optimized_matches_numpy_on_fermi(self, name, fermi):
+        run = run_workload(fermi, get_workload(name), optimized=True)
+        assert run.optimized
+        assert run.max_error <= 1e-3
+
+    def test_optimized_matches_numpy_on_kepler(self, name, kepler):
+        # Kepler also exercises the control-notation pass on the new bodies.
+        run = run_workload(kepler, get_workload(name), optimized=True)
+        assert run.max_error <= 1e-3
+
+    def test_different_seed_changes_data_not_correctness(self, name, fermi):
+        run = run_workload(fermi, get_workload(name), optimized=True, seed=7)
+        assert run.max_error <= 1e-3
+
+
+@pytest.mark.parametrize("name", NEW_WORKLOADS)
+@pytest.mark.parametrize("gpu_name", ("fermi", "kepler"))
+def test_optimized_no_slower_than_naive(name, gpu_name, request):
+    gpu = request.getfixturevalue(gpu_name)
+    workload = get_workload(name)
+    config = workload.default_config()
+    naive = workload.generate_naive(config)
+    optimized, _ = workload.generate_optimized(config, gpu)
+    assert workload_cycles(gpu, optimized) <= workload_cycles(gpu, naive)
+
+
+@pytest.mark.parametrize("name", NEW_WORKLOADS)
+def test_kernels_respect_the_register_limit(name):
+    workload = get_workload(name)
+    for config in workload.config_space():
+        assert workload.generate_naive(config).register_count <= 63
+
+
+@pytest.mark.parametrize("name", NEW_WORKLOADS)
+def test_bounds_are_memory_limited(name, fermi, kepler):
+    # The point of the new workloads: they sit on the bandwidth side of
+    # Eq. 9, which the SGEMM-specific model could not express.
+    workload = get_workload(name)
+    for gpu in (fermi, kepler):
+        bound = workload.bound(workload.default_config(), gpu)
+        assert bound.is_memory_bound
+        assert bound.effective_bandwidth_gbs > 0

@@ -1,0 +1,99 @@
+"""Tests for the generic memory-/compute-bound ceilings."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    WorkloadResources,
+    analyse_workload_bound,
+    format_bound,
+    shared_memory_bandwidth_gbs,
+)
+
+
+class TestWorkloadResources:
+    def test_rejects_negative_quantities(self):
+        with pytest.raises(ModelError):
+            WorkloadResources(flops=-1, dram_bytes=0, shared_bytes=4)
+
+    def test_rejects_the_empty_workload(self):
+        with pytest.raises(ModelError):
+            WorkloadResources(flops=0, dram_bytes=0, shared_bytes=0)
+
+    def test_arithmetic_intensity(self):
+        resources = WorkloadResources(flops=200, dram_bytes=100)
+        assert resources.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_arithmetic_intensity_degenerate_cases(self):
+        assert WorkloadResources(flops=8, dram_bytes=0).arithmetic_intensity == float("inf")
+        assert WorkloadResources(flops=0, dram_bytes=8).arithmetic_intensity == 0.0
+
+
+class TestSharedBandwidth:
+    def test_fermi_shared_bandwidth(self, fermi):
+        # 32 banks x 4 B x 16 SMs x 1544 MHz.
+        expected = 32 * 4 * 16 * 1544.0 / 1000.0
+        assert shared_memory_bandwidth_gbs(fermi) == pytest.approx(expected)
+
+    def test_kepler_banks_are_wider_per_sm(self, kepler, fermi):
+        # Kepler's 8-byte banks double the per-SM-per-cycle delivery (256 B
+        # vs 128 B); GTX 680's fewer SMs and lower shader clock mean the
+        # aggregate figure still favours GTX 580.
+        kepler_per_sm = kepler.shared_memory.bank_count * kepler.shared_memory.bank_width_bytes
+        fermi_per_sm = fermi.shared_memory.bank_count * fermi.shared_memory.bank_width_bytes
+        assert kepler_per_sm == 2 * fermi_per_sm
+        assert shared_memory_bandwidth_gbs(kepler) == pytest.approx(
+            kepler_per_sm * kepler.sm_count * kepler.clocks.shader_mhz / 1000.0
+        )
+
+
+class TestAnalyseWorkloadBound:
+    def test_compute_bound_workload(self, fermi):
+        resources = WorkloadResources(flops=10**12, dram_bytes=4)
+        bound = analyse_workload_bound(resources, fermi)
+        assert bound.limited_by == "sm_throughput"
+        assert not bound.is_memory_bound
+        assert bound.potential_gflops == pytest.approx(fermi.theoretical_peak_gflops)
+
+    def test_dram_bound_workload(self, fermi):
+        # Transpose-shaped: no flops, symmetric read/write traffic.
+        resources = WorkloadResources(flops=0, dram_bytes=8 * 1024 * 1024)
+        bound = analyse_workload_bound(resources, fermi)
+        assert bound.limited_by == "dram_bandwidth"
+        assert bound.is_memory_bound
+        assert bound.potential_gflops is None
+        assert bound.effective_bandwidth_gbs == pytest.approx(
+            fermi.global_memory_bandwidth_gbs
+        )
+
+    def test_shared_bound_workload(self, fermi):
+        resources = WorkloadResources(
+            flops=100, dram_bytes=100, shared_bytes=10**9
+        )
+        bound = analyse_workload_bound(resources, fermi)
+        assert bound.limited_by == "shared_bandwidth"
+        assert bound.is_memory_bound
+
+    def test_bound_time_is_the_maximum(self, kepler):
+        resources = WorkloadResources(
+            flops=10**6, dram_bytes=10**6, shared_bytes=10**6
+        )
+        bound = analyse_workload_bound(resources, kepler)
+        assert bound.bound_time_s == pytest.approx(
+            max(bound.compute_time_s, bound.dram_time_s, bound.shared_time_s)
+        )
+        assert bound.potential_gflops <= bound.compute_bound_gflops
+
+    def test_format_bound_mentions_the_limiter(self, fermi):
+        resources = WorkloadResources(flops=0, dram_bytes=1024)
+        text = format_bound(analyse_workload_bound(resources, fermi))
+        assert "dram_bandwidth" in text
+        assert "GB/s" in text
+
+    def test_gflops_ceilings_ordered_for_dram_bound_kernel(self, fermi):
+        # SGEMV-shaped: 0.5 flops/byte -> DRAM ceiling far below peak.
+        resources = WorkloadResources(flops=2 * 10**6, dram_bytes=4 * 10**6)
+        bound = analyse_workload_bound(resources, fermi)
+        assert bound.limited_by == "dram_bandwidth"
+        assert bound.dram_bound_gflops < bound.compute_bound_gflops
+        assert bound.potential_gflops == pytest.approx(bound.dram_bound_gflops)
