@@ -25,6 +25,9 @@ BENCH_OPT_PATH = Path(__file__).parent / "BENCH_opt.json"
 #: Where the per-workload registry sweep metrics land (next to this file).
 BENCH_KERNELS_PATH = Path(__file__).parent / "BENCH_kernels.json"
 
+#: Where the tile-IR schedule comparison metrics land (next to this file).
+BENCH_TILE_PATH = Path(__file__).parent / "BENCH_tile.json"
+
 #: Metrics recorded this session, keyed by output path.
 _REPORTS: dict[Path, dict[str, object]] = {}
 
@@ -46,6 +49,11 @@ def record_opt_metric(name: str, payload: dict[str, object]) -> None:
 def record_kernel_metric(name: str, payload: dict[str, object]) -> None:
     """Record one per-workload metric blob for the BENCH_kernels.json report."""
     _record(BENCH_KERNELS_PATH, name, payload)
+
+
+def record_tile_metric(name: str, payload: dict[str, object]) -> None:
+    """Record one naive/scheduled/golden comparison blob for BENCH_tile.json."""
+    _record(BENCH_TILE_PATH, name, payload)
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:

@@ -50,3 +50,15 @@ class KernelGenerationError(ReproError):
 
 class RegisterAllocationError(ReproError):
     """Raised when register allocation cannot satisfy its constraints."""
+
+
+class TileError(ReproError):
+    """Base class for loop-nest IR failures (:mod:`repro.tile`)."""
+
+
+class ScheduleError(TileError):
+    """Raised when a scheduling primitive cannot legally be applied."""
+
+
+class LoweringError(TileError):
+    """Raised when a scheduled loop nest cannot be lowered to SASS."""

@@ -45,6 +45,13 @@ from repro.kernels.reduction import (
     generate_naive_reduction_kernel,
 )
 
+# Tile-IR workloads (DSL kernels lowered through repro.tile) also
+# self-register; the hand generators above stay as golden references.  A
+# plain module import keeps the kernels ↔ tile dependency cycle harmless:
+# repro.tile.workloads itself imports repro.kernels.base, so attribute
+# access here could see a partially initialised module.
+import repro.tile.workloads  # noqa: E402,F401  (registers tile_* workloads)
+
 __all__ = [
     "Workload",
     "WorkloadLaunch",

@@ -28,6 +28,7 @@ from repro.opt.autotune import (
     evaluate_candidate,
     evaluate_workload_candidate,
     format_leaderboard,
+    schedule_sweep_candidates,
     simulate_one_block,
     workload_candidates,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "assign_control_hints",
     "autotune",
     "autotune_workloads",
+    "schedule_sweep_candidates",
     "default_candidates",
     "default_pipeline",
     "def_use",

@@ -384,6 +384,19 @@ def workload_candidates(
     return candidates
 
 
+def schedule_sweep_candidates(**kwargs) -> list[WorkloadCandidate]:
+    """Tile-IR schedule sweep: every DSL workload's schedule space.
+
+    Delegates to :func:`repro.tile.autotune.schedule_candidates` (imported
+    lazily — the tile layer sits above the optimizer); the returned
+    candidates run through :func:`autotune_workloads` like any others, so
+    tuning *schedules* and tuning generator knobs share one harness.
+    """
+    from repro.tile.autotune import schedule_candidates
+
+    return schedule_candidates(**kwargs)
+
+
 def default_candidates(
     *,
     variants: tuple[SgemmVariant, ...] = tuple(SgemmVariant),

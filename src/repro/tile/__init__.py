@@ -1,0 +1,74 @@
+"""``repro.tile`` — a schedulable loop-nest IR that lowers to SASS.
+
+The layer between workloads and the ISA: kernels are written once as naive
+loop nests (:mod:`repro.tile.ir`), reshaped by verified scheduling primitives
+(:mod:`repro.tile.schedule`), checked against the NumPy oracle
+(:mod:`repro.tile.interp`) and lowered to assembled kernels through the
+existing :mod:`repro.isa` builder (:mod:`repro.tile.lower`).  The shipped
+kernels and their golden schedules live in :mod:`repro.tile.library`; the
+registry workloads built from them in :mod:`repro.tile.workloads`; the
+schedule-space autotuning glue in :mod:`repro.tile.autotune`.
+"""
+
+from repro.tile.interp import assert_equivalent, interpret
+from repro.tile.ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Buffer,
+    Const,
+    Guard,
+    Loop,
+    LoopKind,
+    Proc,
+    Read,
+    Stage,
+    TensorParam,
+    Unstage,
+    check_proc,
+)
+from repro.tile.lower import LaunchGeometry, launch_geometry, lower
+from repro.tile.resources import proc_resources
+from repro.tile.schedule import (
+    bind_block,
+    bind_thread,
+    fission,
+    predicate_tail,
+    reorder,
+    split,
+    stage_registers,
+    stage_shared,
+    unroll,
+)
+
+__all__ = [
+    "Affine",
+    "Assign",
+    "BinOp",
+    "Buffer",
+    "Const",
+    "Guard",
+    "Loop",
+    "LoopKind",
+    "Proc",
+    "Read",
+    "Stage",
+    "TensorParam",
+    "Unstage",
+    "check_proc",
+    "interpret",
+    "assert_equivalent",
+    "lower",
+    "launch_geometry",
+    "LaunchGeometry",
+    "proc_resources",
+    "split",
+    "predicate_tail",
+    "reorder",
+    "fission",
+    "unroll",
+    "bind_block",
+    "bind_thread",
+    "stage_shared",
+    "stage_registers",
+]

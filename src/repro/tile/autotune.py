@@ -1,0 +1,124 @@
+"""Schedule-space autotuning for tile-IR workloads.
+
+The tile workloads encode their *schedule* in the workload configuration
+(tile sizes, register blocking, staging stride, B-register window, staging
+and pipelining toggles), so sweeping schedules is sweeping configurations —
+the same :class:`~repro.opt.autotune.WorkloadCandidate` machinery that sweeps
+the hand generators' knobs evaluates DSL schedules, shares the kernel-hash
+simulation cache and the multiprocessing pool, and ranks everything on one
+leaderboard.
+
+:func:`schedule_candidates` builds the standard sweep; the convenience
+:func:`autotune_schedules` runs it.  Both are re-exported from
+:mod:`repro.opt.autotune` so the optimizer layer remains the one entry point
+for tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.opt.autotune import (
+    AutotuneCache,
+    TuneOutcome,
+    WorkloadCandidate,
+    autotune_workloads,
+)
+from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
+
+__all__ = ["schedule_candidates", "autotune_schedules"]
+
+
+def _sgemm_schedules(base: TileSgemmConfig) -> list[tuple[str, TileSgemmConfig]]:
+    """The SGEMM schedule axis: pipelining → staging → windowing → blocking."""
+    points = [
+        ("nostage", replace(base, stage=False, prefetch=False)),
+        ("noprefetch", replace(base, prefetch=False)),
+        ("w1", replace(base, b_window=1)),
+        ("golden", base),
+    ]
+    half = base.tile // 2
+    if (
+        half >= base.register_blocking
+        and half % base.register_blocking == 0
+        and base.m % half == 0
+        and base.n % half == 0
+    ):
+        # Halving the tile quadruples the threads per element: the prefetch
+        # registers no longer fit next to the full accumulator tile, so this
+        # point runs without software pipelining.
+        points.append((f"t{half}", replace(base, tile=half, prefetch=False)))
+    return points
+
+
+def schedule_candidates(
+    *,
+    sgemm: TileSgemmConfig | None = None,
+    transpose: TileTransposeConfig | None = None,
+    sgemv: TileSgemvConfig | None = None,
+    include_naive: bool = False,
+) -> list[WorkloadCandidate]:
+    """Candidates sweeping each DSL workload's schedule space.
+
+    ``include_naive`` additionally evaluates every point without the pass
+    pipeline, doubling the sweep (useful for before/after tables).
+    """
+    candidates: list[WorkloadCandidate] = []
+
+    def push(workload: str, label: str, config) -> None:
+        if include_naive:
+            candidates.append(
+                WorkloadCandidate(
+                    workload=workload, config=config, optimize=False,
+                    label=f"{workload}:{label}:naive",
+                )
+            )
+        candidates.append(
+            WorkloadCandidate(
+                workload=workload, config=config, optimize=True,
+                label=f"{workload}:{label}",
+            )
+        )
+
+    for label, config in _sgemm_schedules(sgemm or TileSgemmConfig()):
+        push("tile_sgemm", label, config)
+
+    transpose = transpose or TileTransposeConfig()
+    for label, config in (
+        ("nopad", replace(transpose, pad=0)),
+        ("golden", transpose),
+        ("t8", replace(transpose, tile=8)),
+    ):
+        push("tile_transpose", label, config)
+
+    sgemv = sgemv or TileSgemvConfig()
+    for label, config in (
+        ("w1", replace(sgemv, k_window=1)),
+        ("noprefetch", replace(sgemv, prefetch=False)),
+        ("golden", sgemv),
+    ):
+        push("tile_sgemv", label, config)
+
+    return candidates
+
+
+def autotune_schedules(
+    gpu,
+    candidates: list[WorkloadCandidate] | None = None,
+    *,
+    workers: int | None = None,
+    cache: AutotuneCache | None = None,
+    max_cycles: int = 2_000_000,
+) -> list[TuneOutcome]:
+    """Evaluate DSL schedule candidates on ``gpu``, best first.
+
+    A thin veneer over :func:`repro.opt.autotune.autotune_workloads` with the
+    schedule sweep as the default candidate set.
+    """
+    return autotune_workloads(
+        gpu,
+        candidates if candidates is not None else schedule_candidates(),
+        workers=workers,
+        cache=cache,
+        max_cycles=max_cycles,
+    )

@@ -1,0 +1,167 @@
+"""The NumPy interpreter — the IR's semantic oracle.
+
+``interpret`` executes a :class:`~repro.tile.ir.Proc` directly: loops run
+sequentially in program order (lowering tags are ignored), every arithmetic
+step is performed in float32, and multiplies/adds are kept *separate* — the
+same semantics as the functional simulator's FFMA, which computes
+``f32(a) · f32(b) + f32(c)`` unfused.  Because both sides round identically
+and the scheduling primitives preserve per-element accumulation order, the
+oracle comparison in the tests can demand bit-exact equality, not just
+``allclose``.
+
+The oracle has three jobs:
+
+* define what a ``Proc`` means (there is no other specification);
+* validate every scheduling rewrite (``interpret(p) == interpret(f(p))``);
+* validate the SASS lowering (functional simulation == interpretation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TileError
+from repro.tile.ir import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Guard,
+    Loop,
+    Proc,
+    Read,
+    Stage,
+    Stmt,
+    Unstage,
+    check_proc,
+)
+
+
+def interpret(
+    proc: Proc, inputs: dict[str, np.ndarray], *, check: bool = True
+) -> dict[str, np.ndarray]:
+    """Execute ``proc`` on NumPy arrays and return its written tensors.
+
+    Parameters
+    ----------
+    proc:
+        The loop nest to execute (scheduled or not — tags are ignored).
+    inputs:
+        One float32 array per *read* tensor parameter, keyed by name.
+        Written-only parameters are implicitly zero-initialised.
+    check:
+        Run :func:`~repro.tile.ir.check_proc` first (on by default; property
+        tests disable it when they check separately).
+
+    Returns
+    -------
+    dict[str, np.ndarray]
+        The arrays of every tensor parameter the proc writes.
+    """
+    if check:
+        check_proc(proc)
+
+    tensors: dict[str, np.ndarray] = {}
+    for param in proc.params:
+        if param.name in inputs:
+            array = np.asarray(inputs[param.name], dtype=np.float32)
+            if array.shape != param.shape:
+                raise TileError(
+                    f"input '{param.name}' has shape {array.shape}, expected {param.shape}"
+                )
+            tensors[param.name] = array.copy()
+        else:
+            tensors[param.name] = np.zeros(param.shape, dtype=np.float32)
+    for buffer in proc.buffers:
+        tensors[buffer.name] = np.zeros(buffer.shape, dtype=np.float32)
+
+    _run(proc, proc.body, tensors, {})
+    return {name: tensors[name] for name in proc.outputs()}
+
+
+def _run(proc: Proc, stmts: tuple[Stmt, ...], tensors: dict[str, np.ndarray],
+         env: dict[str, int]) -> None:
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            for value in range(stmt.extent):
+                env[stmt.var] = value
+                _run(proc, stmt.body, tensors, env)
+            del env[stmt.var]
+        elif isinstance(stmt, Guard):
+            if stmt.expr.evaluate(env) < stmt.bound:
+                _run(proc, stmt.body, tensors, env)
+        elif isinstance(stmt, Assign):
+            index = tuple(i.evaluate(env) for i in stmt.index)
+            value = _eval(stmt.value, tensors, env)
+            if stmt.accumulate:
+                tensors[stmt.tensor][index] = np.float32(tensors[stmt.tensor][index] + value)
+            else:
+                tensors[stmt.tensor][index] = value
+        elif isinstance(stmt, Stage):
+            _run_stage(stmt, tensors, env)
+        elif isinstance(stmt, Unstage):
+            _run_unstage(stmt, tensors, env)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise TileError(f"cannot interpret statement {stmt!r}")
+
+
+def _eval(expr: Expr, tensors: dict[str, np.ndarray], env: dict[str, int]) -> np.float32:
+    if isinstance(expr, Const):
+        return np.float32(expr.value)
+    if isinstance(expr, Read):
+        index = tuple(i.evaluate(env) for i in expr.index)
+        return np.float32(tensors[expr.tensor][index])
+    if isinstance(expr, BinOp):
+        lhs = _eval(expr.lhs, tensors, env)
+        rhs = _eval(expr.rhs, tensors, env)
+        return np.float32(lhs * rhs) if expr.op == "mul" else np.float32(lhs + rhs)
+    raise TileError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
+
+
+def _run_stage(stmt: Stage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
+    base = tuple(b.evaluate(env) for b in stmt.base)
+    source = tensors[stmt.tensor]
+    # Window in tensor-dim order, then permuted into buffer-dim order.
+    window_slices = list(slice(b, b + 1) for b in base)
+    for buffer_dim, tensor_dim in enumerate(stmt.axes):
+        window_slices[tensor_dim] = slice(
+            base[tensor_dim], base[tensor_dim] + stmt.sizes[buffer_dim]
+        )
+    window = source[tuple(window_slices)]
+    # Drop the singleton dims not walked by the buffer, then permute.
+    walked = sorted(stmt.axes)
+    window = window.reshape(tuple(window.shape[d] for d in walked))
+    order = tuple(walked.index(t) for t in stmt.axes)
+    tensors[stmt.buffer][...] = np.transpose(window, order)
+
+
+def _run_unstage(stmt: Unstage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
+    base = tuple(b.evaluate(env) for b in stmt.base)
+    slices = tuple(slice(b, b + s) for b, s in zip(base, stmt.sizes))
+    tensors[stmt.tensor][slices] = tensors[stmt.buffer]
+
+
+def assert_equivalent(
+    before: Proc,
+    after: Proc,
+    inputs: dict[str, np.ndarray],
+) -> None:
+    """Raise unless both procs produce bit-identical outputs on ``inputs``.
+
+    The oracle check every scheduling primitive must survive: schedules may
+    only reorder *independent* iterations and stage values, never change what
+    is computed, so float32 results must match exactly.
+    """
+    out_before = interpret(before, inputs)
+    out_after = interpret(after, inputs)
+    if set(out_before) != set(out_after):
+        raise TileError(
+            f"schedule changed the written tensors: {sorted(out_before)} vs {sorted(out_after)}"
+        )
+    for name, expected in out_before.items():
+        got = out_after[name]
+        if expected.shape != got.shape or not np.array_equal(expected, got):
+            worst = float(np.max(np.abs(expected.astype(np.float64) - got.astype(np.float64))))
+            raise TileError(
+                f"schedule changed the value of '{name}' (max |difference| = {worst:.3e})"
+            )

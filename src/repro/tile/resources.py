@@ -1,0 +1,158 @@
+"""Derive upper-bound resource counts from the loop nest itself.
+
+The hand-written workloads carry hand-derived traffic formulas (Eq. 6-style
+accounting done on paper); a tile-IR proc *is* that accounting.  Walking the
+scheduled nest and multiplying by loop extents yields, exactly:
+
+* ``flops`` — one per ``mul``/``add`` evaluation (an FFMA counts two);
+* ``dram_bytes`` — direct tensor-parameter accesses, each staged window
+  (counted once per *block*, because the cooperative copy is executed by the
+  block, not per thread — the one place the interpreter's per-thread
+  re-execution and the hardware cost model differ), and the write-backs;
+* ``shared_bytes`` — staging-buffer writes (the window, once per block) plus
+  the per-thread reads of shared buffers, counted per *distinct address*
+  within an unrolled subtree: the lowering caches a loaded operand in a
+  register for the whole batch, so a value read by all six FFMAs of a row
+  costs one LDS, exactly the paper's ``2·B_R`` per-k-step accounting.
+
+Guarded statements count only the iterations whose predicate holds, so
+``predicate_tail`` schedules report the true (not rounded-up) traffic.
+
+The result plugs straight into
+:func:`repro.model.analyse_workload_bound` — deriving the paper's bound
+inputs from the IR instead of re-deriving them per workload by hand.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.model.workload_bounds import WorkloadResources
+from repro.tile.ir import (
+    Assign,
+    BinOp,
+    Expr,
+    Guard,
+    Loop,
+    LoopKind,
+    Proc,
+    Stage,
+    Stmt,
+    Unstage,
+    expr_reads,
+)
+
+__all__ = ["proc_resources"]
+
+
+def _expr_flops(expr: Expr) -> int:
+    if isinstance(expr, BinOp):
+        return 1 + _expr_flops(expr.lhs) + _expr_flops(expr.rhs)
+    return 0
+
+
+def _guard_fraction(guards, ranges: dict[str, int]) -> float:
+    """Fraction of iterations (over the guard expressions' variables) that
+    satisfy every active guard."""
+    if not guards:
+        return 1.0
+    involved = sorted({v for expr, _ in guards for v in expr.vars()})
+    if not involved:
+        return 1.0 if all(expr.const < bound for expr, bound in guards) else 0.0
+    total = 0
+    satisfied = 0
+    for values in product(*(range(ranges[v]) for v in involved)):
+        env = dict(zip(involved, values))
+        total += 1
+        if all(expr.evaluate(env) < bound for expr, bound in guards):
+            satisfied += 1
+    return satisfied / total if total else 1.0
+
+
+def proc_resources(proc: Proc) -> WorkloadResources:
+    """Count flops and DRAM/shared traffic of one full execution of ``proc``.
+
+    Works on naive and scheduled procs alike; on a scheduled proc the staging
+    structure is priced the way the simulator prices it (cooperative copies
+    once per block, buffer reads per thread).
+    """
+    is_shared = {
+        b.name for b in proc.buffers if b.memory == "shared"
+    }
+    is_register = {
+        b.name for b in proc.buffers if b.memory == "register"
+    }
+
+    flops = 0.0
+    dram = 0.0
+    shared = 0.0
+
+    def access(tensor: str, count: float) -> None:
+        nonlocal dram, shared
+        if tensor in is_register:
+            return
+        if tensor in is_shared:
+            shared += 4 * count
+        else:
+            dram += 4 * count
+
+    def visit(stmts: tuple[Stmt, ...], trip: float, thread_trip: float,
+              ranges: dict[str, int], guards, unrolled: dict[str, int]) -> None:
+        nonlocal flops
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                inner_ranges = {**ranges, stmt.var: stmt.extent}
+                inner_unrolled = unrolled
+                if stmt.kind is LoopKind.UNROLL:
+                    inner_unrolled = {**unrolled, stmt.var: stmt.extent}
+                if stmt.kind.is_thread:
+                    visit(stmt.body, trip * stmt.extent,
+                          thread_trip * stmt.extent, inner_ranges, guards,
+                          inner_unrolled)
+                else:
+                    visit(stmt.body, trip * stmt.extent, thread_trip,
+                          inner_ranges, guards, inner_unrolled)
+            elif isinstance(stmt, Guard):
+                visit(stmt.body, trip, thread_trip, ranges,
+                      guards + ((stmt.expr, stmt.bound),), unrolled)
+            elif isinstance(stmt, Assign):
+                count = trip * _guard_fraction(guards, ranges)
+                flops += count * (
+                    _expr_flops(stmt.value) + (1 if stmt.accumulate else 0)
+                )
+                for r in expr_reads(stmt.value):
+                    # A value whose address is invariant across enclosing
+                    # unrolled loops is loaded once and reused from a
+                    # register (the lowering's batch cache).
+                    reuse = 1
+                    varies = frozenset().union(*(i.vars() for i in r.index)) \
+                        if r.index else frozenset()
+                    for var, extent in unrolled.items():
+                        if var not in varies:
+                            reuse *= extent
+                    access(r.tensor, count / reuse)
+                if stmt.accumulate and stmt.tensor not in is_register:
+                    # Read-modify-write touches the element twice.
+                    access(stmt.tensor, count)
+                access(stmt.tensor, count)
+            elif isinstance(stmt, Stage):
+                window = 1
+                for size in stmt.sizes:
+                    window *= size
+                # The cooperative copy runs once per block: divide out the
+                # thread-loop multiplicity the IR's per-thread semantics add.
+                block_trip = trip / max(thread_trip, 1.0)
+                access(stmt.tensor, block_trip * window)          # global reads
+                access(stmt.buffer, block_trip * window)          # shared writes
+            elif isinstance(stmt, Unstage):
+                window = 1
+                for size in stmt.sizes:
+                    window *= size
+                access(stmt.tensor, trip * window)
+
+    visit(proc.body, 1.0, 1.0, {}, (), {})
+    return WorkloadResources(
+        flops=int(round(flops)),
+        dram_bytes=int(round(dram)),
+        shared_bytes=int(round(shared)),
+    )

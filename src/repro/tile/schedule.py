@@ -1,0 +1,665 @@
+"""Scheduling primitives: pure ``Proc -> Proc`` rewrites.
+
+Each primitive restructures or annotates a loop nest without changing what it
+computes — the Exo/Halide discipline applied to the paper's hand
+optimizations.  The naive nest states the algorithm once; ``split``,
+``reorder``, ``unroll`` and ``predicate_tail`` shape the iteration space;
+``bind_block``/``bind_thread`` map loops onto the launch geometry; and
+``stage_shared``/``stage_registers`` introduce the memory hierarchy (the
+barrier-fenced shared-memory tiles and the per-thread accumulator block of
+Section 5).
+
+Every primitive is validated against the NumPy oracle in the test suite:
+``interpret(p) == interpret(primitive(p))`` bit-for-bit, because a schedule
+may reorder independent iterations and stage values but never changes the
+per-element accumulation order.
+
+All primitives raise :class:`~repro.errors.ScheduleError` when the rewrite
+would be illegal (non-dividing split factors, imperfect nests, reads that do
+not decompose into a stageable window, ...), so an invalid schedule fails at
+schedule-construction time rather than producing a wrong kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ScheduleError
+from repro.tile.ir import (
+    Affine,
+    Assign,
+    Buffer,
+    Guard,
+    Loop,
+    LoopKind,
+    Proc,
+    Read,
+    Stage,
+    Stmt,
+    Unstage,
+    check_proc,
+    expr_reads,
+    map_expr_reads,
+    map_stmts,
+    substitute_stmts,
+    walk_stmts,
+)
+
+__all__ = [
+    "split",
+    "predicate_tail",
+    "reorder",
+    "fission",
+    "unroll",
+    "bind_block",
+    "bind_thread",
+    "stage_shared",
+    "stage_registers",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Internal helpers.                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def _rewrite_loop(proc: Proc, var: str, fn) -> Proc:
+    """Rebuild ``proc`` with ``fn`` applied to the loop named ``var``."""
+    proc.find_loop(var)  # raises with a helpful message when missing
+
+    def rewrite(stmt: Stmt):
+        if isinstance(stmt, Loop) and stmt.var == var:
+            return fn(stmt)
+        return stmt
+
+    return proc.with_body(map_stmts(proc.body, rewrite))
+
+
+def _fresh(proc: Proc, name: str) -> str:
+    if name in proc.loops():
+        raise ScheduleError(f"loop variable '{name}' already exists")
+    return name
+
+
+def _loop_kinds(proc: Proc) -> dict[str, LoopKind]:
+    return {var: loop.kind for var, loop in proc.loops().items()}
+
+
+def _checked(proc: Proc) -> Proc:
+    check_proc(proc)
+    return proc
+
+
+# --------------------------------------------------------------------------- #
+# Loop-structure primitives.                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def split(proc: Proc, var: str, factor: int, outer: str | None = None,
+          inner: str | None = None) -> Proc:
+    """Split loop ``var`` into ``outer`` × ``inner`` (``factor`` must divide).
+
+    ``for i in N`` becomes ``for io in N//factor: for ii in factor`` with
+    ``i := io·factor + ii`` substituted throughout the body — the tiling step
+    behind the paper's block/thread/register blocking hierarchy.
+
+    >>> from repro.tile.library import matmul_proc
+    >>> from repro.tile.schedule import split
+    >>> p = split(matmul_proc(m=4, n=4, k=2), "i", 2)
+    >>> print(p)                            # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_4x4x2(A: f32[4, 2], B: f32[2, 4], C: f32[4, 4])
+      for io in 2:
+        for ii in 2:
+          for j in 4:
+            C[ii + 2*io, j] = 0.0
+            for k in 2:
+              C[ii + 2*io, j] += (A[ii + 2*io, k] * B[k, j])
+    """
+    outer = _fresh(proc, outer or f"{var}o")
+    inner = _fresh(proc, inner or f"{var}i")
+    if outer == inner:
+        raise ScheduleError("outer and inner split names must differ")
+    if factor < 1:
+        raise ScheduleError(f"split factor must be >= 1, got {factor}")
+
+    def rewrite(loop: Loop) -> Loop:
+        if loop.extent % factor:
+            raise ScheduleError(
+                f"split factor {factor} does not divide extent {loop.extent} of '{var}' "
+                f"(use predicate_tail for imperfect splits)"
+            )
+        if loop.kind is not LoopKind.SEQ:
+            raise ScheduleError(f"cannot split bound/unrolled loop '{var}'")
+        body = substitute_stmts(
+            loop.body, {var: Affine.var(outer) * factor + Affine.var(inner)}
+        )
+        return Loop(
+            var=outer,
+            extent=loop.extent // factor,
+            body=(Loop(var=inner, extent=factor, body=body),),
+        )
+
+    return _checked(_rewrite_loop(proc, var, rewrite))
+
+
+def predicate_tail(proc: Proc, var: str, factor: int, outer: str | None = None,
+                   inner: str | None = None) -> Proc:
+    """Split ``var`` by a non-dividing ``factor``, guarding the tail.
+
+    Like :func:`split`, but the outer extent rounds up and the body is wrapped
+    in ``if io·factor + ii < N`` — the predication idiom hand-written SASS
+    uses for boundary tiles instead of divergent branches (the simulator only
+    supports warp-uniform control flow, so tails *must* lower to guards).
+
+    >>> from repro.tile.library import copy_proc
+    >>> from repro.tile.schedule import predicate_tail
+    >>> p = predicate_tail(copy_proc(n=10), "i", 4)
+    >>> print(p)                            # doctest: +NORMALIZE_WHITESPACE
+    proc copy_10(src: f32[10], dst: f32[10])
+      for io in 3:
+        for ii in 4:
+          if ii + 4*io < 10:
+            dst[ii + 4*io] = src[ii + 4*io]
+    """
+    outer = _fresh(proc, outer or f"{var}o")
+    inner = _fresh(proc, inner or f"{var}i")
+    if outer == inner:
+        raise ScheduleError("outer and inner split names must differ")
+    if factor < 1:
+        raise ScheduleError(f"split factor must be >= 1, got {factor}")
+
+    def rewrite(loop: Loop) -> Loop:
+        if loop.kind is not LoopKind.SEQ:
+            raise ScheduleError(f"cannot split bound/unrolled loop '{var}'")
+        index = Affine.var(outer) * factor + Affine.var(inner)
+        body = substitute_stmts(loop.body, {var: index})
+        guarded = body if loop.extent % factor == 0 else (
+            Guard(expr=index, bound=loop.extent, body=body),
+        )
+        return Loop(
+            var=outer,
+            extent=-(-loop.extent // factor),
+            body=(Loop(var=inner, extent=factor, body=guarded),),
+        )
+
+    return _checked(_rewrite_loop(proc, var, rewrite))
+
+
+def reorder(proc: Proc, outer_var: str, inner_var: str) -> Proc:
+    """Interchange two perfectly nested loops (``outer_var`` directly around
+    ``inner_var``).
+
+    Legal for the IR's dense affine nests because per-element accumulation
+    order (the sequence of ``k`` values folded into one ``C`` element) is
+    preserved by any permutation of *distinct* loops — which is why the
+    oracle can insist on bit-exact equality.
+
+    >>> from repro.tile.library import matmul_proc
+    >>> from repro.tile.schedule import reorder
+    >>> print(reorder(matmul_proc(m=2, n=2, k=2, init_separate=True), "i", "j"))
+    ...                                     # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_2x2x2(A: f32[2, 2], B: f32[2, 2], C: f32[2, 2])
+      for i0 in 2:
+        for j0 in 2:
+          C[i0, j0] = 0.0
+      for j in 2:
+        for i in 2:
+          for k in 2:
+            C[i, j] += (A[i, k] * B[k, j])
+    """
+
+    def rewrite(loop: Loop) -> Loop:
+        if len(loop.body) != 1 or not isinstance(loop.body[0], Loop):
+            raise ScheduleError(
+                f"'{outer_var}' and '{inner_var}' are not perfectly nested"
+            )
+        inner = loop.body[0]
+        if inner.var != inner_var:
+            raise ScheduleError(
+                f"loop directly inside '{outer_var}' is '{inner.var}', not '{inner_var}'"
+            )
+        return replace(inner, body=(replace(loop, body=inner.body),))
+
+    return _checked(_rewrite_loop(proc, outer_var, rewrite))
+
+
+def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = None) -> Proc:
+    """Fission loop ``var`` into two loops over the same range.
+
+    ``for v: [S_0 ... S_at-1, S_at ...]`` becomes ``for v0: [S_0 ...]; for
+    v1: [S_at ...]`` — the step that separates the accumulator
+    initialisation from the k-loop so :func:`reorder` can hoist the k-loop
+    above the register-tile loops.  Legality is checked conservatively:
+    every tensor *written* in the body must have some dimension in which all
+    of its accesses share one non-zero coefficient of ``var`` and the
+    remaining intra-iteration spread stays below that coefficient, so
+    distinct iterations touch disjoint elements and the interleaving change
+    cannot be observed.
+
+    >>> from repro.tile import library, schedule
+    >>> p = schedule.stage_registers(library.matmul_proc(m=2, n=2, k=2), "i", "C")
+    >>> print(schedule.fission(p, "j"))     # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_2x2x2(A: f32[2, 2], B: f32[2, 2], C: f32[2, 2])
+      register C_reg: f32[2]
+      for i in 2:
+        for j0 in 2:
+          C_reg[j0] = 0.0
+        for j1 in 2:
+          for k in 2:
+            C_reg[j1] += (A[i, k] * B[k, j1])
+        unstage C[i, 0 ...] <- C_reg[1, 2]
+    """
+    first_name, second_name = names or (f"{var}0", f"{var}1")
+    _fresh(proc, first_name)
+    if first_name == second_name:
+        raise ScheduleError("fissioned loop names must differ")
+    _fresh(proc, second_name)
+
+    def rewrite(loop: Loop) -> tuple[Stmt, ...]:
+        if loop.kind is not LoopKind.SEQ:
+            raise ScheduleError(f"cannot fission bound/unrolled loop '{var}'")
+        if not 0 < at < len(loop.body):
+            raise ScheduleError(
+                f"fission point {at} outside the {len(loop.body)}-statement body of '{var}'"
+            )
+        _check_fission_legal(proc, loop)
+        first = substitute_stmts(loop.body[:at], {var: Affine.var(first_name)})
+        second = substitute_stmts(loop.body[at:], {var: Affine.var(second_name)})
+        return (
+            Loop(var=first_name, extent=loop.extent, body=first, kind=loop.kind),
+            Loop(var=second_name, extent=loop.extent, body=second, kind=loop.kind),
+        )
+
+    return _checked(_rewrite_loop(proc, var, rewrite))
+
+
+def _check_fission_legal(proc: Proc, loop: Loop) -> None:
+    """Conservative disjointness check for :func:`fission`."""
+    inner_vars = _subtree_vars(loop)
+    # Outer variables have a common (fixed) value in both halves, so they
+    # cancel out of the spread; give them the trivial range [0, 1).
+    extents = {var: 1 for var in proc.loops()}
+    for var, inner in proc.loops().items():
+        if var in inner_vars:
+            extents[var] = inner.extent
+
+    accesses: dict[str, list[tuple[Affine, ...]]] = {}
+    written: set[str] = set()
+    for stmt in walk_stmts(loop.body):
+        if isinstance(stmt, Assign):
+            accesses.setdefault(stmt.tensor, []).append(stmt.index)
+            written.add(stmt.tensor)
+            for r in expr_reads(stmt.value):
+                accesses.setdefault(r.tensor, []).append(r.index)
+        elif isinstance(stmt, (Stage, Unstage)):
+            raise ScheduleError(
+                f"cannot fission '{loop.var}' across a staging statement"
+            )
+
+    for tensor in sorted(written):
+        indexes = accesses[tensor]
+        rank = len(indexes[0])
+        for dim in range(rank):
+            coeffs = {index[dim].coeff(loop.var) for index in indexes}
+            if len(coeffs) != 1:
+                continue
+            coeff = next(iter(coeffs))
+            if coeff == 0:
+                continue
+            rests = [index[dim] - Affine.var(loop.var) * coeff for index in indexes]
+            bounds = [rest.bounds(extents) for rest in rests]
+            spread = max(hi for _, hi in bounds) - min(lo for lo, _ in bounds)
+            if spread < abs(coeff):
+                break
+        else:
+            raise ScheduleError(
+                f"cannot prove iterations of '{loop.var}' touch disjoint elements of "
+                f"'{tensor}'; fission would reorder conflicting accesses"
+            )
+
+
+def unroll(proc: Proc, var: str) -> Proc:
+    """Tag loop ``var`` for full unrolling at lowering time.
+
+    Semantically a no-op (the interpreter ignores tags); the lowering expands
+    every iteration, resolving the variable's address contributions into
+    immediate offsets — how the paper's inner loop becomes a straight run of
+    LDS/FFMA with literal offsets.
+
+    >>> from repro.tile.library import matmul_proc
+    >>> from repro.tile.schedule import unroll
+    >>> unroll(matmul_proc(m=2, n=2, k=2), "k").find_loop("k").kind.value
+    'unroll'
+    """
+
+    def rewrite(loop: Loop) -> Loop:
+        if loop.kind is not LoopKind.SEQ:
+            raise ScheduleError(f"loop '{var}' is already {loop.kind.value}")
+        return replace(loop, kind=LoopKind.UNROLL)
+
+    return _checked(_rewrite_loop(proc, var, rewrite))
+
+
+def bind_block(proc: Proc, var: str, axis: str) -> Proc:
+    """Bind loop ``var`` to a launch-grid axis (``"x"`` or ``"y"``).
+
+    Each iteration becomes one block of the grid; the lowering reads the
+    block index from ``CTAID.X``/``CTAID.Y`` instead of emitting a loop.
+
+    >>> from repro.tile.library import matmul_proc
+    >>> from repro.tile.schedule import bind_block
+    >>> bind_block(matmul_proc(m=2, n=2, k=2), "i", "y").find_loop("i").kind.value
+    'block_y'
+    """
+    return _bind(proc, var, axis, {"x": LoopKind.BLOCK_X, "y": LoopKind.BLOCK_Y})
+
+
+def bind_thread(proc: Proc, var: str, axis: str) -> Proc:
+    """Bind loop ``var`` to a thread axis within the block.
+
+    Iterations run as parallel threads; the lowering decomposes the flat
+    ``TID.X`` with shift/mask (the x-extent must be a power of two when a
+    y-axis is also bound, matching the hand generators' convention).
+
+    >>> from repro.tile.library import matmul_proc
+    >>> from repro.tile.schedule import bind_thread
+    >>> bind_thread(matmul_proc(m=2, n=2, k=2), "j", "x").find_loop("j").kind.value
+    'thread_x'
+    """
+    return _bind(proc, var, axis, {"x": LoopKind.THREAD_X, "y": LoopKind.THREAD_Y})
+
+
+def _bind(proc: Proc, var: str, axis: str, kinds: dict[str, LoopKind]) -> Proc:
+    if axis not in kinds:
+        raise ScheduleError(f"axis must be one of {sorted(kinds)}, got {axis!r}")
+    kind = kinds[axis]
+    if kind in _loop_kinds(proc).values():
+        raise ScheduleError(f"another loop is already bound to {kind.value}")
+
+    def rewrite(loop: Loop) -> Loop:
+        if loop.kind is not LoopKind.SEQ:
+            raise ScheduleError(f"loop '{var}' is already {loop.kind.value}")
+        return replace(loop, kind=kind)
+
+    return _checked(_rewrite_loop(proc, var, rewrite))
+
+
+# --------------------------------------------------------------------------- #
+# Staging primitives.                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def _subtree_vars(loop: Loop) -> frozenset[str]:
+    """Variables of loops strictly inside ``loop``."""
+    return frozenset(
+        stmt.var for stmt in walk_stmts(loop.body) if isinstance(stmt, Loop)
+    )
+
+
+def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
+                 transpose: bool = False, prefetch: bool = True,
+                 buffer: str | None = None) -> Proc:
+    """Stage the window of ``tensor`` read inside loop ``at`` through shared
+    memory.
+
+    Every read of ``tensor`` within the body of ``at`` must decompose, per
+    dimension, into a common *base* (block indices and loops enclosing ``at``)
+    plus an *offset* over thread-bound loops and loops inside ``at``.  The
+    offsets' span determines the buffer shape; a :class:`~repro.tile.ir.Stage`
+    copy is inserted at the top of the body and the reads are redirected to
+    the buffer.  ``pad`` appends words to the innermost buffer dimension
+    (§5.1 bank-conflict padding), ``transpose`` swaps the two buffer
+    dimensions (so a column-walked operand is read with unit stride, like the
+    A tile of the paper's SGEMM), and ``prefetch`` asks the lowering to
+    software-pipeline the copy's global loads across iterations of ``at``.
+
+    >>> from repro.tile import library, schedule
+    >>> p = library.matmul_proc(m=4, n=4, k=4)
+    >>> p = schedule.stage_shared(p, "j", "B", prefetch=False)
+    >>> print(p)                            # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_4x4x4(A: f32[4, 4], B: f32[4, 4], C: f32[4, 4])
+      shared B_shared: f32[4, 1]
+      for i in 4:
+        for j in 4:
+          stage B_shared[4, 1] <- B[0, j ...]
+          C[i, j] = 0.0
+          for k in 4:
+            C[i, j] += (A[i, k] * B_shared[k, 0])
+    """
+    at_loop = proc.find_loop(at)
+    buffer_name = buffer or f"{tensor}_shared"
+    if proc.is_buffer(buffer_name) or any(p.name == buffer_name for p in proc.params):
+        raise ScheduleError(f"name '{buffer_name}' is already taken")
+    if pad < 0:
+        raise ScheduleError("pad must be non-negative")
+
+    kinds = _loop_kinds(proc)
+    inside = _subtree_vars(at_loop)
+    thread_vars = frozenset(v for v, k in kinds.items() if k.is_thread)
+    offset_vars = inside | thread_vars
+
+    reads = [
+        r
+        for stmt in walk_stmts(at_loop.body)
+        if isinstance(stmt, Assign)
+        for r in expr_reads(stmt.value)
+        if r.tensor == tensor
+    ]
+    if not reads:
+        raise ScheduleError(f"no reads of '{tensor}' inside loop '{at}'")
+    if any(
+        isinstance(stmt, Assign) and stmt.tensor == tensor
+        for stmt in walk_stmts(at_loop.body)
+    ):
+        raise ScheduleError(f"'{tensor}' is written inside '{at}'; only inputs can be staged")
+
+    rank = len(proc.param(tensor).shape)
+    extents = {var: loop.extent for var, loop in proc.loops().items()}
+    bases: list[Affine] = []
+    sizes: list[int] = []
+    offsets_by_read: dict[Read, tuple[Affine, ...]] = {}
+    split_per_read = {r: tuple(i.split_terms(offset_vars) for i in r.index) for r in reads}
+    for dim in range(rank):
+        dim_bases = {split_per_read[r][dim][0] for r in reads}
+        if len(dim_bases) != 1:
+            raise ScheduleError(
+                f"reads of '{tensor}' disagree on the dimension-{dim} window base: "
+                + ", ".join(str(b) for b in sorted(dim_bases, key=str))
+            )
+        bases.append(next(iter(dim_bases)))
+        span = 0
+        for r in reads:
+            offset = split_per_read[r][dim][1]
+            lo, hi = offset.bounds(extents)
+            if lo < 0:
+                raise ScheduleError(
+                    f"offset {offset} of '{tensor}' dimension {dim} can be negative"
+                )
+            span = max(span, hi)
+        sizes.append(span + 1)
+    for r in reads:
+        offsets_by_read[r] = tuple(split_per_read[r][d][1] for d in range(rank))
+
+    axes = tuple(range(rank))
+    if transpose:
+        if rank != 2:
+            raise ScheduleError("transpose staging requires a 2-D tensor")
+        axes = (1, 0)
+    buffer_sizes = tuple(sizes[a] for a in axes)
+
+    new_buffer = Buffer(name=buffer_name, shape=buffer_sizes, memory="shared", pad=pad)
+    stage = Stage(
+        buffer=buffer_name,
+        tensor=tensor,
+        base=tuple(bases),
+        sizes=buffer_sizes,
+        axes=axes,
+        prefetch=prefetch,
+    )
+
+    def redirect(stmt: Stmt):
+        if isinstance(stmt, Assign):
+            def swap(r: Read) -> Read:
+                if r.tensor != tensor:
+                    return r
+                offsets = offsets_by_read[r]
+                return Read(tensor=buffer_name, index=tuple(offsets[a] for a in axes))
+
+            return replace(stmt, value=map_expr_reads(stmt.value, swap))
+        return stmt
+
+    def rewrite(loop: Loop) -> Loop:
+        return replace(loop, body=(stage,) + map_stmts(loop.body, redirect))
+
+    rewritten = _rewrite_loop(proc, at, rewrite)
+    return _checked(replace(rewritten, buffers=rewritten.buffers + (new_buffer,)))
+
+
+def stage_registers(proc: Proc, at: str, tensor: str, *,
+                    buffer: str | None = None) -> Proc:
+    """Stage the per-thread window of ``tensor`` written inside loop ``at`` in
+    registers.
+
+    The accumulator idiom of Section 5.2: every access to ``tensor`` inside
+    ``at`` (typically the innermost thread loop) is redirected to a small
+    per-thread ``register`` buffer indexed only by the loops *inside* ``at``,
+    and an :class:`~repro.tile.ir.Unstage` write-back is appended at the end
+    of the body.  The lowering gives each element its own register, so the
+    whole k-loop accumulates without touching memory.
+
+    >>> from repro.tile import library, schedule
+    >>> p = library.matmul_proc(m=2, n=2, k=2)
+    >>> print(schedule.stage_registers(p, "i", "C"))
+    ...                                     # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_2x2x2(A: f32[2, 2], B: f32[2, 2], C: f32[2, 2])
+      register C_reg: f32[2]
+      for i in 2:
+        for j in 2:
+          C_reg[j] = 0.0
+          for k in 2:
+            C_reg[j] += (A[i, k] * B[k, j])
+        unstage C[i, 0 ...] <- C_reg[1, 2]
+    """
+    at_loop = proc.find_loop(at)
+    buffer_name = buffer or f"{tensor}_reg"
+    if proc.is_buffer(buffer_name) or any(p.name == buffer_name for p in proc.params):
+        raise ScheduleError(f"name '{buffer_name}' is already taken")
+
+    offset_vars = _subtree_vars(at_loop)
+    rank = len(proc.param(tensor).shape)
+    extents = {var: loop.extent for var, loop in proc.loops().items()}
+
+    accesses: list[tuple[Affine, ...]] = [
+        stmt.index
+        for stmt in walk_stmts(at_loop.body)
+        if isinstance(stmt, Assign) and stmt.tensor == tensor
+    ]
+    accesses += [
+        r.index
+        for stmt in walk_stmts(at_loop.body)
+        if isinstance(stmt, Assign)
+        for r in expr_reads(stmt.value)
+        if r.tensor == tensor
+    ]
+    if not accesses:
+        raise ScheduleError(f"no accesses to '{tensor}' inside loop '{at}'")
+    # The register buffer starts at zero, so every element read or
+    # accumulated must first be defined by a plain assignment with the same
+    # index expression earlier in the body — the accumulator-init idiom.
+    # Staging a read-only operand needs stage_shared, not a write-back.
+    initialised: set[tuple[Affine, ...]] = set()
+    for stmt in walk_stmts(at_loop.body):
+        if not isinstance(stmt, Assign):
+            continue
+        for r in expr_reads(stmt.value):
+            if r.tensor == tensor and r.index not in initialised:
+                raise ScheduleError(
+                    f"'{tensor}' is read at {r} before being initialised inside "
+                    f"'{at}'; register staging requires the init-then-accumulate "
+                    f"pattern"
+                )
+        if stmt.tensor == tensor:
+            if stmt.accumulate and stmt.index not in initialised:
+                raise ScheduleError(
+                    f"'{tensor}' is accumulated at index ({', '.join(map(str, stmt.index))}) "
+                    f"before being initialised inside '{at}'"
+                )
+            if not stmt.accumulate:
+                initialised.add(stmt.index)
+    if not initialised:
+        raise ScheduleError(
+            f"'{tensor}' is never written inside '{at}'; register staging targets "
+            f"the output accumulator, not read-only operands"
+        )
+    outside_writes = sum(
+        1 for stmt in walk_stmts(proc.body)
+        if isinstance(stmt, (Assign, Unstage)) and stmt.tensor == tensor
+    ) - sum(
+        1 for stmt in walk_stmts(at_loop.body)
+        if isinstance(stmt, (Assign, Unstage)) and stmt.tensor == tensor
+    )
+    if outside_writes:
+        raise ScheduleError(
+            f"'{tensor}' is also written outside '{at}'; the write-back would clobber it"
+        )
+
+    bases: list[Affine] = []
+    sizes: list[int] = []
+    for dim in range(rank):
+        dim_split = [index[dim].split_terms(offset_vars) for index in accesses]
+        dim_bases = {base for base, _ in dim_split}
+        if len(dim_bases) != 1:
+            raise ScheduleError(
+                f"accesses to '{tensor}' disagree on the dimension-{dim} window base: "
+                + ", ".join(str(b) for b in sorted(dim_bases, key=str))
+            )
+        bases.append(next(iter(dim_bases)))
+        span = 0
+        for _, offset in dim_split:
+            lo, hi = offset.bounds(extents)
+            if lo < 0:
+                raise ScheduleError(
+                    f"offset {offset} of '{tensor}' dimension {dim} can be negative"
+                )
+            span = max(span, hi)
+        sizes.append(span + 1)
+
+    # Collapse dimensions the thread does not walk (window size 1) so a row
+    # of C becomes a 1-D register block rather than carrying dead axes.
+    kept = [d for d in range(rank) if sizes[d] > 1] or [rank - 1]
+    buffer_shape = tuple(sizes[d] for d in kept)
+    new_buffer = Buffer(name=buffer_name, shape=buffer_shape, memory="register")
+
+    def offsets_of(index: tuple[Affine, ...]) -> tuple[Affine, ...]:
+        return tuple(index[d].split_terms(offset_vars)[1] for d in kept)
+
+    def redirect(stmt: Stmt):
+        if isinstance(stmt, Assign):
+            def swap(r: Read) -> Read:
+                if r.tensor != tensor:
+                    return r
+                return Read(tensor=buffer_name, index=offsets_of(r.index))
+
+            value = map_expr_reads(stmt.value, swap)
+            if stmt.tensor == tensor:
+                return Assign(
+                    tensor=buffer_name,
+                    index=offsets_of(stmt.index),
+                    value=value,
+                    accumulate=stmt.accumulate,
+                )
+            return replace(stmt, value=value)
+        return stmt
+
+    unstage = Unstage(
+        tensor=tensor,
+        base=tuple(bases),
+        buffer=buffer_name,
+        sizes=tuple(sizes),
+    )
+
+    def rewrite(loop: Loop) -> Loop:
+        return replace(loop, body=map_stmts(loop.body, redirect) + (unstage,))
+
+    rewritten = _rewrite_loop(proc, at, rewrite)
+    return _checked(replace(rewritten, buffers=rewritten.buffers + (new_buffer,)))

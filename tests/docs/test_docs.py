@@ -51,10 +51,17 @@ class TestDocSnippets:
         assert results.attempted > 20
         assert results.failed == 0
 
+    def test_tile_md_doctests_run_clean(self):
+        results = doctest.testfile(
+            str(DOCS / "tile.md"), module_relative=False, verbose=False
+        )
+        assert results.attempted > 20
+        assert results.failed == 0
+
     def test_architecture_doc_names_every_layer(self):
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for layer in ("arch/", "isa/", "sim/", "model/", "sgemm/", "opt/",
-                      "kernels/", "microbench/"):
+                      "kernels/", "microbench/", "tile/"):
             assert layer in text
 
 

@@ -1,0 +1,126 @@
+"""The NumPy interpreter is the oracle: it must agree with NumPy itself."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TileError
+from repro.tile import interpret, library
+from repro.tile.ir import (
+    Affine,
+    Assign,
+    Buffer,
+    Const,
+    Guard,
+    Loop,
+    Proc,
+    Stage,
+    TensorParam,
+    Unstage,
+    read,
+    to_affine,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestNaiveProcs:
+    def test_matmul_matches_numpy(self, rng):
+        a = rng.uniform(-1, 1, (6, 5)).astype(np.float32)
+        b = rng.uniform(-1, 1, (5, 4)).astype(np.float32)
+        out = interpret(library.matmul_proc(6, 4, 5), {"A": a, "B": b})["C"]
+        np.testing.assert_allclose(out, a @ b, rtol=1e-5, atol=1e-6)
+
+    def test_matmul_init_separate_is_equivalent(self, rng):
+        a = rng.uniform(-1, 1, (4, 4)).astype(np.float32)
+        b = rng.uniform(-1, 1, (4, 4)).astype(np.float32)
+        inline = interpret(library.matmul_proc(4, 4, 4), {"A": a, "B": b})["C"]
+        separate = interpret(
+            library.matmul_proc(4, 4, 4, init_separate=True), {"A": a, "B": b}
+        )["C"]
+        assert np.array_equal(inline, separate)
+
+    def test_transpose_is_exact(self, rng):
+        m = rng.uniform(-1, 1, (5, 3)).astype(np.float32)
+        out = interpret(library.transpose_proc(5, 3), {"in": m})["out"]
+        assert np.array_equal(out, m.T)
+
+    def test_sgemv_matches_numpy(self, rng):
+        a = rng.uniform(-1, 1, (6, 8)).astype(np.float32)
+        x = rng.uniform(-1, 1, (8,)).astype(np.float32)
+        out = interpret(library.sgemv_proc(6, 8), {"A": a, "x": x})["y"]
+        np.testing.assert_allclose(out, a @ x, rtol=1e-5, atol=1e-6)
+
+    def test_copy(self, rng):
+        v = rng.uniform(-1, 1, (9,)).astype(np.float32)
+        assert np.array_equal(interpret(library.copy_proc(9), {"src": v})["dst"], v)
+
+
+class TestStatementSemantics:
+    def test_guard_skips_out_of_range_iterations(self):
+        proc = Proc(
+            name="p",
+            params=(TensorParam("dst", (8,)),),
+            body=(
+                Loop(var="i", extent=8, body=(
+                    Guard(expr=to_affine("i"), bound=5, body=(
+                        Assign(tensor="dst", index=(to_affine("i"),), value=read("dst", "i")),
+                    )),
+                    Assign(tensor="dst", index=(to_affine("i"),), value=Const(1.0)),
+                )),
+            ),
+        )
+        out = interpret(proc, {})["dst"]
+        assert np.array_equal(out, np.ones(8, dtype=np.float32))
+
+    def test_stage_copies_window_transposed(self, rng):
+        source = rng.uniform(-1, 1, (4, 6)).astype(np.float32)
+        proc = Proc(
+            name="p",
+            params=(TensorParam("src", (4, 6)), TensorParam("dst", (3, 2))),
+            buffers=(Buffer(name="buf", shape=(3, 2), memory="shared"),),
+            body=(
+                Stage(
+                    buffer="buf",
+                    tensor="src",
+                    base=(Affine.constant(1), Affine.constant(2)),
+                    sizes=(3, 2),
+                    axes=(1, 0),  # buf[c, r] = src[1 + r, 2 + c]
+                ),
+                Loop(var="i", extent=3, body=(
+                    Loop(var="j", extent=2, body=(
+                        Assign(tensor="dst", index=(to_affine("i"), to_affine("j")),
+                               value=read("buf", "i", "j")),
+                    )),
+                )),
+            ),
+        )
+        out = interpret(proc, {"src": source})["dst"]
+        assert np.array_equal(out, source[1:3, 2:5].T)
+
+    def test_unstage_writes_window(self, rng):
+        proc = Proc(
+            name="p",
+            params=(TensorParam("dst", (4, 4)),),
+            buffers=(Buffer(name="acc", shape=(2, 2), memory="register"),),
+            body=(
+                Loop(var="i", extent=2, body=(
+                    Loop(var="j", extent=2, body=(
+                        Assign(tensor="acc", index=(to_affine("i"), to_affine("j")),
+                               value=Const(2.0)),
+                    )),
+                )),
+                Unstage(tensor="dst", base=(Affine.constant(1), Affine.constant(2)),
+                        buffer="acc", sizes=(2, 2)),
+            ),
+        )
+        out = interpret(proc, {})["dst"]
+        expected = np.zeros((4, 4), dtype=np.float32)
+        expected[1:3, 2:4] = 2.0
+        assert np.array_equal(out, expected)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(TileError, match="shape"):
+            interpret(library.copy_proc(4), {"src": np.zeros(5, dtype=np.float32)})

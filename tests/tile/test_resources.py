@@ -1,0 +1,94 @@
+"""IR-derived resource counts pinned against the hand-derived formulas."""
+
+import numpy as np
+
+from repro.tile import library, proc_resources
+from repro.tile import schedule as S
+from repro.tile.workloads import TILE_SGEMM, TILE_SGEMV, TILE_TRANSPOSE
+
+
+class TestAgainstHandFormulas:
+    """The IR walk reproduces the paper-style accounting *exactly*."""
+
+    def test_sgemm_matches_eq6_accounting(self):
+        config = TILE_SGEMM.default_config()
+        derived = TILE_SGEMM.resources(config)
+        tile, k = config.tile, config.k
+        blocks = (config.m // tile) * (config.n // tile)
+        threads = (tile // config.register_blocking) ** 2
+        assert derived.flops == 2 * config.m * config.n * config.k
+        assert derived.dram_bytes == 4 * (blocks * 2 * tile * k + config.m * config.n)
+        assert derived.shared_bytes == 4 * blocks * k * (
+            2 * tile + threads * 2 * config.register_blocking
+        )
+
+    def test_transpose_matches_the_hand_workload(self):
+        from repro.kernels import get_workload
+
+        config = TILE_TRANSPOSE.default_config()
+        derived = TILE_TRANSPOSE.resources(config)
+        hand = get_workload("transpose").resources(
+            get_workload("transpose").default_config()
+        )
+        assert (derived.flops, derived.dram_bytes, derived.shared_bytes) == (
+            hand.flops, hand.dram_bytes, hand.shared_bytes
+        )
+
+    def test_sgemv_matches_the_hand_workload(self):
+        from repro.kernels import get_workload
+
+        config = TILE_SGEMV.default_config()
+        derived = TILE_SGEMV.resources(config)
+        hand = get_workload("sgemv").resources(get_workload("sgemv").default_config())
+        assert (derived.flops, derived.dram_bytes, derived.shared_bytes) == (
+            hand.flops, hand.dram_bytes, hand.shared_bytes
+        )
+
+
+class TestCountingSemantics:
+    def test_naive_matmul_counts(self):
+        resources = proc_resources(library.matmul_proc(4, 4, 2))
+        # 2 flops per accumulate; DRAM: A+B reads, C init write, C
+        # read-modify-write per accumulate.
+        assert resources.flops == 2 * 4 * 4 * 2
+        assert resources.dram_bytes == 4 * (2 * 32 + 16 + 2 * 32)
+        assert resources.shared_bytes == 0
+
+    def test_staging_counts_once_per_block(self):
+        naive = library.transpose_proc(8, 8)
+        scheduled = library.schedule_transpose(naive, tile=4)
+        resources = proc_resources(scheduled)
+        # 4 blocks x 16-element windows: one global read and one shared
+        # write per element, one shared read and one global write per thread.
+        assert resources.dram_bytes == 4 * (64 + 64)
+        assert resources.shared_bytes == 4 * (64 + 64)
+
+    def test_predicate_tail_counts_only_live_iterations(self):
+        naive = library.copy_proc(10)
+        tailed = S.predicate_tail(naive, "i", 4)
+        assert proc_resources(tailed).dram_bytes == proc_resources(naive).dram_bytes
+
+    def test_unrolled_reuse_prices_distinct_addresses(self):
+        # B[k, j] inside an unrolled i-loop is loaded once, not once per i.
+        p = library.matmul_proc(4, 4, 2)
+        unrolled = S.unroll(p, "i")
+        base = proc_resources(p)
+        reused = proc_resources(unrolled)
+        assert reused.flops == base.flops
+        assert reused.dram_bytes < base.dram_bytes
+
+    def test_register_buffers_cost_nothing(self):
+        naive = library.sgemv_proc(8, 8)
+        staged = S.stage_registers(S.split(naive, "i", 4, "bx", "tx"), "tx", "y")
+        before = proc_resources(S.split(naive, "i", 4, "b2", "t2"))
+        after = proc_resources(staged)
+        # The y read-modify-write traffic moves into registers; only the
+        # final write-back (one word per row) remains.
+        assert after.dram_bytes < before.dram_bytes
+        assert after.flops == before.flops
+
+
+def test_bound_feeds_from_derived_resources(fermi):
+    bound = TILE_SGEMM.bound(TILE_SGEMM.default_config(), fermi)
+    assert bound.potential_gflops > 0
+    assert np.isfinite(bound.effective_bandwidth_gbs)

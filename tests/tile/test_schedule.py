@@ -1,0 +1,281 @@
+"""Every scheduling primitive: doctests, oracle equivalence, legality errors."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.tile.schedule
+from repro.errors import ScheduleError
+from repro.tile import assert_equivalent, library
+from repro.tile import schedule as S
+from repro.tile.ir import Loop, LoopKind, Stage, walk_stmts
+
+
+def matmul_inputs(m=8, n=8, k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "A": rng.uniform(-1, 1, (m, k)).astype(np.float32),
+        "B": rng.uniform(-1, 1, (k, n)).astype(np.float32),
+    }
+
+
+def test_every_primitive_has_a_doctest():
+    for name in S.__all__:
+        fn = getattr(S, name)
+        assert fn.__doc__ and ">>>" in fn.__doc__, f"{name} is missing a doctest"
+
+
+def test_schedule_doctests_run_clean():
+    results = doctest.testmod(repro.tile.schedule, verbose=False)
+    assert results.attempted >= len(S.__all__)
+    assert results.failed == 0
+
+
+class TestSplit:
+    def test_oracle(self):
+        naive = library.matmul_proc(8, 8, 4)
+        assert_equivalent(naive, S.split(naive, "i", 4), matmul_inputs())
+        assert_equivalent(naive, S.split(naive, "k", 2), matmul_inputs())
+
+    def test_imperfect_factor_rejected(self):
+        with pytest.raises(ScheduleError, match="does not divide"):
+            S.split(library.matmul_proc(8, 8, 4), "i", 3)
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(ScheduleError, match="already exists"):
+            S.split(library.matmul_proc(8, 8, 4), "i", 2, outer="j")
+
+
+class TestPredicateTail:
+    def test_oracle_on_imperfect_split(self):
+        naive = library.copy_proc(10)
+        rng = np.random.default_rng(1)
+        inputs = {"src": rng.uniform(-1, 1, (10,)).astype(np.float32)}
+        assert_equivalent(naive, S.predicate_tail(naive, "i", 4), inputs)
+
+    def test_perfect_factor_emits_no_guard(self):
+        tailed = S.predicate_tail(library.copy_proc(8), "i", 4)
+        from repro.tile.ir import Guard
+
+        assert not any(isinstance(s, Guard) for s in walk_stmts(tailed.body))
+
+    def test_oracle_on_matmul_k_tail(self):
+        naive = library.matmul_proc(4, 4, 5)
+        assert_equivalent(
+            naive, S.predicate_tail(naive, "k", 2), matmul_inputs(4, 4, 5)
+        )
+
+
+class TestReorder:
+    def test_oracle(self):
+        naive = library.matmul_proc(6, 6, 3, init_separate=True)
+        swapped = S.reorder(naive, "i", "j")
+        assert_equivalent(naive, swapped, matmul_inputs(6, 6, 3))
+
+    def test_imperfect_nest_rejected(self):
+        # j's body holds the init statement next to the k loop.
+        with pytest.raises(ScheduleError, match="not perfectly nested"):
+            S.reorder(library.matmul_proc(4, 4, 2), "j", "k")
+
+
+class TestFission:
+    def test_oracle(self):
+        staged = S.stage_registers(library.matmul_proc(6, 6, 3), "i", "C")
+        fissioned = S.fission(staged, "j")
+        assert_equivalent(staged, fissioned, matmul_inputs(6, 6, 3))
+
+    def test_conflicting_accesses_rejected(self):
+        # Iterations share element t[0]: splitting the two statements into
+        # separate loops would reorder its read-modify-write chain.
+        from repro.tile.ir import Assign, Const, Loop, Proc, TensorParam, read, to_affine
+
+        proc = Proc(
+            name="p",
+            params=(TensorParam("t", (5,)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Assign(tensor="t", index=(to_affine("i"),), value=Const(1.0)),
+                    Assign(tensor="t", index=(to_affine(0),), value=read("t", "i")),
+                )),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="disjoint"):
+            S.fission(proc, "i")
+
+    def test_point_must_be_inside_body(self):
+        staged = S.stage_registers(library.matmul_proc(4, 4, 2), "i", "C")
+        with pytest.raises(ScheduleError, match="fission point"):
+            S.fission(staged, "j", at=2)
+
+
+class TestUnrollAndBindings:
+    def test_unroll_tags_only(self):
+        p = S.unroll(library.matmul_proc(4, 4, 2), "k")
+        assert p.find_loop("k").kind is LoopKind.UNROLL
+        assert_equivalent(library.matmul_proc(4, 4, 2), p, matmul_inputs(4, 4, 2))
+
+    def test_double_binding_rejected(self):
+        p = S.bind_block(library.matmul_proc(4, 4, 2), "i", "y")
+        with pytest.raises(ScheduleError, match="already bound"):
+            S.bind_block(p, "j", "y")
+        with pytest.raises(ScheduleError, match="already block_y"):
+            S.bind_thread(p, "i", "x")
+
+    def test_axis_validated(self):
+        with pytest.raises(ScheduleError, match="axis"):
+            S.bind_block(library.matmul_proc(4, 4, 2), "i", "z")
+
+
+class TestStageShared:
+    def test_oracle_and_window_shape(self):
+        naive = library.matmul_proc(8, 8, 4)
+        p = S.split(naive, "k", 2)
+        p = S.stage_shared(p, "ko", "A", prefetch=False)
+        assert_equivalent(naive, p, matmul_inputs())
+        buffer = p.buffer("A_shared")
+        # Window: the full i extent is *outside* ko, so only the inner k
+        # span (2) stages per iteration... i is neither thread-bound nor
+        # inside ko, so it lands in the base and the window is 1 × 2.
+        assert buffer.shape == (1, 2)
+
+    def test_thread_bound_vars_widen_the_window(self):
+        naive = library.matmul_proc(8, 8, 4)
+        p = S.split(naive, "i", 4)
+        p = S.bind_thread(p, "ii", "x")
+        p = S.split(p, "k", 2)
+        p = S.stage_shared(p, "ko", "A", transpose=True, pad=1)
+        buffer = p.buffer("A_shared")
+        assert buffer.shape == (2, 4)          # (k-span, thread-i-span)
+        assert buffer.padded_shape == (2, 5)
+        assert_equivalent(naive, p, matmul_inputs())
+
+    def test_staged_tensor_must_be_read_only(self):
+        from repro.tile.ir import Assign, Loop, Proc, TensorParam, read, to_affine
+
+        proc = Proc(
+            name="p",
+            params=(TensorParam("t", (4,)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Assign(tensor="t", index=(to_affine("i"),), value=read("t", "i")),
+                )),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="only inputs"):
+            S.stage_shared(proc, "i", "t")
+
+    def test_no_reads_rejected(self):
+        naive = library.matmul_proc(4, 4, 2)
+        with pytest.raises(ScheduleError, match="no reads"):
+            S.stage_shared(naive, "k", "C")
+
+    def test_transpose_requires_2d(self):
+        naive = library.sgemv_proc(4, 4)
+        with pytest.raises(ScheduleError, match="2-D"):
+            S.stage_shared(naive, "k", "x", transpose=True)
+
+
+class TestStageRegisters:
+    def test_oracle_and_buffer_shape(self):
+        naive = library.matmul_proc(6, 6, 3)
+        p = S.stage_registers(naive, "i", "C")
+        assert p.buffer("C_reg").shape == (6,)
+        assert p.buffer("C_reg").memory == "register"
+        assert_equivalent(naive, p, matmul_inputs(6, 6, 3))
+
+    def test_scalar_window_collapses_to_one_element(self):
+        naive = library.sgemv_proc(4, 4)
+        p = S.stage_registers(naive, "i", "y")
+        assert p.buffer("y_reg").shape == (1,)
+
+    def test_uninitialised_accumulation_rejected(self):
+        # Staging at the k level sees the accumulation without its init.
+        naive = library.matmul_proc(4, 4, 2)
+        p = S.split(naive, "k", 2)
+        with pytest.raises(ScheduleError, match="before being initialised"):
+            S.stage_registers(p, "ki", "C")
+
+    def test_read_only_operands_rejected(self):
+        naive = library.matmul_proc(4, 4, 2)
+        with pytest.raises(ScheduleError, match="read at"):
+            S.stage_registers(naive, "j", "A")
+
+    def test_writes_outside_scope_rejected(self):
+        from repro.tile.ir import Assign, Const, Loop, Proc, TensorParam, to_affine
+
+        proc = Proc(
+            name="p",
+            params=(TensorParam("t", (4,)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Assign(tensor="t", index=(to_affine("i"),), value=Const(0.0)),
+                    Assign(tensor="t", index=(to_affine("i"),), value=Const(1.0),
+                           accumulate=True),
+                )),
+                Loop(var="i2", extent=4, body=(
+                    Assign(tensor="t", index=(to_affine("i2"),), value=Const(2.0)),
+                )),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="written outside"):
+            S.stage_registers(proc, "i", "t")
+
+
+class TestGoldenSchedules:
+    """The library's golden schedules are oracle-equivalent end to end."""
+
+    def test_sgemm_schedule(self):
+        naive = library.matmul_proc(12, 12, 4)
+        scheduled = library.schedule_sgemm(
+            naive, tile=6, register_blocking=2, stride=2
+        )
+        assert_equivalent(naive, scheduled, matmul_inputs(12, 12, 4))
+
+    def test_sgemm_schedule_variants(self):
+        naive = library.matmul_proc(8, 8, 4)
+        for kwargs in (
+            {"b_window": 1},
+            {"stage": False, "prefetch": False},
+            {"unroll_inner": False},
+        ):
+            scheduled = library.schedule_sgemm(
+                naive, tile=4, register_blocking=2, stride=2, **kwargs
+            )
+            assert_equivalent(naive, scheduled, matmul_inputs(8, 8, 4))
+
+    def test_transpose_schedule(self):
+        naive = library.transpose_proc(8, 8)
+        scheduled = library.schedule_transpose(naive, tile=4)
+        rng = np.random.default_rng(3)
+        inputs = {"in": rng.uniform(-1, 1, (8, 8)).astype(np.float32)}
+        assert_equivalent(naive, scheduled, inputs)
+        stages = [s for s in walk_stmts(scheduled.body) if isinstance(s, Stage)]
+        assert len(stages) == 1
+        assert scheduled.buffer("in_shared").pad == 1
+
+    def test_sgemv_schedule(self):
+        naive = library.sgemv_proc(8, 8)
+        scheduled = library.schedule_sgemv(naive, threads=4)
+        rng = np.random.default_rng(4)
+        inputs = {
+            "A": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+            "x": rng.uniform(-1, 1, (8,)).astype(np.float32),
+        }
+        assert_equivalent(naive, scheduled, inputs)
+
+    def test_loop_tags_land_where_expected(self):
+        scheduled = library.schedule_sgemm(
+            library.matmul_proc(8, 8, 4), tile=4, register_blocking=2, stride=2
+        )
+        kinds = {
+            stmt.var: stmt.kind
+            for stmt in walk_stmts(scheduled.body)
+            if isinstance(stmt, Loop)
+        }
+        assert kinds["by"] is LoopKind.BLOCK_Y
+        assert kinds["bx"] is LoopKind.BLOCK_X
+        assert kinds["ty"] is LoopKind.THREAD_Y
+        assert kinds["tx"] is LoopKind.THREAD_X
+        assert kinds["ko"] is LoopKind.SEQ
+        assert kinds["ki"] is LoopKind.UNROLL

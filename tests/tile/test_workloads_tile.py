@@ -1,0 +1,98 @@
+"""Tile workloads through the registry and the schedule-space autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_workload, run_workload, workload_cycles
+from repro.opt import autotune_workloads, schedule_sweep_candidates
+from repro.tile.autotune import schedule_candidates
+
+TILE_WORKLOADS = ("tile_sgemm", "tile_transpose", "tile_sgemv")
+
+
+class TestRegistryIntegration:
+    def test_tile_workloads_registered(self):
+        for name in TILE_WORKLOADS:
+            workload = get_workload(name)
+            assert workload.name == name
+            assert workload.description
+            assert len(workload.config_space()) >= 2
+
+    @pytest.mark.parametrize("name", TILE_WORKLOADS)
+    def test_naive_matches_numpy(self, name, fermi):
+        run = run_workload(fermi, get_workload(name), optimized=False)
+        assert run.max_error <= 1e-3
+
+    @pytest.mark.parametrize("name", TILE_WORKLOADS)
+    @pytest.mark.parametrize("gpu_name", ("fermi", "kepler"))
+    def test_optimized_matches_numpy(self, name, gpu_name, request):
+        gpu = request.getfixturevalue(gpu_name)
+        run = run_workload(gpu, get_workload(name), optimized=True)
+        assert run.optimized
+        assert run.max_error <= 1e-3
+
+    @pytest.mark.parametrize("name", TILE_WORKLOADS)
+    @pytest.mark.parametrize("gpu_name", ("fermi", "kepler"))
+    def test_pipeline_never_slower(self, name, gpu_name, request):
+        gpu = request.getfixturevalue(gpu_name)
+        workload = get_workload(name)
+        config = workload.default_config()
+        naive = workload.generate_naive(config)
+        optimized, _ = workload.generate_optimized(config, gpu)
+        assert workload_cycles(gpu, optimized) <= workload_cycles(gpu, naive)
+
+    @pytest.mark.parametrize("name", TILE_WORKLOADS)
+    def test_config_space_lowers_within_register_budget(self, name):
+        workload = get_workload(name)
+        for config in workload.config_space():
+            assert workload.generate_naive(config).register_count <= 63
+
+    @pytest.mark.parametrize("name", TILE_WORKLOADS)
+    def test_bounds_exist(self, name, fermi):
+        workload = get_workload(name)
+        bound = workload.bound(workload.default_config(), fermi)
+        assert bound.limited_by in (
+            "compute", "dram_bandwidth", "shared_bandwidth"
+        )
+
+    def test_oracle_helper_matches_reference(self, fermi):
+        workload = get_workload("tile_sgemm")
+        config = workload.default_config()
+        inputs = workload.prepare_inputs(config, seed=2)
+        oracle = workload.oracle(config, inputs)["C"]
+        np.testing.assert_allclose(
+            oracle, workload.reference(config, inputs), rtol=1e-4, atol=1e-3
+        )
+
+
+class TestScheduleAutotuning:
+    def test_candidate_set_covers_every_tile_workload(self):
+        labels = [c.label for c in schedule_candidates()]
+        for name in TILE_WORKLOADS:
+            assert any(label.startswith(name) for label in labels)
+        # The sweep varies genuine schedule decisions, not just sizes.
+        assert any("nostage" in label for label in labels)
+        assert any("noprefetch" in label for label in labels)
+        assert any(":w1" in label for label in labels)
+
+    def test_opt_layer_reexports_the_sweep(self):
+        ours = [c.label for c in schedule_candidates()]
+        theirs = [c.label for c in schedule_sweep_candidates()]
+        assert ours == theirs
+
+    def test_sweep_evaluates_and_ranks(self, fermi):
+        # A small slice of the sweep keeps the test fast; the full sweep runs
+        # in benchmarks/bench_tile.py.
+        candidates = [
+            c for c in schedule_candidates()
+            if c.label in ("tile_transpose:golden", "tile_transpose:nopad",
+                           "tile_sgemv:golden", "tile_sgemv:w1")
+        ]
+        outcomes = autotune_workloads(fermi, candidates, workers=1)
+        assert len(outcomes) == 4
+        assert all(o.ok for o in outcomes)
+        cycles = [o.cycles for o in outcomes]
+        assert cycles == sorted(cycles)
+        # Wide loads beat narrow loads on the sgemv pair.
+        by_label = {o.label: o.cycles for o in outcomes}
+        assert by_label["tile_sgemv:golden"] < by_label["tile_sgemv:w1"]
