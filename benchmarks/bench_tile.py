@@ -19,11 +19,14 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.kernels import get_workload
+import numpy as np
+
+from repro.kernels import get_workload, run_workload
 from repro.opt.autotune import simulate_one_block
 from repro.opt.pipeline import optimize_kernel
 from repro.sgemm.config import SgemmKernelConfig
 from repro.sgemm.generator import generate_sgemm_kernel
+from repro.tile.workloads import TileSgemmConfig
 
 from conftest import print_series, record_tile_metric
 
@@ -120,3 +123,46 @@ def test_schedule_ladder_recovers_hand_performance(benchmark, fermi, kepler):
 
         record_tile_metric(name, metrics)
     print_series("Tile IR — schedule ladder vs hand kernels", lines)
+
+
+def test_arbitrary_problem_sizes_validate_bit_exactly(benchmark, fermi, kepler):
+    """193x161x97 SGEMM — no dimension a multiple of tile or stride.
+
+    The imperfect-size acceptance case: the predicate-tail schedule lowers
+    at full geometry (96-wide tile, B_R = 6, 256 threads), simulates every
+    block of the grid functionally on both machine models, and matches the
+    NumPy-interpreter oracle bit for bit.
+    """
+    workload = get_workload("tile_sgemm")
+    config = TileSgemmConfig(m=193, n=161, k=97)
+
+    def generate():
+        return workload.generate_naive(config)
+
+    kernel = benchmark.pedantic(generate, rounds=1, iterations=1)
+    inputs = workload.prepare_inputs(config)
+    oracle = workload.oracle(config, inputs)["C"]
+
+    lines = [f"kernel {kernel.name}: {kernel.register_count} registers, "
+             f"{kernel.instruction_count} instructions"]
+    metrics: dict[str, object] = {
+        "kernel": kernel.name,
+        "registers": kernel.register_count,
+        "instructions": kernel.instruction_count,
+    }
+    for gpu_name, gpu in (("fermi", fermi), ("kepler", kepler)):
+        run = run_workload(gpu, workload, config, optimized=False,
+                           max_cycles=50_000_000)
+        exact = bool(np.array_equal(run.output, oracle))
+        assert exact, f"{gpu_name}: tail SGEMM diverged from the oracle"
+        metrics[gpu_name] = {
+            "cycles": run.result.cycles,
+            "max_error": run.max_error,
+            "bit_exact": exact,
+        }
+        lines.append(
+            f"{gpu_name:7s} cycles {run.result.cycles:9.0f}  "
+            f"max|err| {run.max_error:.2e}  bit-exact {exact}"
+        )
+    record_tile_metric("tile_sgemm_193x161x97", metrics)
+    print_series("Tile IR — arbitrary problem sizes (193x161x97)", lines)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Aggregate every ``benchmarks/BENCH_*.json`` into ``BENCH_summary.json``.
+
+Each benchmark suite records its own metrics file (``BENCH_opt.json``,
+``BENCH_kernels.json``, ``BENCH_tile.json``, ...).  This script collects all
+of them into one flat **cycle ladder** — every simulated-cycle figure keyed
+by ``file:metric:path`` — so the per-PR performance trajectory is one
+sorted, diffable document: a regression anywhere in any suite shows up as a
+single-line change in ``BENCH_summary.json``.
+
+Usage::
+
+    python scripts/bench_trajectory.py           # (re)write BENCH_summary.json
+    python scripts/bench_trajectory.py --check   # CI: fail when stale
+
+The summary is deterministic over the committed BENCH files, so ``--check``
+doubles as a staleness test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+SUMMARY_NAME = "BENCH_summary.json"
+
+#: Leaf keys that denote a simulated-cycle figure in any suite's blob.
+CYCLE_KEYS = frozenset({
+    "cycles",
+    "cycles_naive",
+    "cycles_pipeline",
+    "cycles_hand_allocated",
+    "naive_schedule",
+    "golden_schedule",
+    "golden_schedule_opt",
+    "hand_golden",
+})
+
+
+def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float]) -> None:
+    """Walk one metrics blob, recording every cycle-like numeric leaf."""
+    if isinstance(blob, dict):
+        for key in sorted(blob):
+            value = blob[key]
+            if key in CYCLE_KEYS and isinstance(value, (int, float)):
+                ladder[":".join(path + (key,))] = float(value)
+            else:
+                _collect_cycles(value, path + (key,), ladder)
+
+
+def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
+    """The aggregate of every BENCH_*.json currently on disk."""
+    ladder: dict[str, float] = {}
+    sources: list[str] = []
+    for bench_file in sorted(bench_dir.glob("BENCH_*.json")):
+        if bench_file.name == SUMMARY_NAME:
+            continue
+        with open(bench_file, encoding="utf-8") as handle:
+            data = json.load(handle)
+        sources.append(bench_file.name)
+        _collect_cycles(data.get("metrics", data), (bench_file.stem,), ladder)
+    return {
+        "schema": 1,
+        "sources": sources,
+        "cycle_ladder": dict(sorted(ladder.items())),
+    }
+
+
+def render(summary: dict[str, object]) -> str:
+    return json.dumps(summary, indent=1, sort_keys=True) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed summary matches the BENCH files (CI)",
+    )
+    args = parser.parse_args(argv)
+
+    summary_path = BENCH_DIR / SUMMARY_NAME
+    summary = build_summary()
+    text = render(summary)
+    entries = len(summary["cycle_ladder"])
+    if args.check:
+        if not summary_path.exists():
+            print(f"{summary_path} is missing; run scripts/bench_trajectory.py",
+                  file=sys.stderr)
+            return 1
+        if summary_path.read_text(encoding="utf-8") != text:
+            print(f"{summary_path} is stale; run scripts/bench_trajectory.py",
+                  file=sys.stderr)
+            return 1
+        print(f"{summary_path.name} is up to date ({entries} ladder entries)")
+        return 0
+    summary_path.write_text(text, encoding="utf-8")
+    print(f"wrote {summary_path} ({entries} ladder entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

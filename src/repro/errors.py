@@ -57,7 +57,18 @@ class TileError(ReproError):
 
 
 class ScheduleError(TileError):
-    """Raised when a scheduling primitive cannot legally be applied."""
+    """Raised when a scheduling primitive cannot legally be applied.
+
+    Carries structured context alongside the message: ``primitive`` names the
+    rejecting primitive and ``dependence`` (when the rejection is a legality
+    decision) is the blocking :class:`repro.tile.deps.Dependence`.
+    """
+
+    def __init__(self, message: str, *, primitive: str | None = None,
+                 dependence: object | None = None) -> None:
+        super().__init__(message)
+        self.primitive = primitive
+        self.dependence = dependence
 
 
 class LoweringError(TileError):

@@ -19,10 +19,12 @@ allocation, so the Figure 8 comparison can be regenerated.
 
 Kernels are specialised for concrete (M, N, K, alpha): leading dimensions are
 folded into immediate offsets, which keeps the address arithmetic identical in
-shape to the hand-written kernels while avoiding integer-division code.  M and
-N must be multiples of the block tile and K a multiple of the stride; boundary
-tiles are a documented non-goal (the paper's evaluation sizes are also exact
-multiples of the tile).
+shape to the hand-written kernels while avoiding integer-division code.  This
+*hand* generator still requires M and N to be multiples of the block tile and
+K a multiple of the stride (matching the paper's evaluation sizes); for
+arbitrary problem sizes use the schedule-derived ``tile_sgemm`` workload,
+whose ``predicate_tail`` guards lower boundary tiles to clipped staging and
+predicated epilogue stores (see :mod:`repro.tile`).
 """
 
 from __future__ import annotations

@@ -2,7 +2,9 @@
 
 The layer between workloads and the ISA: kernels are written once as naive
 loop nests (:mod:`repro.tile.ir`), reshaped by verified scheduling primitives
-(:mod:`repro.tile.schedule`), checked against the NumPy oracle
+(:mod:`repro.tile.schedule`) whose legality decisions all flow through the
+dependence-analysis engine (:mod:`repro.tile.deps`), checked against the
+NumPy oracle
 (:mod:`repro.tile.interp`) and lowered to assembled kernels through the
 existing :mod:`repro.isa` builder (:mod:`repro.tile.lower`).  The shipped
 kernels and their golden schedules live in :mod:`repro.tile.library`; the
@@ -10,6 +12,7 @@ registry workloads built from them in :mod:`repro.tile.workloads`; the
 schedule-space autotuning glue in :mod:`repro.tile.autotune`.
 """
 
+from repro.tile.deps import Dependence, dependences
 from repro.tile.interp import assert_equivalent, interpret
 from repro.tile.ir import (
     Affine,
@@ -56,6 +59,8 @@ __all__ = [
     "TensorParam",
     "Unstage",
     "check_proc",
+    "Dependence",
+    "dependences",
     "interpret",
     "assert_equivalent",
     "lower",

@@ -1,4 +1,4 @@
-"""Schedule-space autotuning for tile-IR workloads.
+"""Generative schedule-space autotuning for tile-IR workloads.
 
 The tile workloads encode their *schedule* in the workload configuration
 (tile sizes, register blocking, staging stride, B-register window, staging
@@ -8,16 +8,29 @@ the hand generators' knobs evaluates DSL schedules, shares the kernel-hash
 simulation cache and the multiprocessing pool, and ranks everything on one
 leaderboard.
 
-:func:`schedule_candidates` builds the standard sweep; the convenience
-:func:`autotune_schedules` runs it.  Both are re-exported from
-:mod:`repro.opt.autotune` so the optimizer layer remains the one entry point
-for tuning.
+This module closes the paper's §5.5 loop mechanically:
+
+* :func:`schedule_space` *generates* the candidate set — the cross product of
+  (block tile, register blocking B_R, staging stride L, B-window) filtered
+  by the structural validity rules the lowering imposes, crossed with
+  imperfect *tail* problem sizes (``predicate_tail`` schedules), plus the
+  named staging/pipelining ablations (``nostage``/``noprefetch``/``w1``);
+* :func:`prune_by_bound` evaluates each candidate's **analytic upper bound**
+  (:func:`repro.tile.resources.proc_resources` feeding
+  :func:`repro.model.analyse_workload_bound`) and discards everything whose
+  bound is hopeless before any simulation runs — the "where to look" half of
+  the paper's argument;
+* :func:`schedule_candidates` chains the two (pruning whenever a GPU is
+  given), and :func:`autotune_schedules` runs the surviving candidates
+  through the shared simulation harness.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 
+from repro.arch.specs import GpuSpec, get_gpu_spec
+from repro.errors import ReproError
 from repro.opt.autotune import (
     AutotuneCache,
     TuneOutcome,
@@ -26,42 +39,117 @@ from repro.opt.autotune import (
 )
 from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
 
-__all__ = ["schedule_candidates", "autotune_schedules"]
+__all__ = [
+    "PruneReport",
+    "schedule_space",
+    "prune_by_bound",
+    "schedule_candidates",
+    "autotune_schedules",
+]
+
+#: Default generative axes of the SGEMM schedule space.
+SGEMM_TILES = (24, 48, 96)
+SGEMM_BLOCKINGS = (3, 6)
+SGEMM_STRIDES = (8, 16)
+SGEMM_WINDOWS = (1, 2)
+
+#: Default imperfect problem sizes crossed into the sweep (predicate-tail
+#: schedules: none of these is a multiple of any swept tile).
+TAIL_SIZES = ((100, 92, 20),)
 
 
-def _sgemm_schedules(base: TileSgemmConfig) -> list[tuple[str, TileSgemmConfig]]:
-    """The SGEMM schedule axis: pipelining → staging → windowing → blocking."""
-    points = [
-        ("nostage", replace(base, stage=False, prefetch=False)),
-        ("noprefetch", replace(base, prefetch=False)),
-        ("w1", replace(base, b_window=1)),
-        ("golden", base),
-    ]
-    half = base.tile // 2
-    if (
-        half >= base.register_blocking
-        and half % base.register_blocking == 0
-        and base.m % half == 0
-        and base.n % half == 0
-    ):
-        # Halving the tile quadruples the threads per element: the prefetch
-        # registers no longer fit next to the full accumulator tile, so this
-        # point runs without software pipelining.
-        points.append((f"t{half}", replace(base, tile=half, prefetch=False)))
+def _sgemm_valid(config: TileSgemmConfig) -> bool:
+    """Structural validity of one SGEMM schedule point.
+
+    Mirrors the constraints the schedule and lowering impose: the register
+    blocking divides the tile, the window divides the blocking, the thread-x
+    extent is a power of two (flat-TID shift/mask decomposition), the block
+    is at most 1024 threads, and — when staging — the tile×stride window
+    distributes evenly over the block with a power-of-two number of load
+    groups per staged row (the cooperative-copy distribution rules).
+    """
+    if config.tile % config.register_blocking:
+        return False
+    if config.register_blocking % config.b_window:
+        return False
+    threads_x = config.tile // config.register_blocking
+    if threads_x & (threads_x - 1):
+        return False
+    threads = threads_x * threads_x
+    if threads > 1024:
+        return False
+    if config.stage:
+        window = config.tile * config.stride
+        if window % threads:
+            return False
+        per_thread = window // threads
+        if config.tile % per_thread:
+            return False
+        groups_per_row = config.tile // per_thread
+        if groups_per_row > 1 and groups_per_row & (groups_per_row - 1):
+            return False
+    return True
+
+
+def _sgemm_points(
+    base: TileSgemmConfig,
+    tiles: tuple[int, ...],
+    blockings: tuple[int, ...],
+    strides: tuple[int, ...],
+    windows: tuple[int, ...],
+) -> list[tuple[str, TileSgemmConfig]]:
+    """The generative (tile, B_R, L, window) grid, validity-filtered."""
+    points: list[tuple[str, TileSgemmConfig]] = []
+    seen: set[TileSgemmConfig] = set()
+
+    def push(label: str, config: TileSgemmConfig) -> None:
+        if config in seen or not _sgemm_valid(config):
+            return
+        seen.add(config)
+        points.append((label, config))
+
+    # Named ablation points first: the staging ladder the benchmarks track.
+    push("golden", base)
+    push("noprefetch", replace(base, prefetch=False))
+    push("nostage", replace(base, stage=False, prefetch=False))
+    push("w1", replace(base, b_window=1))
+    for tile in tiles:
+        for blocking in blockings:
+            for stride in strides:
+                for window in windows:
+                    config = replace(
+                        base,
+                        tile=tile,
+                        register_blocking=blocking,
+                        stride=stride,
+                        b_window=window,
+                        # Halved tiles quadruple the threads per element: the
+                        # prefetch registers no longer fit beside the full
+                        # accumulator tile, so sub-base tiles pipeline off.
+                        prefetch=base.prefetch and tile >= base.tile,
+                    )
+                    push(f"t{tile}b{blocking}l{stride}w{window}", config)
     return points
 
 
-def schedule_candidates(
+def schedule_space(
     *,
     sgemm: TileSgemmConfig | None = None,
     transpose: TileTransposeConfig | None = None,
     sgemv: TileSgemvConfig | None = None,
     include_naive: bool = False,
+    tiles: tuple[int, ...] = SGEMM_TILES,
+    register_blockings: tuple[int, ...] = SGEMM_BLOCKINGS,
+    strides: tuple[int, ...] = SGEMM_STRIDES,
+    b_windows: tuple[int, ...] = SGEMM_WINDOWS,
+    tail_sizes: tuple[tuple[int, int, int], ...] = TAIL_SIZES,
 ) -> list[WorkloadCandidate]:
-    """Candidates sweeping each DSL workload's schedule space.
+    """The unpruned generative sweep over every DSL workload's schedules.
 
     ``include_naive`` additionally evaluates every point without the pass
     pipeline, doubling the sweep (useful for before/after tables).
+    ``tail_sizes`` crosses the SGEMM grid with imperfect (M, N, K) problem
+    sizes — every candidate carries its problem size in the label.
     """
     candidates: list[WorkloadCandidate] = []
 
@@ -80,8 +168,17 @@ def schedule_candidates(
             )
         )
 
-    for label, config in _sgemm_schedules(sgemm or TileSgemmConfig()):
+    base = sgemm or TileSgemmConfig()
+    for label, config in _sgemm_points(
+        base, tiles, register_blockings, strides, b_windows
+    ):
         push("tile_sgemm", label, config)
+    for m, n, k in tail_sizes:
+        tail_base = replace(base, m=m, n=n, k=k)
+        for label, config in _sgemm_points(
+            tail_base, tiles, register_blockings, strides, b_windows
+        ):
+            push("tile_sgemm", f"{label}@{m}x{n}x{k}", config)
 
     transpose = transpose or TileTransposeConfig()
     for label, config in (
@@ -102,6 +199,115 @@ def schedule_candidates(
     return candidates
 
 
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of an analytic-bound pruning pass.
+
+    ``kept`` feed the simulator; ``pruned`` records (label, bound seconds)
+    of everything discarded without simulating.
+    """
+
+    kept: tuple[WorkloadCandidate, ...]
+    pruned: tuple[tuple[str, float], ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.kept) + len(self.pruned)
+
+    @property
+    def pruned_fraction(self) -> float:
+        return len(self.pruned) / self.total if self.total else 0.0
+
+
+def _size_key(candidate: WorkloadCandidate) -> tuple:
+    config = candidate.config
+    return (
+        candidate.workload,
+        getattr(config, "m", None),
+        getattr(config, "n", None),
+        getattr(config, "k", None),
+    )
+
+
+def prune_by_bound(
+    gpu: GpuSpec | str,
+    candidates: list[WorkloadCandidate],
+    *,
+    keep_within: float = 1.2,
+) -> PruneReport:
+    """Discard candidates whose analytic bound is hopeless before simulating.
+
+    Each candidate's scheduled proc yields its compulsory traffic
+    (:func:`repro.tile.resources.proc_resources`), and the generalized
+    Eq. 6/8/9 bound turns that into a minimum execution time.  Within each
+    (workload, problem size) group, candidates whose *bound* already exceeds
+    ``keep_within ×`` the group's best bound cannot win by simulation either
+    — the bound is a lower bound on time — so they are pruned unsimulated.
+    """
+    from repro.kernels.registry import get_workload
+
+    spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+    if keep_within < 1.0:
+        raise ReproError("keep_within must be >= 1.0 (a ratio over the best bound)")
+    times: dict[int, float] = {}
+    groups: dict[tuple, list[int]] = {}
+    for position, candidate in enumerate(candidates):
+        try:
+            workload = get_workload(candidate.workload)
+            config = (
+                candidate.config
+                if candidate.config is not None
+                else workload.default_config()
+            )
+            times[position] = workload.bound(config, spec).bound_time_s
+        except ReproError:
+            continue  # unboundable: let the simulator report the error
+        groups.setdefault(_size_key(candidate), []).append(position)
+
+    pruned: set[int] = set()
+    for members in groups.values():
+        best = min(times[position] for position in members)
+        for position in members:
+            if times[position] > keep_within * best:
+                pruned.add(position)
+    return PruneReport(
+        kept=tuple(
+            candidate
+            for position, candidate in enumerate(candidates)
+            if position not in pruned
+        ),
+        pruned=tuple(
+            (candidates[position].display_label, times[position])
+            for position in sorted(pruned)
+        ),
+    )
+
+
+def schedule_candidates(
+    *,
+    sgemm: TileSgemmConfig | None = None,
+    transpose: TileTransposeConfig | None = None,
+    sgemv: TileSgemvConfig | None = None,
+    include_naive: bool = False,
+    gpu: GpuSpec | str | None = None,
+    keep_within: float = 1.2,
+    **space_kwargs,
+) -> list[WorkloadCandidate]:
+    """The generative sweep, bound-pruned when a ``gpu`` is given.
+
+    Without a GPU the full validity-filtered space is returned (nothing to
+    price the bound against); with one, only candidates whose analytic bound
+    is within ``keep_within×`` of their group's best survive to simulation.
+    """
+    space = schedule_space(
+        sgemm=sgemm, transpose=transpose, sgemv=sgemv,
+        include_naive=include_naive, **space_kwargs,
+    )
+    if gpu is None:
+        return space
+    return list(prune_by_bound(gpu, space, keep_within=keep_within).kept)
+
+
 def autotune_schedules(
     gpu,
     candidates: list[WorkloadCandidate] | None = None,
@@ -113,11 +319,11 @@ def autotune_schedules(
     """Evaluate DSL schedule candidates on ``gpu``, best first.
 
     A thin veneer over :func:`repro.opt.autotune.autotune_workloads` with the
-    schedule sweep as the default candidate set.
+    bound-pruned generative sweep as the default candidate set.
     """
     return autotune_workloads(
         gpu,
-        candidates if candidates is not None else schedule_candidates(),
+        candidates if candidates is not None else schedule_candidates(gpu=gpu),
         workers=workers,
         cache=cache,
         max_cycles=max_cycles,

@@ -118,27 +118,48 @@ def _eval(expr: Expr, tensors: dict[str, np.ndarray], env: dict[str, int]) -> np
     raise TileError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
 
 
+def _clipped_count(base: int, size: int, limit: int | None) -> int:
+    """In-bounds element count of one window dimension under a clip limit."""
+    if limit is None:
+        return size
+    return max(0, min(size, limit - base))
+
+
 def _run_stage(stmt: Stage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
     base = tuple(b.evaluate(env) for b in stmt.base)
     source = tensors[stmt.tensor]
-    # Window in tensor-dim order, then permuted into buffer-dim order.
+    limits = stmt.limits or (None,) * len(base)
+    # Window in tensor-dim order (clipped to the tensor on limited dims),
+    # then permuted into buffer-dim order.
     window_slices = list(slice(b, b + 1) for b in base)
+    counts = list(stmt.sizes)
     for buffer_dim, tensor_dim in enumerate(stmt.axes):
+        counts[buffer_dim] = _clipped_count(
+            base[tensor_dim], stmt.sizes[buffer_dim], limits[tensor_dim]
+        )
         window_slices[tensor_dim] = slice(
-            base[tensor_dim], base[tensor_dim] + stmt.sizes[buffer_dim]
+            base[tensor_dim], base[tensor_dim] + counts[buffer_dim]
         )
     window = source[tuple(window_slices)]
     # Drop the singleton dims not walked by the buffer, then permute.
     walked = sorted(stmt.axes)
     window = window.reshape(tuple(window.shape[d] for d in walked))
     order = tuple(walked.index(t) for t in stmt.axes)
-    tensors[stmt.buffer][...] = np.transpose(window, order)
+    staged = np.zeros(stmt.sizes, dtype=np.float32)
+    staged[tuple(slice(0, c) for c in counts)] = np.transpose(window, order)
+    tensors[stmt.buffer][...] = staged
 
 
 def _run_unstage(stmt: Unstage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
     base = tuple(b.evaluate(env) for b in stmt.base)
-    slices = tuple(slice(b, b + s) for b, s in zip(base, stmt.sizes))
-    tensors[stmt.tensor][slices] = tensors[stmt.buffer]
+    limits = stmt.limits or (None,) * len(base)
+    counts = tuple(
+        _clipped_count(b, s, limit)
+        for b, s, limit in zip(base, stmt.sizes, limits)
+    )
+    slices = tuple(slice(b, b + c) for b, c in zip(base, counts))
+    window = tensors[stmt.buffer].reshape(stmt.sizes)
+    tensors[stmt.tensor][slices] = window[tuple(slice(0, c) for c in counts)]
 
 
 def assert_equivalent(

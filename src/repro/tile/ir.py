@@ -323,6 +323,13 @@ class Stage:
     barrier-fenced cooperative load, optionally software-pipelined
     (``prefetch``) the way the paper's main loop prefetches the next tile
     while computing on the current one.
+
+    ``limits`` (one entry per *tensor* dimension, ``None`` = unclipped) marks
+    a window that may overhang the tensor: only elements with
+    ``base_d + offset_d < limits[d]`` are copied, the rest of the buffer
+    reads as zero.  ``stage_shared`` derives the limits from ``predicate_tail``
+    guards, which is what lets boundary tiles of an imperfect problem size
+    stage a full-shape buffer.
     """
 
     buffer: str
@@ -331,24 +338,39 @@ class Stage:
     sizes: tuple[int, ...]
     axes: tuple[int, ...]
     prefetch: bool = True
+    limits: tuple[int | None, ...] = ()
 
     def __str__(self) -> str:
         base = ", ".join(str(b) for b in self.base)
-        return f"stage {self.buffer}{list(self.sizes)} <- {self.tensor}[{base} ...]"
+        clip = ""
+        if any(limit is not None for limit in self.limits):
+            clip = f" clip<{list(self.limits)}"
+        return f"stage {self.buffer}{list(self.sizes)} <- {self.tensor}[{base} ...]{clip}"
 
 
 @dataclass(frozen=True)
 class Unstage:
-    """Bulk copy of a register-staged buffer back into its tensor window."""
+    """Bulk copy of a register-staged buffer back into its tensor window.
+
+    ``limits`` (one entry per tensor dimension, ``None`` = unclipped) marks a
+    window that may overhang the tensor: only elements with
+    ``base_d + offset_d < limits[d]`` are stored.  ``stage_registers`` derives
+    the limits from ``predicate_tail`` guards around the staged accesses — the
+    predicated epilogue stores of a boundary tile.
+    """
 
     tensor: str
     base: tuple[Affine, ...]
     buffer: str
     sizes: tuple[int, ...]
+    limits: tuple[int | None, ...] = ()
 
     def __str__(self) -> str:
         base = ", ".join(str(b) for b in self.base)
-        return f"unstage {self.tensor}[{base} ...] <- {self.buffer}{list(self.sizes)}"
+        clip = ""
+        if any(limit is not None for limit in self.limits):
+            clip = f" clip<{list(self.limits)}"
+        return f"unstage {self.tensor}[{base} ...] <- {self.buffer}{list(self.sizes)}{clip}"
 
 
 Stmt = Union[Assign, Loop, Guard, Stage, Unstage]
@@ -626,14 +648,29 @@ def check_proc(proc: Proc) -> None:
                 )
 
     def check_window(name: str, base: tuple[Affine, ...], sizes: tuple[int, ...],
-                     axes: tuple[int, ...], ranges: dict[str, int]) -> None:
+                     axes: tuple[int, ...], ranges: dict[str, int],
+                     limits: tuple[int | None, ...] = ()) -> None:
         shape = shape_of(name)
         if len(base) != len(shape):
             raise TileError(f"stage of '{name}' has {len(base)} base expressions for shape {shape}")
+        if limits and len(limits) != len(shape):
+            raise TileError(
+                f"window of '{name}' has {len(limits)} clip limits for shape {shape}"
+            )
         extent_of_dim = {axes[d]: sizes[d] for d in range(len(axes))}
         for dim, expr in enumerate(base):
             lo, hi = expr.bounds(ranges)
             hi += extent_of_dim.get(dim, 1) - 1
+            limit = limits[dim] if limits else None
+            if limit is not None:
+                if limit < 1 or limit > shape[dim]:
+                    raise TileError(
+                        f"window clip limit {limit} of '{name}' dimension {dim} is outside "
+                        f"its extent {shape[dim]}"
+                    )
+                # Clipped dimensions copy only in-bounds elements; the static
+                # window may overhang.
+                hi = min(hi, limit - 1)
             if lo < 0 or hi >= shape[dim]:
                 raise TileError(
                     f"staged window of '{name}' spans [{lo}, {hi}] outside dimension {shape[dim]}"
@@ -658,9 +695,11 @@ def check_proc(proc: Proc) -> None:
                         f"stage sizes {stmt.sizes} do not match buffer '{buffer.name}' "
                         f"shape {buffer.shape}"
                     )
-                check_window(stmt.tensor, stmt.base, stmt.sizes, stmt.axes, ranges)
+                check_window(stmt.tensor, stmt.base, stmt.sizes, stmt.axes, ranges,
+                             stmt.limits)
             elif isinstance(stmt, Unstage):
                 identity = tuple(range(len(stmt.sizes)))
-                check_window(stmt.tensor, stmt.base, stmt.sizes, identity, ranges)
+                check_window(stmt.tensor, stmt.base, stmt.sizes, identity, ranges,
+                             stmt.limits)
 
     recurse(proc.body, {})

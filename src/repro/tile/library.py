@@ -220,9 +220,11 @@ def schedule_sgemm(
         raise ScheduleError(f"b_window {b_window} must divide register blocking {br}")
 
     # Block and thread decomposition: i = by·tile + ty·br + iq, same for j.
-    p = S.split(proc, "i", tile, "by", "ii")
+    # predicate_tail is split when the tile divides and the guarded tail
+    # otherwise, so arbitrary (M, N, K) flow through the same schedule.
+    p = S.predicate_tail(proc, "i", tile, "by", "ii")
     p = S.split(p, "ii", br, "ty", "iq")
-    p = S.split(p, "j", tile, "bx", "jj")
+    p = S.predicate_tail(p, "j", tile, "bx", "jj")
     p = S.split(p, "jj", br, "tx", "jq")
     # Nest order by, bx, ty, tx, iq, jq (blocks out, register tile in).
     p = S.reorder(p, "iq", "bx")
@@ -244,7 +246,7 @@ def schedule_sgemm(
     p = S.reorder(p, "iq1", "k")
 
     # Software-pipelined staging loop over K in steps of the stride.
-    p = S.split(p, "k", stride, "ko", "ki")
+    p = S.predicate_tail(p, "k", stride, "ko", "ki")
     if stage:
         p = S.stage_shared(p, "ko", "A", transpose=True, prefetch=prefetch)
         p = S.stage_shared(p, "ko", "B", prefetch=prefetch)
@@ -274,9 +276,11 @@ def schedule_transpose(proc: Proc, *, tile: int = 16, pad: int = 1) -> Proc:
     cooperative staging copy) and the global stores unit-stride, while the
     shared-memory tile eats the transposition.  ``pad`` is the §5.1 row
     padding that keeps the column-order shared reads bank-conflict-free.
+    Arbitrary (m, n) are accepted: boundary tiles stage clipped windows and
+    predicate their stores.
     """
-    p = S.split(proc, "i", tile, "by", "ii")
-    p = S.split(p, "j", tile, "bx", "jj")
+    p = S.predicate_tail(proc, "i", tile, "by", "ii")
+    p = S.predicate_tail(p, "j", tile, "bx", "jj")
     p = S.reorder(p, "ii", "bx")
     p = S.bind_block(p, "by", "y")
     p = S.bind_block(p, "bx", "x")
@@ -298,13 +302,14 @@ def schedule_sgemv(
     ``k_window`` pairs the unrolled A loads so the lowering fuses them into
     LD.64 (the hand generator's ``wide_loads``); ``prefetch`` pipelines the
     x-tile staging load — one step beyond the hand kernel, which leaves the
-    load on the critical path between its barriers.
+    load on the critical path between its barriers.  Arbitrary (m, k) are
+    accepted through ``predicate_tail`` row/column guards.
     """
-    p = S.split(proc, "i", threads, "bx", "tx")
+    p = S.predicate_tail(proc, "i", threads, "bx", "tx")
     p = S.bind_block(p, "bx", "x")
     p = S.bind_thread(p, "tx", "x")
     p = S.stage_registers(p, "tx", "y")
-    p = S.split(p, "k", threads, "ko", "ki")
+    p = S.predicate_tail(p, "k", threads, "ko", "ki")
     if stage:
         p = S.stage_shared(p, "ko", "x", prefetch=prefetch)
     if k_window > 1:

@@ -30,7 +30,7 @@ register assignment — exactly the "compiler-like" starting point the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -104,7 +104,7 @@ def launch_geometry(proc: Proc) -> LaunchGeometry:
 
 
 def lower(proc: Proc, *, lds_width_bits: int = 64, ld_width_bits: int = 64,
-          pool_size: int = DEFAULT_POOL_SIZE) -> Kernel:
+          pool_size: int | None = None) -> Kernel:
     """Lower a scheduled proc to an assembled (unoptimized) kernel.
 
     Parameters
@@ -120,7 +120,11 @@ def lower(proc: Proc, *, lds_width_bits: int = 64, ld_width_bits: int = 64,
         the register recoloring: the hand kernels pair exactly the streams
         whose pairs the bank-conflict-free allocation can still color.
     pool_size:
-        Registers in the reusable operand pool for batched loads.
+        Registers in the reusable operand pool for batched loads.  ``None``
+        (the default) sizes the pool from a liveness estimate: whatever the
+        63-register file has left after the fixed allocations (accumulators,
+        pointers, counters, prefetch registers), grown to cover the largest
+        eager staging run so wide tiles stop falling back to chunked copies.
     """
     for name, width in (("lds_width_bits", lds_width_bits), ("ld_width_bits", ld_width_bits)):
         if width not in (32, 64):
@@ -252,7 +256,7 @@ class _StagePlan:
 
 class _Lowering:
     def __init__(self, proc: Proc, *, lds_width_bits: int, ld_width_bits: int,
-                 pool_size: int) -> None:
+                 pool_size: int | None) -> None:
         self._proc = proc
         self._wide_shared = lds_width_bits == 64
         self._wide_global = ld_width_bits == 64
@@ -302,8 +306,13 @@ class _Lowering:
         self._persistent_vars: set[str] = set()
         self._var_regs: dict[str, Register] = {}
         self._buffer_regs: dict[str, list[Register]] = {}
-        self._guard_depth = 0
         self._guard_cursor = 0
+        self._active_guard_slots: list[int] = []
+        self._guard_slot_key: dict[int, object] = {}
+        self._unstage_for: dict[str, Unstage] = {}
+        self._droppable: set[int] = set()
+        self._epilogue_clip_vars: set[str] = set()
+        self._epilogue_env: dict[str, Register] = {}
 
         self._builder = KernelBuilder(
             name=proc.name,
@@ -388,10 +397,26 @@ class _Lowering:
         return body[:cut], body[cut:]
 
     def _parse_structure(self) -> None:
-        """Find block loops, block-level stages and the thread body."""
+        """Find block loops, block-level stages and the thread body.
+
+        ``predicate_tail`` guards interposed between block/thread loops are
+        *sunk* into the thread body (a guard never references a loop nested
+        inside it, so pushing it below the loop filters the same instances);
+        the sunk wrappers predicate per-thread work while the cooperative
+        staging copies stay unguarded — their out-of-window loads land in
+        buffer lanes the guarded compute never reads.
+        """
+        pending: list[Guard] = []
         stmts: tuple[Stmt, ...] = self._proc.body
-        while len(stmts) == 1 and isinstance(stmts[0], Loop) and stmts[0].kind.is_block:
-            stmts = stmts[0].body
+        while len(stmts) == 1:
+            head = stmts[0]
+            if isinstance(head, Loop) and head.kind.is_block:
+                stmts = head.body
+            elif isinstance(head, Guard):
+                pending.append(head)
+                stmts = head.body
+            else:
+                break
         self._block_stages: list[Stage] = []
         thread_loop: Loop | None = None
         trailing: list[Stmt] = []
@@ -412,12 +437,74 @@ class _Lowering:
         if trailing:
             raise LoweringError("statements after the thread loops are not supported")
         inner = thread_loop.body
-        while len(inner) == 1 and isinstance(inner[0], Loop) and inner[0].kind.is_thread:
-            inner = inner[0].body
+        while len(inner) == 1:
+            head = inner[0]
+            if isinstance(head, Loop) and head.kind.is_thread:
+                inner = head.body
+            elif isinstance(head, Guard):
+                pending.append(head)
+                inner = head.body
+            else:
+                break
         for stmt in inner:
             if isinstance(stmt, Loop) and stmt.kind.is_thread:
                 raise LoweringError("thread loops must be perfectly nested")
+        for guard in reversed(pending):
+            inner = (replace(guard, body=inner),)
         self._thread_body: tuple[Stmt, ...] = inner
+        self._unstage_for = {
+            stmt.buffer: stmt
+            for stmt in walk_stmts(self._thread_body)
+            if isinstance(stmt, Unstage)
+        }
+        self._droppable = {
+            id(stmt)
+            for stmt in walk_stmts(self._thread_body)
+            if isinstance(stmt, Guard) and self._guard_droppable(stmt)
+        }
+
+    def _guard_droppable(self, guard: Guard) -> bool:
+        """Whether the lowering may execute ``guard``'s body unpredicated.
+
+        True when every write in the body targets a register buffer whose
+        write-back is clipped by exactly this guard's condition: the lanes
+        the guard disables are then never stored, so computing garbage in
+        them is unobservable (and their overhanging loads stay within the
+        flat simulated memory).  A cooperative ``Stage`` does not block
+        dropping — its addresses depend only on loop variables, so executing
+        it for guarded-out lanes rewrites the buffer with identical content
+        (and it *must* execute unguarded: every thread of the block
+        participates in the copy and its barriers).
+        """
+        for stmt in walk_stmts(guard.body):
+            if isinstance(stmt, Unstage):
+                return False
+            if not isinstance(stmt, Assign):
+                continue
+            if not (
+                self._proc.is_buffer(stmt.tensor)
+                and self._proc.buffer(stmt.tensor).memory == "register"
+            ):
+                return False
+            unstage = self._unstage_for.get(stmt.tensor)
+            if unstage is None or not unstage.limits:
+                return False
+            if not self._clip_matches(guard, unstage, stmt):
+                return False
+        return True
+
+    @staticmethod
+    def _clip_matches(guard: Guard, unstage: Unstage, assign: Assign) -> bool:
+        """Whether ``guard`` restates a clipped write-back dimension for the
+        element ``assign`` writes: ``unstage.base[d] + buffer_index == expr``
+        with the same bound."""
+        for dim, limit in enumerate(unstage.limits):
+            if limit != guard.bound:
+                continue
+            for index in assign.index:
+                if unstage.base[dim] + index == guard.expr:
+                    return True
+        return False
 
     def _plan(self) -> None:
         self._parse_structure()
@@ -429,12 +516,13 @@ class _Lowering:
                     path = seq_path + ((stmt.var,) if stmt.kind is LoopKind.SEQ else ())
                     visit(stmt.body, in_epilogue, path)
                 elif isinstance(stmt, Guard):
-                    for var in stmt.expr.vars():
-                        cls = self._var_class(var)
-                        if cls == "launch":
-                            self._persistent_vars.add(var)
-                        elif cls == "seq":
-                            self._needs_up.add(var)
+                    if id(stmt) not in self._droppable:
+                        for var in stmt.expr.vars():
+                            cls = self._var_class(var)
+                            if cls == "launch":
+                                self._persistent_vars.add(var)
+                            elif cls == "seq":
+                                self._needs_up.add(var)
                     visit(stmt.body, in_epilogue, seq_path)
                 elif isinstance(stmt, Assign):
                     for r in expr_reads(stmt.value):
@@ -443,6 +531,18 @@ class _Lowering:
                 elif isinstance(stmt, Stage):
                     self._plan_stage(stmt, seq_path)
                 elif isinstance(stmt, Unstage):
+                    for dim, limit in enumerate(stmt.limits):
+                        if limit is None:
+                            continue
+                        for var in stmt.base[dim].vars():
+                            cls = self._var_class(var)
+                            if cls == "seq":
+                                self._needs_up.add(var)
+                            elif cls == "launch":
+                                if in_epilogue:
+                                    self._epilogue_clip_vars.add(var)
+                                else:
+                                    self._persistent_vars.add(var)
                     self._plan_access(stmt.tensor, stmt.base, in_epilogue, seq_path,
                                       window=stmt.sizes)
 
@@ -654,9 +754,25 @@ class _Lowering:
                 plan.prefetch_regs = self._regs.take(
                     plan.per_thread, what=f"'{plan.stage.buffer}' prefetch"
                 )
+        if self._pool_size is None:
+            # Liveness-derived sizing: the fixed allocations above are live for
+            # the whole kernel, everything else is the pool's to batch with.
+            # Grow the default up to the largest eager (non-pipelined) staging
+            # run so wide tiles load in one sweep instead of chunking.
+            eager_need = max(
+                (
+                    plan.per_thread
+                    for plan in self._stage_plans.values()
+                    if not plan.pipelined
+                ),
+                default=0,
+            )
+            desired = max(DEFAULT_POOL_SIZE, eager_need)
+        else:
+            desired = self._pool_size
         self._pool = _Pool(self._regs.take(
-            min(self._pool_size, 63 - self._regs.used) if 63 - self._regs.used >= 2
-            else self._pool_size,
+            min(desired, 63 - self._regs.used) if 63 - self._regs.used >= 2
+            else desired,
             what="operand pool",
         ))
 
@@ -836,35 +952,95 @@ class _Lowering:
                 self._emit_unstage(stmt, env, pred)
             position += 1
 
-    def _emit_guard(self, stmt: Guard, env: dict[str, int], pred) -> None:
+    def _fold_guard(self, stmt: Guard, env: dict[str, int]):
+        """(decision, residual): 'taken'/'skipped' when static, else 'runtime'."""
         expr = stmt.expr.substitute({v: Affine.constant(c) for v, c in env.items()})
         runtime_vars = sorted(expr.vars())
         if not runtime_vars:
-            if expr.const < stmt.bound:
-                self._emit_block(stmt.body, env, pred)
-            return
+            return ("taken" if expr.const < stmt.bound else "skipped"), expr
         ranges = {var: self._extents[var] for var in runtime_vars}
         lo, hi = expr.bounds(ranges)
         if hi < stmt.bound:
-            self._emit_block(stmt.body, env, pred)
-            return
+            return "taken", expr
         if lo >= stmt.bound:
-            return
-        if pred is not None:
-            raise LoweringError("nested runtime guards are not supported")
+            return "skipped", expr
+        return "runtime", expr
+
+    def _guard_slot(self, pred) -> int:
+        """A guard-predicate slot not in use by an enclosing runtime guard."""
+        for offset in range(len(_GUARD_PREDICATES)):
+            slot = _GUARD_PREDICATES[
+                (self._guard_cursor + offset) % len(_GUARD_PREDICATES)
+            ]
+            if slot in self._active_guard_slots:
+                continue
+            if pred is not None and slot == pred.index:
+                continue
+            self._guard_cursor += 1
+            return slot
+        raise LoweringError(
+            f"runtime guards nest deeper than the {len(_GUARD_PREDICATES)} "
+            f"available guard predicates"
+        )
+
+    def _materialise_guard(self, expr: Affine, bound: int, pred):
+        """ISETP ``expr < bound`` into a fresh guard predicate.
+
+        With an enclosing predicate the result is the conjunction: the slot
+        is preset false and the compare executes under the outer predicate,
+        so masked lanes keep the false value (a per-lane AND).
+        """
         builder = self._builder
         scratch = self._pool.alloc()
         builder.mov32i(scratch, expr.const)
-        for var in runtime_vars:
+        for var in sorted(expr.vars()):
             reg = self._var_regs.get(var) or self._up_counters.get(var)
             if reg is None:
                 raise LoweringError(f"guard variable '{var}' has no runtime register")
             builder.imad(scratch, reg, expr.coeff(var), scratch)
-        guard = predicate(_GUARD_PREDICATES[self._guard_cursor % len(_GUARD_PREDICATES)])
-        self._guard_cursor += 1
-        builder.isetp(guard, "LT", scratch, stmt.bound)
+        slot = self._guard_slot(pred)
+        guard = predicate(slot)
+        if pred is None:
+            builder.isetp(guard, "LT", scratch, bound)
+        else:
+            builder.isetp(guard, "GE", RZ, 1)  # preset false: 0 >= 1
+            with builder.guarded(pred):
+                builder.isetp(guard, "LT", scratch, bound)
+        self._guard_slot_key[slot] = None
         self._pool.release([scratch])
-        self._emit_block(stmt.body, env, guard)
+        return guard
+
+    def _compute_guard(self, expr: Affine, bound: int, pred):
+        """A (cached) runtime guard predicate for unrolled compute.
+
+        Unrolled tails evaluate the same residual condition for a run of
+        instances (every register-tile element of one ``ki`` step shares one
+        ``stride·ko + ki < K``); caching by residual reuses the ISETP until
+        its slot is recycled.
+        """
+        key = (expr, bound, None if pred is None else pred.index)
+        for slot in _GUARD_PREDICATES:
+            if self._guard_slot_key.get(slot) == key and (
+                pred is None or slot != pred.index
+            ):
+                return predicate(slot)
+        guard = self._materialise_guard(expr, bound, pred)
+        self._guard_slot_key[guard.index] = key
+        return guard
+
+    def _emit_guard(self, stmt: Guard, env: dict[str, int], pred) -> None:
+        decision, expr = self._fold_guard(stmt, env)
+        if decision == "skipped":
+            return
+        if decision == "taken" or id(stmt) in self._droppable:
+            self._emit_block(stmt.body, env, pred)
+            return
+        guard = self._materialise_guard(expr, stmt.bound, pred)
+        self._active_guard_slots.append(guard.index)
+        try:
+            self._emit_block(stmt.body, env, guard)
+        finally:
+            self._active_guard_slots.pop()
 
     # -- sequential loops ------------------------------------------------ #
 
@@ -901,6 +1077,10 @@ class _Lowering:
                 self._emit_prefetch_loads(self._stage_plans[id(stage)], guard=None)
 
         label = builder.label(f"L_{loop.var}")
+        # Guard predicates computed outside the loop may involve this loop's
+        # iteration counter; force re-evaluation inside the body (and again
+        # after the loop, when the counter holds its final value).
+        self._guard_slot_key.clear()
         if stages:
             builder.bar(0)
             if pipelined:
@@ -932,6 +1112,7 @@ class _Lowering:
         p_loop = predicate(_LOOP_PREDICATE)
         builder.isetp(p_loop, "GT", counter, 0)
         builder.bra(label, predicate=p_loop)
+        self._guard_slot_key.clear()
 
         self._seq_stack.pop()
         for pointer in advanced:
@@ -1099,7 +1280,8 @@ class _Lowering:
                         visit(stmt.body, {**env_, stmt.var: value},
                               group if stmts_ is not stmts else value)
                 elif isinstance(stmt, Guard):
-                    visit(stmt.body, env_, group)
+                    if self._fold_guard(stmt, env_)[0] != "skipped":
+                        visit(stmt.body, env_, group)
                 elif isinstance(stmt, Assign):
                     for r in expr_reads(stmt.value):
                         resolved = self._resolve_read(r, env_)
@@ -1121,11 +1303,40 @@ class _Lowering:
         self._emit_compute_rec(stmts, env, pred, self._compute_cache)
         self._pool.restore(mark)
 
+    def _guard_scratch_reserve(self, stmts: tuple[Stmt, ...]) -> int:
+        """Pool registers to hold back for runtime-guard ISETP scratch."""
+        for stmt in walk_stmts(stmts):
+            if isinstance(stmt, Guard) and id(stmt) not in self._droppable:
+                if any(
+                    self._var_class(var) in ("launch", "seq")
+                    for var in stmt.expr.vars()
+                ):
+                    return 1
+        return 0
+
     def _emit_compute_rec(self, stmts: tuple[Stmt, ...], env: dict[str, int], pred,
                           cache: dict[tuple, Register]) -> None:
+        if len(stmts) == 1 and isinstance(stmts[0], Guard):
+            # A guard heading the batch: fold it, drop it, or predicate the
+            # whole batch, then keep batching its body.
+            stmt = stmts[0]
+            decision, expr = self._fold_guard(stmt, env)
+            if decision == "skipped":
+                return
+            if decision == "taken" or id(stmt) in self._droppable:
+                self._emit_compute_rec(stmt.body, env, pred, cache)
+                return
+            guard = self._compute_guard(expr, stmt.bound, pred)
+            self._active_guard_slots.append(guard.index)
+            try:
+                self._emit_compute_rec(stmt.body, env, guard, cache)
+            finally:
+                self._active_guard_slots.pop()
+            return
         reads = self._collect_reads(stmts, env)
         uncached = {k: v for k, v in reads.items() if k not in cache}
-        if len(uncached) <= self._pool.free_count:
+        budget = self._pool.free_count - self._guard_scratch_reserve(stmts)
+        if len(uncached) <= budget:
             self._preload(uncached, pred, cache)
             self._emit_compute_body(stmts, env, pred, cache)
             return
@@ -1202,15 +1413,18 @@ class _Lowering:
                 for value in range(stmt.extent):
                     self._emit_compute_body(stmt.body, {**env, stmt.var: value}, pred, cache)
             elif isinstance(stmt, Guard):
-                expr = stmt.expr.substitute({v: Affine.constant(c) for v, c in env.items()})
-                if expr.is_constant:
-                    if expr.const < stmt.bound:
-                        self._emit_compute_body(stmt.body, env, pred, cache)
+                decision, expr = self._fold_guard(stmt, env)
+                if decision == "skipped":
+                    continue
+                if decision == "taken" or id(stmt) in self._droppable:
+                    self._emit_compute_body(stmt.body, env, pred, cache)
                 else:
-                    raise LoweringError(
-                        "runtime guards inside unrolled compute are not supported; "
-                        "apply predicate_tail outside the unrolled loops"
-                    )
+                    guard = self._compute_guard(expr, stmt.bound, pred)
+                    self._active_guard_slots.append(guard.index)
+                    try:
+                        self._emit_compute_body(stmt.body, env, guard, cache)
+                    finally:
+                        self._active_guard_slots.pop()
             elif isinstance(stmt, Assign):
                 self._emit_assign(stmt, env, pred, cache)
             else:
@@ -1332,6 +1546,27 @@ class _Lowering:
 
     # -- epilogue --------------------------------------------------------- #
 
+    def _runtime_reg(self, var: str) -> Register:
+        """The live register holding a launch index or seq iteration count."""
+        reg = (
+            self._epilogue_env.get(var)
+            or self._var_regs.get(var)
+            or self._up_counters.get(var)
+        )
+        if reg is None:
+            raise LoweringError(f"variable '{var}' has no runtime register")
+        return reg
+
+    def _clip_base_reg(self, expr: Affine, env: dict[str, int]) -> Register:
+        """Materialise the runtime value of a clipped window-base dimension."""
+        builder = self._builder
+        value = expr.substitute({v: Affine.constant(c) for v, c in env.items()})
+        reg = self._pool.alloc()
+        builder.mov32i(reg, value.const)
+        for var in sorted(value.vars()):
+            builder.imad(reg, self._runtime_reg(var), value.coeff(var), reg)
+        return reg
+
     def _emit_unstage(self, stmt: Unstage, env: dict[str, int], pred) -> None:
         builder = self._builder
         regs = self._buffer_regs[stmt.buffer]
@@ -1348,6 +1583,13 @@ class _Lowering:
         address, base_offset, scratch = self._scratch_address(
             pointer, pointer.reg, base_expr.const, seq
         )
+        clipped = [d for d, limit in enumerate(stmt.limits) if limit is not None]
+        clip_regs: dict[int, Register] = {}
+        if clipped:
+            if pred is not None:
+                raise LoweringError("a clipped write-back under a guard is not supported")
+            for dim in clipped:
+                clip_regs[dim] = self._clip_base_reg(stmt.base[dim], env)
         total = 1
         for size in stmt.sizes:
             total *= size
@@ -1356,12 +1598,29 @@ class _Lowering:
             offset = base_offset + 4 * sum(
                 int(c) * s for c, s in zip(coords, strides)
             )
-            self._emit_predicated(
-                lambda reg=regs[flat], off=offset: builder.st(
-                    MemRef(base=address, offset=off), reg
-                ),
-                pred,
-            )
+            if clipped:
+                # base_d + coord_d < limit_d per clipped dim, AND-chained by
+                # running the follow-up compares under the predicate.
+                guard = predicate(self._guard_slot(None))
+                for position, dim in enumerate(clipped):
+                    bound = stmt.limits[dim] - int(coords[dim])
+                    if position == 0:
+                        builder.isetp(guard, "LT", clip_regs[dim], bound)
+                    else:
+                        with builder.guarded(guard):
+                            builder.isetp(guard, "LT", clip_regs[dim], bound)
+                self._guard_slot_key[guard.index] = None
+                with builder.guarded(guard):
+                    builder.st(MemRef(base=address, offset=offset), regs[flat])
+            else:
+                self._emit_predicated(
+                    lambda reg=regs[flat], off=offset: builder.st(
+                        MemRef(base=address, offset=off), reg
+                    ),
+                    pred,
+                )
+        if clip_regs:
+            self._pool.release(list(clip_regs.values()))
         if scratch is not None:
             self._pool.release([scratch])
 
@@ -1376,19 +1635,33 @@ class _Lowering:
         epilogue_pointers = [
             p for p in self._pointers.values() if p.epilogue and p.needs_register
         ]
-        if epilogue_pointers:
-            needed: set[str] = set()
+        has_clip = any(
+            isinstance(stmt, Unstage) and any(l is not None for l in stmt.limits)
+            for stmt in walk_stmts(stmts)
+        )
+        if has_clip:
+            # Clipped write-backs need index registers alongside the pointers;
+            # the dead prefetch registers widen the pool to make room.
+            for plan in self._stage_plans.values():
+                if plan.prefetch_regs:
+                    pool.release(plan.prefetch_regs)
+                    plan.prefetch_regs = []
+        scratch: list[Register] = []
+        if epilogue_pointers or self._epilogue_clip_vars:
+            needed: set[str] = set(self._epilogue_clip_vars)
             for pointer in epilogue_pointers:
                 needed.update(var for var, _ in pointer.runtime_terms)
             env: dict[str, Register] = {}
-            scratch: list[Register] = []
 
             def take() -> Register:
                 reg = pool.alloc()
                 scratch.append(reg)
                 return reg
 
-            thread_vars = {v for v in needed if self._kinds[v].is_thread}
+            thread_vars = {
+                v for v in needed
+                if v not in self._var_regs and self._kinds[v].is_thread
+            }
             tid = take() if thread_vars else None
             if tid is not None:
                 builder.s2r(tid, SpecialRegister.TID_X)
@@ -1413,5 +1686,12 @@ class _Lowering:
             for pointer in epilogue_pointers:
                 pointer.reg = pool.alloc()
                 self._emit_pointer(pointer, pointer.reg, env)
+            self._epilogue_env = env
+        if not has_clip:
+            # Without clip conditions the env registers are dead once the
+            # pointers are built — the historical (register-minimal) shape.
             pool.release(scratch)
+            scratch = []
         self._emit_block(stmts, {}, None)
+        pool.release(scratch)
+        self._epilogue_env = {}

@@ -51,11 +51,8 @@ def _expr_flops(expr: Expr) -> int:
     return 0
 
 
-def _guard_fraction(guards, ranges: dict[str, int]) -> float:
-    """Fraction of iterations (over the guard expressions' variables) that
-    satisfy every active guard."""
-    if not guards:
-        return 1.0
+def _enumerated_fraction(guards, ranges: dict[str, int]) -> float:
+    """Exact satisfied fraction of one guard group by enumeration."""
     involved = sorted({v for expr, _ in guards for v in expr.vars()})
     if not involved:
         return 1.0 if all(expr.const < bound for expr, bound in guards) else 0.0
@@ -67,6 +64,71 @@ def _guard_fraction(guards, ranges: dict[str, int]) -> float:
         if all(expr.evaluate(env) < bound for expr, bound in guards):
             satisfied += 1
     return satisfied / total if total else 1.0
+
+
+def _guard_fraction(guards, ranges: dict[str, int]) -> float:
+    """Fraction of iterations (over the guard expressions' variables) that
+    satisfy every active guard.
+
+    Guards over disjoint variable sets are independent, so the fraction
+    factorises over connected components — the i/j/k tail guards of a
+    predicated SGEMM each enumerate their own few hundred points instead of
+    one cross product over the whole iteration space.
+    """
+    if not guards:
+        return 1.0
+    groups: list[tuple[set[str], list]] = []
+    for guard in guards:
+        vars_ = set(guard[0].vars())
+        merged: tuple[set[str], list] = (set(vars_), [guard])
+        remaining = []
+        for group_vars, group_guards in groups:
+            if group_vars & merged[0]:
+                merged = (merged[0] | group_vars, merged[1] + group_guards)
+            else:
+                remaining.append((group_vars, group_guards))
+        groups = remaining + [merged]
+    fraction = 1.0
+    for _, group_guards in groups:
+        fraction *= _enumerated_fraction(group_guards, ranges)
+    return fraction
+
+
+def _window_elements(base, sizes_by_dim: dict[int, int], limits,
+                     ranges: dict[str, int], rank: int) -> float:
+    """Mean in-bounds elements of one bulk-copy window per execution.
+
+    Unclipped windows are their full size; clipped windows average the
+    per-dimension in-bounds counts over the values of the base expressions'
+    loop variables (the boundary tiles of an imperfect problem copy fewer
+    elements, and that is the *compulsory* traffic the bound model prices).
+    """
+    sizes = [sizes_by_dim.get(dim, 1) for dim in range(rank)]
+    if not limits or all(limit is None for limit in limits):
+        total = 1.0
+        for size in sizes:
+            total *= size
+        return total
+    involved = sorted({
+        var
+        for dim in range(rank)
+        if limits[dim] is not None
+        for var in base[dim].vars()
+    })
+    count = 0
+    total = 0.0
+    for values in product(*(range(ranges[v]) for v in involved)):
+        env = dict(zip(involved, values))
+        elements = 1.0
+        for dim in range(rank):
+            if limits[dim] is None:
+                elements *= sizes[dim]
+            else:
+                in_bounds = min(sizes[dim], limits[dim] - base[dim].evaluate(env))
+                elements *= max(0, in_bounds)
+        count += 1
+        total += elements
+    return total / count if count else 0.0
 
 
 def proc_resources(proc: Proc) -> WorkloadResources:
@@ -136,18 +198,27 @@ def proc_resources(proc: Proc) -> WorkloadResources:
                     access(stmt.tensor, count)
                 access(stmt.tensor, count)
             elif isinstance(stmt, Stage):
-                window = 1
+                rank = len(stmt.base)
+                sizes_by_dim = {
+                    stmt.axes[bd]: stmt.sizes[bd] for bd in range(len(stmt.axes))
+                }
+                window = _window_elements(
+                    stmt.base, sizes_by_dim, stmt.limits, ranges, rank
+                )
+                full_window = 1
                 for size in stmt.sizes:
-                    window *= size
+                    full_window *= size
                 # The cooperative copy runs once per block: divide out the
                 # thread-loop multiplicity the IR's per-thread semantics add.
                 block_trip = trip / max(thread_trip, 1.0)
                 access(stmt.tensor, block_trip * window)          # global reads
-                access(stmt.buffer, block_trip * window)          # shared writes
+                access(stmt.buffer, block_trip * full_window)     # shared writes
             elif isinstance(stmt, Unstage):
-                window = 1
-                for size in stmt.sizes:
-                    window *= size
+                rank = len(stmt.base)
+                sizes_by_dim = {dim: stmt.sizes[dim] for dim in range(rank)}
+                window = _window_elements(
+                    stmt.base, sizes_by_dim, stmt.limits, ranges, rank
+                )
                 access(stmt.tensor, trip * window)
 
     visit(proc.body, 1.0, 1.0, {}, (), {})

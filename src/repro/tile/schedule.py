@@ -9,15 +9,27 @@ optimizations.  The naive nest states the algorithm once; ``split``,
 barrier-fenced shared-memory tiles and the per-thread accumulator block of
 Section 5).
 
+**Legality is centralized in :mod:`repro.tile.deps`.**  Every primitive whose
+rewrite can reorder statement instances (``reorder``, ``fission``,
+``unroll``) asks the dependence engine for a blocking dependence instead of
+pattern-matching the nest, and the staging primitives derive their
+read-only/init-before-accumulate requirements from the same access analysis.
+A rejection always raises :class:`~repro.errors.ScheduleError` naming the
+primitive, the loops and tensors involved and — when one exists — the
+blocking dependence with its distance vector.
+
 Every primitive is validated against the NumPy oracle in the test suite:
 ``interpret(p) == interpret(primitive(p))`` bit-for-bit, because a schedule
 may reorder independent iterations and stage values but never changes the
 per-element accumulation order.
 
-All primitives raise :class:`~repro.errors.ScheduleError` when the rewrite
-would be illegal (non-dividing split factors, imperfect nests, reads that do
-not decompose into a stageable window, ...), so an invalid schedule fails at
-schedule-construction time rather than producing a wrong kernel.
+``predicate_tail`` guards compose with everything downstream: ``reorder``
+and ``fission`` commute through interposed :class:`~repro.tile.ir.Guard`
+nodes (a guard never references a loop nested inside it, so hoisting a loop
+across it preserves the guarded instance set), and the staging primitives
+translate guards that cap an access dimension into window clip ``limits`` —
+which is what carries an imperfect problem size from the schedule all the
+way into the lowering's predicated epilogue.
 """
 
 from __future__ import annotations
@@ -25,6 +37,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.errors import ScheduleError
+from repro.tile import deps as D
 from repro.tile.ir import (
     Affine,
     Assign,
@@ -38,7 +51,6 @@ from repro.tile.ir import (
     Stmt,
     Unstage,
     check_proc,
-    expr_reads,
     map_expr_reads,
     map_stmts,
     substitute_stmts,
@@ -63,6 +75,14 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 
 
+def _reject(primitive: str, detail: str, *, dependence: D.Dependence | None = None):
+    """Raise a :class:`ScheduleError` with consistent diagnostics."""
+    message = f"{primitive}: {detail}"
+    if dependence is not None:
+        message += f" — blocked by {dependence.describe()}"
+    raise ScheduleError(message, primitive=primitive, dependence=dependence)
+
+
 def _rewrite_loop(proc: Proc, var: str, fn) -> Proc:
     """Rebuild ``proc`` with ``fn`` applied to the loop named ``var``."""
     proc.find_loop(var)  # raises with a helpful message when missing
@@ -75,9 +95,9 @@ def _rewrite_loop(proc: Proc, var: str, fn) -> Proc:
     return proc.with_body(map_stmts(proc.body, rewrite))
 
 
-def _fresh(proc: Proc, name: str) -> str:
+def _fresh(proc: Proc, primitive: str, name: str) -> str:
     if name in proc.loops():
-        raise ScheduleError(f"loop variable '{name}' already exists")
+        _reject(primitive, f"loop variable '{name}' already exists")
     return name
 
 
@@ -88,6 +108,58 @@ def _loop_kinds(proc: Proc) -> dict[str, LoopKind]:
 def _checked(proc: Proc) -> Proc:
     check_proc(proc)
     return proc
+
+
+def _unwrap_guards(
+    body: tuple[Stmt, ...]
+) -> tuple[tuple[Guard, ...], tuple[Stmt, ...]]:
+    """Strip a chain of single-statement guards off ``body``.
+
+    ``(G1{G2{stmts...}},)`` unwraps to ``((G1, G2), stmts)`` — the shape
+    ``predicate_tail`` guards take after later splits interpose loops.
+    """
+    guards: list[Guard] = []
+    while len(body) == 1 and isinstance(body[0], Guard):
+        guards.append(body[0])
+        body = body[0].body
+    return tuple(guards), body
+
+
+def _wrap_guards(guards: tuple[Guard, ...], body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    """Re-wrap ``body`` in a chain of guards (innermost last)."""
+    for guard in reversed(guards):
+        body = (replace(guard, body=body),)
+    return body
+
+
+def _context_of(proc: Proc, var: str) -> tuple[tuple[str, ...], tuple[tuple[Affine, int], ...]]:
+    """(enclosing loop vars, enclosing guards) of the loop named ``var``."""
+
+    def search(stmts, loops, guards):
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                if stmt.var == var:
+                    return loops, guards
+                found = search(stmt.body, loops + (stmt.var,), guards)
+                if found is not None:
+                    return found
+            elif isinstance(stmt, Guard):
+                found = search(stmt.body, loops, guards + ((stmt.expr, stmt.bound),))
+                if found is not None:
+                    return found
+        return None
+
+    found = search(proc.body, (), ())
+    if found is None:  # pragma: no cover - find_loop raises first
+        raise ScheduleError(f"no loop '{var}' in proc '{proc.name}'")
+    return found
+
+
+def _guards_matching_dim(
+    guards: tuple[tuple[Affine, int], ...], index: Affine
+) -> set[int]:
+    """Bounds of guards that cap exactly the access expression ``index``."""
+    return {bound for expr, bound in guards if expr == index}
 
 
 # --------------------------------------------------------------------------- #
@@ -101,7 +173,9 @@ def split(proc: Proc, var: str, factor: int, outer: str | None = None,
 
     ``for i in N`` becomes ``for io in N//factor: for ii in factor`` with
     ``i := io·factor + ii`` substituted throughout the body — the tiling step
-    behind the paper's block/thread/register blocking hierarchy.
+    behind the paper's block/thread/register blocking hierarchy.  A split
+    never reorders instances, so it needs no dependence test; the checks are
+    structural.
 
     >>> from repro.tile.library import matmul_proc
     >>> from repro.tile.schedule import split
@@ -115,21 +189,22 @@ def split(proc: Proc, var: str, factor: int, outer: str | None = None,
             for k in 2:
               C[ii + 2*io, j] += (A[ii + 2*io, k] * B[k, j])
     """
-    outer = _fresh(proc, outer or f"{var}o")
-    inner = _fresh(proc, inner or f"{var}i")
+    outer = _fresh(proc, "split", outer or f"{var}o")
+    inner = _fresh(proc, "split", inner or f"{var}i")
     if outer == inner:
-        raise ScheduleError("outer and inner split names must differ")
+        _reject("split", "outer and inner split names must differ")
     if factor < 1:
-        raise ScheduleError(f"split factor must be >= 1, got {factor}")
+        _reject("split", f"split factor must be >= 1, got {factor}")
 
     def rewrite(loop: Loop) -> Loop:
         if loop.extent % factor:
-            raise ScheduleError(
-                f"split factor {factor} does not divide extent {loop.extent} of '{var}' "
-                f"(use predicate_tail for imperfect splits)"
+            _reject(
+                "split",
+                f"factor {factor} does not divide extent {loop.extent} of '{var}' "
+                f"(use predicate_tail for imperfect splits)",
             )
         if loop.kind is not LoopKind.SEQ:
-            raise ScheduleError(f"cannot split bound/unrolled loop '{var}'")
+            _reject("split", f"cannot split bound/unrolled loop '{var}'")
         body = substitute_stmts(
             loop.body, {var: Affine.var(outer) * factor + Affine.var(inner)}
         )
@@ -144,12 +219,16 @@ def split(proc: Proc, var: str, factor: int, outer: str | None = None,
 
 def predicate_tail(proc: Proc, var: str, factor: int, outer: str | None = None,
                    inner: str | None = None) -> Proc:
-    """Split ``var`` by a non-dividing ``factor``, guarding the tail.
+    """Split ``var`` by a possibly non-dividing ``factor``, guarding the tail.
 
-    Like :func:`split`, but the outer extent rounds up and the body is wrapped
-    in ``if io·factor + ii < N`` — the predication idiom hand-written SASS
-    uses for boundary tiles instead of divergent branches (the simulator only
-    supports warp-uniform control flow, so tails *must* lower to guards).
+    Like :func:`split`, but the outer extent rounds up and each body
+    statement is wrapped in ``if io·factor + ii < N`` — the predication idiom
+    hand-written SASS uses for boundary tiles instead of divergent branches
+    (the simulator only supports warp-uniform control flow, so tails *must*
+    lower to guards).  Statements are guarded individually so that downstream
+    ``fission``/``reorder`` keep working on the body; guard expressions only
+    reference loop variables, so the per-statement form is equivalent to one
+    block guard.
 
     >>> from repro.tile.library import copy_proc
     >>> from repro.tile.schedule import predicate_tail
@@ -161,38 +240,41 @@ def predicate_tail(proc: Proc, var: str, factor: int, outer: str | None = None,
           if ii + 4*io < 10:
             dst[ii + 4*io] = src[ii + 4*io]
     """
-    outer = _fresh(proc, outer or f"{var}o")
-    inner = _fresh(proc, inner or f"{var}i")
+    outer = _fresh(proc, "predicate_tail", outer or f"{var}o")
+    inner = _fresh(proc, "predicate_tail", inner or f"{var}i")
     if outer == inner:
-        raise ScheduleError("outer and inner split names must differ")
+        _reject("predicate_tail", "outer and inner split names must differ")
     if factor < 1:
-        raise ScheduleError(f"split factor must be >= 1, got {factor}")
+        _reject("predicate_tail", f"split factor must be >= 1, got {factor}")
 
     def rewrite(loop: Loop) -> Loop:
         if loop.kind is not LoopKind.SEQ:
-            raise ScheduleError(f"cannot split bound/unrolled loop '{var}'")
+            _reject("predicate_tail", f"cannot split bound/unrolled loop '{var}'")
         index = Affine.var(outer) * factor + Affine.var(inner)
         body = substitute_stmts(loop.body, {var: index})
-        guarded = body if loop.extent % factor == 0 else (
-            Guard(expr=index, bound=loop.extent, body=body),
-        )
+        if loop.extent % factor:
+            body = tuple(
+                Guard(expr=index, bound=loop.extent, body=(stmt,)) for stmt in body
+            )
         return Loop(
             var=outer,
             extent=-(-loop.extent // factor),
-            body=(Loop(var=inner, extent=factor, body=guarded),),
+            body=(Loop(var=inner, extent=factor, body=body),),
         )
 
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
 def reorder(proc: Proc, outer_var: str, inner_var: str) -> Proc:
-    """Interchange two perfectly nested loops (``outer_var`` directly around
-    ``inner_var``).
+    """Interchange two nested loops (``outer_var`` around ``inner_var``,
+    possibly through a chain of tail guards).
 
-    Legal for the IR's dense affine nests because per-element accumulation
-    order (the sequence of ``k`` values folded into one ``C`` element) is
-    preserved by any permutation of *distinct* loops — which is why the
-    oracle can insist on bit-exact equality.
+    Legality comes from :func:`repro.tile.deps.check_reorder`: interchange
+    reverses execution order exactly for instance pairs whose distance
+    vector has strictly opposite signs on the two loops, so the rewrite is
+    rejected when such a dependence cannot be ruled out.  Guards between the
+    loops commute with the interchange (a guard cannot reference the inner
+    loop's variable) and stay attached above the original inner body.
 
     >>> from repro.tile.library import matmul_proc
     >>> from repro.tile.schedule import reorder
@@ -209,16 +291,28 @@ def reorder(proc: Proc, outer_var: str, inner_var: str) -> Proc:
     """
 
     def rewrite(loop: Loop) -> Loop:
-        if len(loop.body) != 1 or not isinstance(loop.body[0], Loop):
-            raise ScheduleError(
-                f"'{outer_var}' and '{inner_var}' are not perfectly nested"
+        guards, body = _unwrap_guards(loop.body)
+        if len(body) != 1 or not isinstance(body[0], Loop):
+            _reject(
+                "reorder",
+                f"'{outer_var}' and '{inner_var}' are not perfectly nested",
             )
-        inner = loop.body[0]
+        inner = body[0]
         if inner.var != inner_var:
-            raise ScheduleError(
-                f"loop directly inside '{outer_var}' is '{inner.var}', not '{inner_var}'"
+            _reject(
+                "reorder",
+                f"loop directly inside '{outer_var}' is '{inner.var}', not '{inner_var}'",
             )
-        return replace(inner, body=(replace(loop, body=inner.body),))
+        blocking = D.check_reorder(proc, outer_var, inner_var)
+        if blocking is not None:
+            _reject(
+                "reorder",
+                f"interchanging '{outer_var}' and '{inner_var}' would reverse a "
+                f"dependence",
+                dependence=blocking,
+            )
+        inner_body = _wrap_guards(guards, inner.body)
+        return replace(inner, body=(replace(loop, body=inner_body),))
 
     return _checked(_rewrite_loop(proc, outer_var, rewrite))
 
@@ -229,12 +323,14 @@ def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = N
     ``for v: [S_0 ... S_at-1, S_at ...]`` becomes ``for v0: [S_0 ...]; for
     v1: [S_at ...]`` — the step that separates the accumulator
     initialisation from the k-loop so :func:`reorder` can hoist the k-loop
-    above the register-tile loops.  Legality is checked conservatively:
-    every tensor *written* in the body must have some dimension in which all
-    of its accesses share one non-zero coefficient of ``var`` and the
-    remaining intra-iteration spread stays below that coefficient, so
-    distinct iterations touch disjoint elements and the interleaving change
-    cannot be observed.
+    above the register-tile loops.  A chain of tail guards wrapping the body
+    is duplicated onto both halves.
+
+    Legality comes from :func:`repro.tile.deps.check_fission`: fission runs
+    every iteration of the first group before any of the second, which is
+    only sound when no dependence flows from the second group back to the
+    first at a *negative* distance on ``var`` (unknown distances are treated
+    as hostile).
 
     >>> from repro.tile import library, schedule
     >>> p = schedule.stage_registers(library.matmul_proc(m=2, n=2, k=2), "i", "C")
@@ -250,21 +346,43 @@ def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = N
         unstage C[i, 0 ...] <- C_reg[1, 2]
     """
     first_name, second_name = names or (f"{var}0", f"{var}1")
-    _fresh(proc, first_name)
+    _fresh(proc, "fission", first_name)
     if first_name == second_name:
-        raise ScheduleError("fissioned loop names must differ")
-    _fresh(proc, second_name)
+        _reject("fission", "fissioned loop names must differ")
+    _fresh(proc, "fission", second_name)
+    path, outer_guards = _context_of(proc, var)
 
     def rewrite(loop: Loop) -> tuple[Stmt, ...]:
         if loop.kind is not LoopKind.SEQ:
-            raise ScheduleError(f"cannot fission bound/unrolled loop '{var}'")
-        if not 0 < at < len(loop.body):
-            raise ScheduleError(
-                f"fission point {at} outside the {len(loop.body)}-statement body of '{var}'"
+            _reject("fission", f"cannot fission bound/unrolled loop '{var}'")
+        for stmt in walk_stmts(loop.body):
+            if isinstance(stmt, (Stage, Unstage)):
+                _reject(
+                    "fission",
+                    f"cannot fission '{var}' across the staging statement '{stmt}'",
+                )
+        guards, body = _unwrap_guards(loop.body)
+        if not 0 < at < len(body):
+            _reject(
+                "fission",
+                f"fission point {at} outside the {len(body)}-statement body of '{var}'",
             )
-        _check_fission_legal(proc, loop)
-        first = substitute_stmts(loop.body[:at], {var: Affine.var(first_name)})
-        second = substitute_stmts(loop.body[at:], {var: Affine.var(second_name)})
+        guard_ctx = outer_guards + tuple((g.expr, g.bound) for g in guards)
+        blocking = D.check_fission(
+            proc, loop, body[:at], body[at:], path=path, guards=guard_ctx
+        )
+        if blocking is not None:
+            _reject(
+                "fission",
+                f"iterations of '{var}' do not commute across the fission point",
+                dependence=blocking,
+            )
+        first = substitute_stmts(
+            _wrap_guards(guards, body[:at]), {var: Affine.var(first_name)}
+        )
+        second = substitute_stmts(
+            _wrap_guards(guards, body[at:]), {var: Affine.var(second_name)}
+        )
         return (
             Loop(var=first_name, extent=loop.extent, body=first, kind=loop.kind),
             Loop(var=second_name, extent=loop.extent, body=second, kind=loop.kind),
@@ -273,68 +391,34 @@ def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = N
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
-def _check_fission_legal(proc: Proc, loop: Loop) -> None:
-    """Conservative disjointness check for :func:`fission`."""
-    inner_vars = _subtree_vars(loop)
-    # Outer variables have a common (fixed) value in both halves, so they
-    # cancel out of the spread; give them the trivial range [0, 1).
-    extents = {var: 1 for var in proc.loops()}
-    for var, inner in proc.loops().items():
-        if var in inner_vars:
-            extents[var] = inner.extent
-
-    accesses: dict[str, list[tuple[Affine, ...]]] = {}
-    written: set[str] = set()
-    for stmt in walk_stmts(loop.body):
-        if isinstance(stmt, Assign):
-            accesses.setdefault(stmt.tensor, []).append(stmt.index)
-            written.add(stmt.tensor)
-            for r in expr_reads(stmt.value):
-                accesses.setdefault(r.tensor, []).append(r.index)
-        elif isinstance(stmt, (Stage, Unstage)):
-            raise ScheduleError(
-                f"cannot fission '{loop.var}' across a staging statement"
-            )
-
-    for tensor in sorted(written):
-        indexes = accesses[tensor]
-        rank = len(indexes[0])
-        for dim in range(rank):
-            coeffs = {index[dim].coeff(loop.var) for index in indexes}
-            if len(coeffs) != 1:
-                continue
-            coeff = next(iter(coeffs))
-            if coeff == 0:
-                continue
-            rests = [index[dim] - Affine.var(loop.var) * coeff for index in indexes]
-            bounds = [rest.bounds(extents) for rest in rests]
-            spread = max(hi for _, hi in bounds) - min(lo for lo, _ in bounds)
-            if spread < abs(coeff):
-                break
-        else:
-            raise ScheduleError(
-                f"cannot prove iterations of '{loop.var}' touch disjoint elements of "
-                f"'{tensor}'; fission would reorder conflicting accesses"
-            )
-
-
 def unroll(proc: Proc, var: str) -> Proc:
     """Tag loop ``var`` for full unrolling at lowering time.
 
-    Semantically a no-op (the interpreter ignores tags); the lowering expands
-    every iteration, resolving the variable's address contributions into
-    immediate offsets — how the paper's inner loop becomes a straight run of
-    LDS/FFMA with literal offsets.
+    Semantically a no-op (the interpreter ignores tags), but the lowering
+    emits unrolled subtrees *batch-wise*, hoisting every operand load ahead
+    of the batch's arithmetic — so :func:`repro.tile.deps.check_unroll`
+    rejects subtrees with a memory flow dependence (a value written and then
+    read through a non-register tensor inside the batch), which the hoisting
+    would break.
 
     >>> from repro.tile.library import matmul_proc
     >>> from repro.tile.schedule import unroll
     >>> unroll(matmul_proc(m=2, n=2, k=2), "k").find_loop("k").kind.value
     'unroll'
     """
+    path, _ = _context_of(proc, var)
 
     def rewrite(loop: Loop) -> Loop:
         if loop.kind is not LoopKind.SEQ:
-            raise ScheduleError(f"loop '{var}' is already {loop.kind.value}")
+            _reject("unroll", f"loop '{var}' is already {loop.kind.value}")
+        blocking = D.check_unroll(proc, loop, path=path)
+        if blocking is not None:
+            _reject(
+                "unroll",
+                f"the body of '{var}' stores a value that a batched load would "
+                f"read stale",
+                dependence=blocking,
+            )
         return replace(loop, kind=LoopKind.UNROLL)
 
     return _checked(_rewrite_loop(proc, var, rewrite))
@@ -351,7 +435,8 @@ def bind_block(proc: Proc, var: str, axis: str) -> Proc:
     >>> bind_block(matmul_proc(m=2, n=2, k=2), "i", "y").find_loop("i").kind.value
     'block_y'
     """
-    return _bind(proc, var, axis, {"x": LoopKind.BLOCK_X, "y": LoopKind.BLOCK_Y})
+    return _bind(proc, "bind_block", var, axis,
+                 {"x": LoopKind.BLOCK_X, "y": LoopKind.BLOCK_Y})
 
 
 def bind_thread(proc: Proc, var: str, axis: str) -> Proc:
@@ -366,19 +451,21 @@ def bind_thread(proc: Proc, var: str, axis: str) -> Proc:
     >>> bind_thread(matmul_proc(m=2, n=2, k=2), "j", "x").find_loop("j").kind.value
     'thread_x'
     """
-    return _bind(proc, var, axis, {"x": LoopKind.THREAD_X, "y": LoopKind.THREAD_Y})
+    return _bind(proc, "bind_thread", var, axis,
+                 {"x": LoopKind.THREAD_X, "y": LoopKind.THREAD_Y})
 
 
-def _bind(proc: Proc, var: str, axis: str, kinds: dict[str, LoopKind]) -> Proc:
+def _bind(proc: Proc, primitive: str, var: str, axis: str,
+          kinds: dict[str, LoopKind]) -> Proc:
     if axis not in kinds:
-        raise ScheduleError(f"axis must be one of {sorted(kinds)}, got {axis!r}")
+        _reject(primitive, f"axis must be one of {sorted(kinds)}, got {axis!r}")
     kind = kinds[axis]
     if kind in _loop_kinds(proc).values():
-        raise ScheduleError(f"another loop is already bound to {kind.value}")
+        _reject(primitive, f"another loop is already bound to {kind.value}")
 
     def rewrite(loop: Loop) -> Loop:
         if loop.kind is not LoopKind.SEQ:
-            raise ScheduleError(f"loop '{var}' is already {loop.kind.value}")
+            _reject(primitive, f"loop '{var}' is already {loop.kind.value}")
         return replace(loop, kind=kind)
 
     return _checked(_rewrite_loop(proc, var, rewrite))
@@ -394,6 +481,30 @@ def _subtree_vars(loop: Loop) -> frozenset[str]:
     return frozenset(
         stmt.var for stmt in walk_stmts(loop.body) if isinstance(stmt, Loop)
     )
+
+
+def _window_limits(
+    rank: int,
+    accesses: list[D.Access],
+) -> tuple[int | None, ...]:
+    """Per-dimension clip limits implied by tail guards around the accesses.
+
+    Dimension ``d`` is clipped at bound ``b`` when *every* access carries a
+    guard whose expression is exactly its dimension-``d`` index and all those
+    guards agree on ``b`` — the shape ``predicate_tail`` produces.  Anything
+    else leaves the dimension unclipped (and the static window check decides
+    whether that is still in bounds).
+    """
+    limits: list[int | None] = []
+    for dim in range(rank):
+        agreed: set[int] | None = None
+        for access in accesses:
+            matching = _guards_matching_dim(access.guards, access.index[dim])
+            agreed = matching if agreed is None else (agreed & matching)
+            if not agreed:
+                break
+        limits.append(min(agreed) if agreed else None)
+    return tuple(limits)
 
 
 def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
@@ -413,6 +524,12 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
     A tile of the paper's SGEMM), and ``prefetch`` asks the lowering to
     software-pipeline the copy's global loads across iterations of ``at``.
 
+    Legality is an access-analysis fact: ``tensor`` must be read-only inside
+    ``at`` (a write would create a flow dependence into the staged copy).
+    Reads guarded by ``predicate_tail`` guards that cap an index dimension
+    turn into window clip ``limits`` on the :class:`~repro.tile.ir.Stage`, so
+    boundary tiles of an imperfect problem stage only in-bounds elements.
+
     >>> from repro.tile import library, schedule
     >>> p = library.matmul_proc(m=4, n=4, k=4)
     >>> p = schedule.stage_shared(p, "j", "B", prefetch=False)
@@ -429,29 +546,31 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
     at_loop = proc.find_loop(at)
     buffer_name = buffer or f"{tensor}_shared"
     if proc.is_buffer(buffer_name) or any(p.name == buffer_name for p in proc.params):
-        raise ScheduleError(f"name '{buffer_name}' is already taken")
+        _reject("stage_shared", f"name '{buffer_name}' is already taken")
     if pad < 0:
-        raise ScheduleError("pad must be non-negative")
+        _reject("stage_shared", "pad must be non-negative")
 
     kinds = _loop_kinds(proc)
     inside = _subtree_vars(at_loop)
     thread_vars = frozenset(v for v, k in kinds.items() if k.is_thread)
     offset_vars = inside | thread_vars
 
-    reads = [
-        r
-        for stmt in walk_stmts(at_loop.body)
-        if isinstance(stmt, Assign)
-        for r in expr_reads(stmt.value)
-        if r.tensor == tensor
+    accesses = D.collect_accesses(at_loop.body)
+    writes = [a for a in accesses if a.tensor == tensor and a.is_write]
+    if writes:
+        _reject(
+            "stage_shared",
+            f"'{tensor}' is written inside '{at}' ('{writes[0].describe()}'); "
+            f"only read-only operands can be staged",
+        )
+    read_accesses = [
+        a for a in accesses if a.tensor == tensor and not a.is_write
     ]
-    if not reads:
-        raise ScheduleError(f"no reads of '{tensor}' inside loop '{at}'")
-    if any(
-        isinstance(stmt, Assign) and stmt.tensor == tensor
-        for stmt in walk_stmts(at_loop.body)
-    ):
-        raise ScheduleError(f"'{tensor}' is written inside '{at}'; only inputs can be staged")
+    if not read_accesses:
+        _reject("stage_shared", f"no reads of '{tensor}' inside loop '{at}'")
+    # Read is a frozen value type, so the Access indices reconstruct the
+    # exact redirection keys the rewrite below matches against.
+    reads = [Read(tensor=tensor, index=a.index) for a in read_accesses]
 
     rank = len(proc.param(tensor).shape)
     extents = {var: loop.extent for var, loop in proc.loops().items()}
@@ -462,9 +581,10 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
     for dim in range(rank):
         dim_bases = {split_per_read[r][dim][0] for r in reads}
         if len(dim_bases) != 1:
-            raise ScheduleError(
+            _reject(
+                "stage_shared",
                 f"reads of '{tensor}' disagree on the dimension-{dim} window base: "
-                + ", ".join(str(b) for b in sorted(dim_bases, key=str))
+                + ", ".join(str(b) for b in sorted(dim_bases, key=str)),
             )
         bases.append(next(iter(dim_bases)))
         span = 0
@@ -472,18 +592,21 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
             offset = split_per_read[r][dim][1]
             lo, hi = offset.bounds(extents)
             if lo < 0:
-                raise ScheduleError(
-                    f"offset {offset} of '{tensor}' dimension {dim} can be negative"
+                _reject(
+                    "stage_shared",
+                    f"offset {offset} of '{tensor}' dimension {dim} can be negative",
                 )
             span = max(span, hi)
         sizes.append(span + 1)
     for r in reads:
         offsets_by_read[r] = tuple(split_per_read[r][d][1] for d in range(rank))
 
+    limits = _window_limits(rank, read_accesses)
+
     axes = tuple(range(rank))
     if transpose:
         if rank != 2:
-            raise ScheduleError("transpose staging requires a 2-D tensor")
+            _reject("stage_shared", "transpose staging requires a 2-D tensor")
         axes = (1, 0)
     buffer_sizes = tuple(sizes[a] for a in axes)
 
@@ -495,6 +618,7 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
         sizes=buffer_sizes,
         axes=axes,
         prefetch=prefetch,
+        limits=limits if any(limit is not None for limit in limits) else (),
     )
 
     def redirect(stmt: Stmt):
@@ -527,6 +651,14 @@ def stage_registers(proc: Proc, at: str, tensor: str, *,
     of the body.  The lowering gives each element its own register, so the
     whole k-loop accumulates without touching memory.
 
+    Legality is the flow-dependence discipline of the accumulator pattern:
+    every read (or ``+=``) of an element must be covered by an earlier plain
+    initialisation under no *narrower* guard, and nothing outside ``at`` may
+    write the tensor (the write-back would clobber it).  Accesses guarded by
+    ``predicate_tail`` guards that cap an index dimension turn into clip
+    ``limits`` on the write-back, which the lowering emits as predicated
+    epilogue stores — boundary tiles store only in-bounds elements.
+
     >>> from repro.tile import library, schedule
     >>> p = library.matmul_proc(m=2, n=2, k=2)
     >>> print(schedule.stage_registers(p, "i", "C"))
@@ -543,53 +675,63 @@ def stage_registers(proc: Proc, at: str, tensor: str, *,
     at_loop = proc.find_loop(at)
     buffer_name = buffer or f"{tensor}_reg"
     if proc.is_buffer(buffer_name) or any(p.name == buffer_name for p in proc.params):
-        raise ScheduleError(f"name '{buffer_name}' is already taken")
+        _reject("stage_registers", f"name '{buffer_name}' is already taken")
 
     offset_vars = _subtree_vars(at_loop)
     rank = len(proc.param(tensor).shape)
     extents = {var: loop.extent for var, loop in proc.loops().items()}
 
-    accesses: list[tuple[Affine, ...]] = [
-        stmt.index
-        for stmt in walk_stmts(at_loop.body)
-        if isinstance(stmt, Assign) and stmt.tensor == tensor
+    tensor_accesses = [
+        a for a in D.collect_accesses(at_loop.body) if a.tensor == tensor
     ]
-    accesses += [
-        r.index
-        for stmt in walk_stmts(at_loop.body)
-        if isinstance(stmt, Assign)
-        for r in expr_reads(stmt.value)
-        if r.tensor == tensor
-    ]
-    if not accesses:
-        raise ScheduleError(f"no accesses to '{tensor}' inside loop '{at}'")
-    # The register buffer starts at zero, so every element read or
+    if not tensor_accesses:
+        _reject("stage_registers", f"no accesses to '{tensor}' inside loop '{at}'")
+    accesses: list[tuple[Affine, ...]] = [a.index for a in tensor_accesses]
+
+    # The register buffer starts undefined, so every element read or
     # accumulated must first be defined by a plain assignment with the same
-    # index expression earlier in the body — the accumulator-init idiom.
-    # Staging a read-only operand needs stage_shared, not a write-back.
-    initialised: set[tuple[Affine, ...]] = set()
-    for stmt in walk_stmts(at_loop.body):
-        if not isinstance(stmt, Assign):
-            continue
-        for r in expr_reads(stmt.value):
-            if r.tensor == tensor and r.index not in initialised:
-                raise ScheduleError(
-                    f"'{tensor}' is read at {r} before being initialised inside "
-                    f"'{at}'; register staging requires the init-then-accumulate "
-                    f"pattern"
-                )
-        if stmt.tensor == tensor:
-            if stmt.accumulate and stmt.index not in initialised:
-                raise ScheduleError(
-                    f"'{tensor}' is accumulated at index ({', '.join(map(str, stmt.index))}) "
-                    f"before being initialised inside '{at}'"
-                )
-            if not stmt.accumulate:
-                initialised.add(stmt.index)
+    # index expression — under guards no narrower than the use — earlier in
+    # the body (the accumulator-init flow-dependence idiom).  Staging a
+    # read-only operand needs stage_shared, not a write-back.
+    initialised: dict[tuple[Affine, ...], frozenset] = {}
+
+    def check_covered(access: D.Access, what: str) -> None:
+        guards = initialised.get(access.index)
+        if guards is None:
+            _reject(
+                "stage_registers",
+                f"'{tensor}' is {what} at '{access.describe()}' before being "
+                f"initialised inside '{at}'; register staging requires the "
+                f"init-then-accumulate pattern",
+            )
+        if not guards <= frozenset(access.guards):
+            _reject(
+                "stage_registers",
+                f"the initialisation of '{tensor}' is guarded more narrowly than "
+                f"its use '{access.describe()}'",
+            )
+
+    for access in tensor_accesses:
+        if not access.is_write:
+            if not access.implicit:
+                check_covered(access, "read")
+        else:
+            if access.implicit:  # pragma: no cover - writes are never implicit
+                continue
+            # Accumulating writes read their element first.
+            matching = [
+                a for a in tensor_accesses
+                if a.implicit and a.position == access.position - 1
+            ]
+            if matching:
+                check_covered(access, "accumulated")
+            else:
+                initialised.setdefault(access.index, frozenset(access.guards))
     if not initialised:
-        raise ScheduleError(
+        _reject(
+            "stage_registers",
             f"'{tensor}' is never written inside '{at}'; register staging targets "
-            f"the output accumulator, not read-only operands"
+            f"the output accumulator, not read-only operands",
         )
     outside_writes = sum(
         1 for stmt in walk_stmts(proc.body)
@@ -599,8 +741,10 @@ def stage_registers(proc: Proc, at: str, tensor: str, *,
         if isinstance(stmt, (Assign, Unstage)) and stmt.tensor == tensor
     )
     if outside_writes:
-        raise ScheduleError(
-            f"'{tensor}' is also written outside '{at}'; the write-back would clobber it"
+        _reject(
+            "stage_registers",
+            f"'{tensor}' is also written outside '{at}'; the write-back would "
+            f"clobber it",
         )
 
     bases: list[Affine] = []
@@ -609,20 +753,24 @@ def stage_registers(proc: Proc, at: str, tensor: str, *,
         dim_split = [index[dim].split_terms(offset_vars) for index in accesses]
         dim_bases = {base for base, _ in dim_split}
         if len(dim_bases) != 1:
-            raise ScheduleError(
+            _reject(
+                "stage_registers",
                 f"accesses to '{tensor}' disagree on the dimension-{dim} window base: "
-                + ", ".join(str(b) for b in sorted(dim_bases, key=str))
+                + ", ".join(str(b) for b in sorted(dim_bases, key=str)),
             )
         bases.append(next(iter(dim_bases)))
         span = 0
         for _, offset in dim_split:
             lo, hi = offset.bounds(extents)
             if lo < 0:
-                raise ScheduleError(
-                    f"offset {offset} of '{tensor}' dimension {dim} can be negative"
+                _reject(
+                    "stage_registers",
+                    f"offset {offset} of '{tensor}' dimension {dim} can be negative",
                 )
             span = max(span, hi)
         sizes.append(span + 1)
+
+    limits = _window_limits(rank, tensor_accesses)
 
     # Collapse dimensions the thread does not walk (window size 1) so a row
     # of C becomes a 1-D register block rather than carrying dead axes.
@@ -656,6 +804,7 @@ def stage_registers(proc: Proc, at: str, tensor: str, *,
         base=tuple(bases),
         buffer=buffer_name,
         sizes=tuple(sizes),
+        limits=limits if any(limit is not None for limit in limits) else (),
     )
 
     def rewrite(loop: Loop) -> Loop:

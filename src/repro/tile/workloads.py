@@ -116,8 +116,11 @@ class TileWorkload(Workload):
 class TileSgemmConfig:
     """One DSL SGEMM schedule point.
 
-    ``m``/``n``/``k`` size the problem; the rest *is* the schedule: block
-    tile, register blocking, staging stride, B-register window, and the
+    ``m``/``n``/``k`` size the problem — arbitrarily: sizes that are not
+    multiples of the tile (or of the staging stride) schedule through
+    ``predicate_tail`` guards and lower to clipped staging plus predicated
+    epilogue stores.  The rest *is* the schedule: block tile, register
+    blocking, staging stride, B-register window, and the
     staging/pipelining/unrolling toggles the autotuner flips.
     """
 
@@ -152,7 +155,13 @@ class TileSgemmWorkload(TileWorkload):
         return TileSgemmConfig()
 
     def config_space(self) -> tuple[TileSgemmConfig, ...]:
-        return (TileSgemmConfig(), TileSgemmConfig(b_window=1))
+        return (
+            TileSgemmConfig(),
+            TileSgemmConfig(b_window=1),
+            # An imperfect problem: no dimension is a multiple of the tile,
+            # exercising the predicate-tail guards end to end.
+            TileSgemmConfig(m=100, n=92, k=20),
+        )
 
     def naive_proc(self, config: TileSgemmConfig) -> Proc:
         return library.matmul_proc(config.m, config.n, config.k)
@@ -212,7 +221,11 @@ class TileTransposeWorkload(TileWorkload):
         return TileTransposeConfig()
 
     def config_space(self) -> tuple[TileTransposeConfig, ...]:
-        return (TileTransposeConfig(), TileTransposeConfig(tile=8))
+        return (
+            TileTransposeConfig(),
+            TileTransposeConfig(tile=8),
+            TileTransposeConfig(m=29, n=23),
+        )
 
     def naive_proc(self, config: TileTransposeConfig) -> Proc:
         return library.transpose_proc(config.m, config.n)

@@ -1,0 +1,316 @@
+"""The dependence-analysis legality core: distances, lattice, primitive checks."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+import repro.tile.deps
+from repro.errors import ScheduleError
+from repro.tile import interpret, library
+from repro.tile import schedule as S
+from repro.tile.deps import check_reorder, dependences
+from repro.tile.ir import (
+    Affine,
+    Assign,
+    Const,
+    Loop,
+    Proc,
+    TensorParam,
+    read,
+    to_affine,
+)
+
+
+def test_module_doctests_run_clean():
+    results = doctest.testmod(repro.tile.deps, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
+
+
+class TestDistanceVectors:
+    def test_matmul_init_to_accumulate_is_zero_distance(self):
+        deps = dependences(library.matmul_proc(3, 3, 2), tensor="C")
+        flow = [d for d in deps if d.kind == "flow"]
+        assert flow, "the init -> accumulate flow dependence must exist"
+        assert flow[0].loops == ("i", "j")
+        assert flow[0].distance == (0, 0)
+
+    def test_accumulation_chain_is_carried_by_k(self):
+        deps = dependences(library.matmul_proc(3, 3, 2), tensor="C")
+        self_pairs = [d for d in deps if d.loops == ("i", "j", "k")]
+        assert self_pairs
+        for dep in self_pairs:
+            # Same element across k iterations: exact zeros on i/j, unknown
+            # (the conservative lattice top) on k.
+            assert dep.distance == (0, 0, None)
+            assert dep.distance_str() == "(i: 0, j: 0, k: *)"
+
+    def test_constant_offset_writes_have_exact_distance(self):
+        # t[i+1] written, t[i] read: the classic distance-one recurrence.
+        proc = Proc(
+            name="shift",
+            params=(TensorParam("t", (8,)),),
+            body=(
+                Loop(var="i", extent=6, body=(
+                    Assign(
+                        tensor="t",
+                        index=(Affine.var("i") + 1,),
+                        value=read("t", "i"),
+                    ),
+                )),
+            ),
+        )
+        deps = dependences(proc, tensor="t")
+        distances = {d.distance for d in deps}
+        assert (-1,) in distances or (1,) in distances
+
+    def test_strided_disjoint_writes_are_independent(self):
+        # t[2i] and t[2i+1] never collide: the GCD test proves independence.
+        proc = Proc(
+            name="interleave",
+            params=(TensorParam("t", (9,)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Assign(tensor="t", index=(Affine.var("i", 2),), value=Const(0.0)),
+                    Assign(tensor="t", index=(Affine.var("i", 2) + 1,), value=Const(1.0)),
+                )),
+            ),
+        )
+        cross = [
+            d for d in dependences(proc, tensor="t")
+            if d.source.stmt != d.sink.stmt
+        ]
+        assert cross == []
+
+    def test_mixed_radix_decomposition_pins_distances(self):
+        # After two-level blocking the same element is only reached at the
+        # all-zero distance: interval propagation must solve the radix system
+        # 4·δo + δi = 0 exactly instead of giving up.
+        proc = library.matmul_proc(8, 4, 2)
+        blocked = S.split(proc, "i", 4, "io", "ii")
+        deps = [
+            d for d in dependences(blocked, tensor="C")
+            if d.kind == "flow" and d.loops[:2] == ("io", "ii")
+        ]
+        assert deps
+        assert all(d.distance[:2] == (0, 0) for d in deps)
+
+    def test_read_only_pairs_produce_no_dependence(self):
+        assert dependences(library.matmul_proc(2, 2, 2), tensor="A") == []
+
+
+class TestReorderLegality:
+    def test_skewed_recurrence_now_rejected(self):
+        # t[i+1, j] = t[i, j+1]: distance (+1, -1) — interchange reverses it.
+        # The old reorder accepted any perfect nest; deps rejects this one.
+        proc = Proc(
+            name="skew",
+            params=(TensorParam("t", (6, 6)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Loop(var="j", extent=4, body=(
+                        Assign(
+                            tensor="t",
+                            index=(Affine.var("i") + 1, to_affine("j")),
+                            value=read("t", "i", Affine.var("j") + 1),
+                        ),
+                    )),
+                )),
+            ),
+        )
+        blocking = check_reorder(proc, "i", "j")
+        assert blocking is not None
+        assert set(blocking.distance) == {-1, 1}
+        with pytest.raises(ScheduleError, match="reverse a dependence") as excinfo:
+            S.reorder(proc, "i", "j")
+        assert excinfo.value.primitive == "reorder"
+        assert excinfo.value.dependence is not None
+
+        # The rejection is not conservatism: interchanging by hand really
+        # does change the computed values.
+        swapped = Proc(
+            name="skew_swapped",
+            params=proc.params,
+            body=(
+                Loop(var="j", extent=4, body=(
+                    Loop(var="i", extent=4, body=proc.body[0].body[0].body),
+                )),
+            ),
+        )
+        rng = np.random.default_rng(0)
+        inputs = {"t": rng.uniform(-1, 1, (6, 6)).astype(np.float32)}
+        before = interpret(proc, inputs)["t"]
+        after = interpret(swapped, inputs)["t"]
+        assert not np.array_equal(before, after)
+
+    def test_uniform_recurrence_still_allowed(self):
+        # t[i+1, j+1] = t[i, j]: distance (+1, +1) — same sign, interchange
+        # preserves the order of every dependent pair.
+        proc = Proc(
+            name="diag",
+            params=(TensorParam("t", (6, 6)),),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Loop(var="j", extent=4, body=(
+                        Assign(
+                            tensor="t",
+                            index=(Affine.var("i") + 1, Affine.var("j") + 1),
+                            value=read("t", "i", "j"),
+                        ),
+                    )),
+                )),
+            ),
+        )
+        assert check_reorder(proc, "i", "j") is None
+        rng = np.random.default_rng(1)
+        inputs = {"t": rng.uniform(-1, 1, (6, 6)).astype(np.float32)}
+        swapped = S.reorder(proc, "i", "j")
+        assert np.array_equal(
+            interpret(proc, inputs)["t"], interpret(swapped, inputs)["t"]
+        )
+
+    def test_split_k_levels_cannot_interchange(self):
+        # ko/ki interchange permutes the per-element accumulation order —
+        # both distances are unknown, so the conservative lattice rejects it.
+        proc = S.split(library.matmul_proc(4, 4, 8), "k", 4)
+        assert check_reorder(proc, "ko", "ki") is not None
+
+    def test_golden_blocking_reorders_stay_legal(self):
+        p = library.matmul_proc(8, 8, 4)
+        p = S.split(p, "i", 4, "by", "ii")
+        p = S.split(p, "ii", 2, "ty", "iq")
+        p = S.split(p, "j", 4, "bx", "jj")
+        p = S.split(p, "jj", 2, "tx", "jq")
+        for outer, inner in (("iq", "bx"), ("ty", "bx"), ("iq", "tx")):
+            assert check_reorder(p, outer, inner) is None
+            p = S.reorder(p, outer, inner)
+
+
+class TestFissionLegality:
+    def test_scalar_reduction_beside_map_now_accepted(self):
+        # The old per-iteration disjointness check rejected any loop whose
+        # written tensor overlaps across iterations — even when the overlap
+        # never crosses the fission point.  A scalar reduction next to an
+        # independent map is exactly that false positive.
+        proc = Proc(
+            name="reduce_and_map",
+            params=(
+                TensorParam("x", (6,)),
+                TensorParam("s", (1,)),
+                TensorParam("y", (6,)),
+            ),
+            body=(
+                Loop(var="i", extent=6, body=(
+                    Assign(tensor="s", index=(to_affine(0),),
+                           value=read("x", "i"), accumulate=True),
+                    Assign(tensor="y", index=(to_affine("i"),),
+                           value=read("x", "i")),
+                )),
+            ),
+        )
+        fissioned = S.fission(proc, "i")
+        rng = np.random.default_rng(2)
+        inputs = {"x": rng.uniform(-1, 1, (6,)).astype(np.float32)}
+        before = interpret(proc, inputs)
+        after = interpret(fissioned, inputs)
+        assert np.array_equal(before["s"], after["s"])
+        assert np.array_equal(before["y"], after["y"])
+
+    def test_backward_cross_group_dependence_rejected(self):
+        # Group 1's read of t[i] consumes the value group 2 wrote at t[i]
+        # in the *previous* iteration (distance -1 from read to write).
+        # Fission runs every read before any write, breaking the chain.
+        proc = Proc(
+            name="backward",
+            params=(
+                TensorParam("x", (6,)),
+                TensorParam("t", (8,)),
+                TensorParam("y", (6,)),
+            ),
+            body=(
+                Loop(var="i", extent=6, body=(
+                    Assign(tensor="y", index=(to_affine("i"),),
+                           value=read("t", "i")),
+                    Assign(tensor="t", index=(Affine.var("i") + 1,),
+                           value=read("x", "i")),
+                )),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="do not commute") as excinfo:
+            S.fission(proc, "i")
+        # Textually read-then-write; the negative distance is what makes it
+        # a runtime flow the fission would break.
+        assert excinfo.value.dependence.range_of("i")[0] < 0
+
+    def test_forward_anti_dependence_still_accepted(self):
+        # Group 1 reads t[i+1], group 2 writes t[i]: the write lands one
+        # iteration *after* the read — running all reads first preserves it.
+        proc = Proc(
+            name="forward_anti",
+            params=(TensorParam("t", (8,)), TensorParam("y", (6,))),
+            body=(
+                Loop(var="i", extent=6, body=(
+                    Assign(tensor="y", index=(to_affine("i"),),
+                           value=read("t", Affine.var("i") + 1)),
+                    Assign(tensor="t", index=(to_affine("i"),), value=Const(1.0)),
+                )),
+            ),
+        )
+        fissioned = S.fission(proc, "i")
+        rng = np.random.default_rng(7)
+        inputs = {"t": rng.uniform(-1, 1, (8,)).astype(np.float32)}
+        before = interpret(proc, inputs)
+        after = interpret(fissioned, inputs)
+        assert np.array_equal(before["y"], after["y"])
+        assert np.array_equal(before["t"], after["t"])
+
+    def test_forward_distance_still_accepted(self):
+        # Group 1 writes t[i], group 2 reads t[i] — distance 0, legal.
+        proc = Proc(
+            name="forward",
+            params=(TensorParam("t", (6,)), TensorParam("y", (6,))),
+            body=(
+                Loop(var="i", extent=6, body=(
+                    Assign(tensor="t", index=(to_affine("i"),), value=Const(2.0)),
+                    Assign(tensor="y", index=(to_affine("i"),), value=read("t", "i")),
+                )),
+            ),
+        )
+        fissioned = S.fission(proc, "i")
+        inputs = {"t": np.zeros(6, dtype=np.float32)}
+        assert np.array_equal(
+            interpret(proc, inputs)["y"], interpret(fissioned, inputs)["y"]
+        )
+
+
+class TestUnrollLegality:
+    def test_memory_flow_inside_batch_rejected(self):
+        # dst[i] is written and then read inside the unrolled body: the
+        # lowering's batched loads would hoist the read above the write.
+        proc = Proc(
+            name="chain",
+            params=(TensorParam("src", (4,)), TensorParam("dst", (5,))),
+            body=(
+                Loop(var="i", extent=4, body=(
+                    Assign(tensor="dst", index=(to_affine("i"),),
+                           value=read("src", "i")),
+                    Assign(tensor="dst", index=(Affine.var("i") + 1,),
+                           value=read("dst", "i")),
+                )),
+            ),
+        )
+        with pytest.raises(ScheduleError, match="batched load") as excinfo:
+            S.unroll(proc, "i")
+        assert excinfo.value.dependence is not None
+        assert excinfo.value.dependence.kind == "flow"
+
+    def test_register_accumulators_do_not_block_unrolling(self):
+        p = S.stage_registers(library.matmul_proc(4, 4, 2), "i", "C")
+        assert S.unroll(p, "k").find_loop("k").kind.value == "unroll"
+
+    def test_accumulate_self_read_does_not_block_unrolling(self):
+        # C[i,j] += ... reads C implicitly, but that read happens inside the
+        # FFMA itself — never hoisted, never a batching hazard.
+        p = library.matmul_proc(4, 4, 2)
+        assert S.unroll(p, "k").find_loop("k").kind.value == "unroll"

@@ -206,3 +206,142 @@ class TestNaiveSchedulesLower:
         outputs = simulate(p, kernel, inputs, fermi)
         expected = interpret(naive, inputs)
         assert np.array_equal(outputs["y"], expected["y"])
+
+
+class TestClippedTails:
+    """Imperfect problem sizes: guarded compute, clipped epilogue stores."""
+
+    def test_sgemm_prime_sizes_are_bit_exact(self, fermi):
+        naive = library.matmul_proc(13, 11, 7)
+        p = library.schedule_sgemm(naive, tile=8, register_blocking=2, stride=2)
+        kernel = lower(p)
+        # Predicated epilogue stores, not unguarded ones.
+        from repro.isa.instructions import Opcode
+        stores = [i for i in kernel.instructions if i.opcode is Opcode.ST]
+        assert any(not i.predicate.is_true for i in stores)
+        rng = np.random.default_rng(11)
+        inputs = {
+            "A": rng.uniform(-1, 1, (13, 7)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (7, 11)).astype(np.float32),
+        }
+        outputs = simulate(p, kernel, inputs, fermi)
+        assert np.array_equal(outputs["C"], interpret(naive, inputs)["C"])
+
+    def test_unstaged_tail_sgemm_is_bit_exact(self, fermi):
+        naive = library.matmul_proc(7, 5, 3)
+        p = library.schedule_sgemm(
+            naive, tile=4, register_blocking=2, stride=2,
+            stage=False, prefetch=False,
+        )
+        kernel = lower(p)
+        rng = np.random.default_rng(12)
+        inputs = {
+            "A": rng.uniform(-1, 1, (7, 3)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (3, 5)).astype(np.float32),
+        }
+        outputs = simulate(p, kernel, inputs, fermi)
+        assert np.array_equal(outputs["C"], interpret(naive, inputs)["C"])
+
+    def test_transpose_tail_predicates_the_stores(self, fermi):
+        naive = library.transpose_proc(13, 10)
+        p = library.schedule_transpose(naive, tile=8)
+        kernel = lower(p)
+        rng = np.random.default_rng(13)
+        inputs = {"in": rng.uniform(-1, 1, (13, 10)).astype(np.float32)}
+        outputs = simulate(p, kernel, inputs, fermi)
+        assert np.array_equal(outputs["out"], interpret(naive, inputs)["out"])
+
+    def test_sgemv_tail_is_bit_exact(self, fermi):
+        naive = library.sgemv_proc(13, 11)
+        p = library.schedule_sgemv(naive, threads=8)
+        kernel = lower(p, lds_width_bits=32)
+        rng = np.random.default_rng(14)
+        inputs = {
+            "A": rng.uniform(-1, 1, (13, 11)).astype(np.float32),
+            "x": rng.uniform(-1, 1, (11,)).astype(np.float32),
+        }
+        outputs = simulate(p, kernel, inputs, fermi)
+        assert np.array_equal(outputs["y"], interpret(naive, inputs)["y"])
+
+    def test_tail_kernel_stays_inside_the_register_budget(self):
+        p = library.schedule_sgemm(library.matmul_proc(193, 161, 97))
+        kernel = lower(p)
+        assert kernel.register_count <= 63
+
+
+class TestLivenessSizedPool:
+    def test_default_sgemm_pool_is_unchanged(self):
+        # The liveness estimate must not perturb the golden kernel: the
+        # default geometry still lands on exactly 63 registers.
+        proc = library.schedule_sgemm(library.matmul_proc(96, 96, 16))
+        assert lower(proc).register_count == 63
+
+    def test_wide_eager_staging_no_longer_chunks(self):
+        # t48/noprefetch staging moves 12 elements per thread; the fixed
+        # 8-register pool used to split it into two chunked rounds.  The
+        # liveness-sized pool loads the run in one sweep: the loads of each
+        # staged tile arrive as one contiguous LD block.
+        from repro.isa.instructions import Opcode
+
+        proc = library.schedule_sgemm(
+            library.matmul_proc(96, 96, 16), tile=48, register_blocking=6,
+            prefetch=False,
+        )
+        auto = lower(proc)
+        fixed = lower(proc, pool_size=8)
+        assert auto.register_count > fixed.register_count
+
+        def max_ld_run(kernel):
+            best = run = 0
+            for instruction in kernel.instructions:
+                if instruction.opcode is Opcode.LD:
+                    run += 1
+                    best = max(best, run)
+                else:
+                    run = 0
+            return best
+
+        assert max_ld_run(auto) >= 12
+        assert max_ld_run(fixed) < 12
+
+
+def test_deeply_nested_runtime_guards_raise_instead_of_corrupting():
+    # Only two guard predicates exist; a third distinct runtime guard inside
+    # an unrolled batch must be an explicit error, not a silent clobber of
+    # the grandparent's predicate.
+    from repro.tile.ir import (
+        Affine, Assign, Guard, Loop, LoopKind, Proc, TensorParam, read,
+        to_affine,
+    )
+
+    def guarded(var, body):
+        return Guard(expr=Affine.var(var), bound=1, body=body)
+
+    inner = Assign(tensor="dst", index=(to_affine("u"),), value=read("src", "u"))
+    sibling = Assign(tensor="dst2", index=(to_affine("u"),), value=read("src", "u"))
+    proc = Proc(
+        name="deep_guards",
+        params=(
+            TensorParam("src", (2,)),
+            TensorParam("dst", (2,)),
+            TensorParam("dst2", (2,)),
+        ),
+        body=(
+            Loop(var="tx", extent=2, kind=LoopKind.THREAD_X, body=(
+                Loop(var="a", extent=2, body=(
+                    Loop(var="b", extent=2, body=(
+                        Loop(var="c", extent=2, body=(
+                            Loop(var="u", extent=2, kind=LoopKind.UNROLL, body=(
+                                guarded("a", (
+                                    guarded("b", (guarded("c", (inner,)),)),
+                                    sibling,
+                                )),
+                            )),
+                        )),
+                    )),
+                )),
+            )),
+        ),
+    )
+    with pytest.raises(LoweringError, match="guards nest deeper"):
+        lower(proc)

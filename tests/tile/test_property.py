@@ -117,3 +117,29 @@ def test_random_schedules_apply_a_meaningful_number_of_steps():
         _, applied = _random_schedule(seed, library.matmul_proc(6, 6, 4))
         total += applied
     assert total >= len(SEEDS) * 2
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_schedules_on_prime_sized_matmul_match_the_oracle(seed):
+    # Imperfect sizes: the random mix of predicate_tail/split/stage rewrites
+    # must stay bit-exact on problems no tile divides.
+    naive = library.matmul_proc(7, 5, 3)
+    scheduled, applied = _random_schedule(seed, naive)
+    rng = np.random.default_rng(seed + 300)
+    inputs = {
+        "A": rng.uniform(-1, 1, (7, 3)).astype(np.float32),
+        "B": rng.uniform(-1, 1, (3, 5)).astype(np.float32),
+    }
+    assert_equivalent(naive, scheduled, inputs)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_schedules_on_prime_sized_sgemv_match_the_oracle(seed):
+    naive = library.sgemv_proc(11, 7)
+    scheduled, applied = _random_schedule(seed, naive)
+    rng = np.random.default_rng(seed + 400)
+    inputs = {
+        "A": rng.uniform(-1, 1, (11, 7)).astype(np.float32),
+        "x": rng.uniform(-1, 1, (7,)).astype(np.float32),
+    }
+    assert_equivalent(naive, scheduled, inputs)

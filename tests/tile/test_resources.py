@@ -92,3 +92,34 @@ def test_bound_feeds_from_derived_resources(fermi):
     bound = TILE_SGEMM.bound(TILE_SGEMM.default_config(), fermi)
     assert bound.potential_gflops > 0
     assert np.isfinite(bound.effective_bandwidth_gbs)
+
+
+class TestClippedWindows:
+    def test_imperfect_sgemm_flops_are_exact(self):
+        from repro.tile.workloads import TileSgemmConfig
+
+        config = TileSgemmConfig(m=193, n=161, k=97)
+        derived = TILE_SGEMM.resources(config)
+        # Guard fractions price exactly the live iterations: 2·M·N·K flops,
+        # not the rounded-up tile grid.
+        assert derived.flops == 2 * 193 * 161 * 97
+
+    def test_clipped_staging_prices_in_bounds_elements_only(self):
+        from repro.tile.workloads import TileSgemmConfig
+
+        perfect = TILE_SGEMM.resources(TileSgemmConfig(m=96, n=96, k=16))
+        # 97 rows: one extra row of tiles, but barely any extra real data.
+        tailed = TILE_SGEMM.resources(TileSgemmConfig(m=97, n=96, k=16))
+        rounded_up = TILE_SGEMM.resources(TileSgemmConfig(m=192, n=96, k=16))
+        assert perfect.dram_bytes < tailed.dram_bytes < rounded_up.dram_bytes
+
+    def test_guard_fraction_factorises_over_disjoint_groups(self):
+        import time
+
+        from repro.tile.workloads import TileSgemmConfig
+
+        start = time.time()
+        TILE_SGEMM.resources(TileSgemmConfig(m=193, n=161, k=97))
+        # The i/j/k tail guards enumerate independently (~hundreds of points
+        # each); a cross product over M x N x K would take minutes.
+        assert time.time() - start < 5.0

@@ -100,8 +100,12 @@ class TestFission:
                 )),
             ),
         )
-        with pytest.raises(ScheduleError, match="disjoint"):
+        with pytest.raises(ScheduleError, match="do not commute") as excinfo:
             S.fission(proc, "i")
+        # The diagnostic names the primitive and the blocking dependence.
+        assert excinfo.value.primitive == "fission"
+        assert excinfo.value.dependence is not None
+        assert "distance (i: *)" in str(excinfo.value)
 
     def test_point_must_be_inside_body(self):
         staged = S.stage_registers(library.matmul_proc(4, 4, 2), "i", "C")
@@ -162,13 +166,18 @@ class TestStageShared:
                 )),
             ),
         )
-        with pytest.raises(ScheduleError, match="only inputs"):
+        with pytest.raises(ScheduleError, match="only read-only operands"):
             S.stage_shared(proc, "i", "t")
 
     def test_no_reads_rejected(self):
         naive = library.matmul_proc(4, 4, 2)
-        with pytest.raises(ScheduleError, match="no reads"):
+        # The accumulator is written inside k, so the write check fires first.
+        with pytest.raises(ScheduleError, match="written inside"):
             S.stage_shared(naive, "k", "C")
+        # A tensor that is genuinely never accessed reports the missing reads.
+        init_separate = library.matmul_proc(4, 4, 2, init_separate=True)
+        with pytest.raises(ScheduleError, match="no reads"):
+            S.stage_shared(init_separate, "i0", "A")
 
     def test_transpose_requires_2d(self):
         naive = library.sgemv_proc(4, 4)
@@ -263,6 +272,48 @@ class TestGoldenSchedules:
             "x": rng.uniform(-1, 1, (8,)).astype(np.float32),
         }
         assert_equivalent(naive, scheduled, inputs)
+
+    def test_sgemm_schedule_on_prime_sizes(self):
+        # Arbitrary (M, N, K): predicate_tail guards thread through the whole
+        # schedule and the result stays bit-identical to the naive nest.
+        for m, n, k in ((13, 11, 7), (9, 17, 5), (7, 5, 3)):
+            naive = library.matmul_proc(m, n, k)
+            scheduled = library.schedule_sgemm(
+                naive, tile=8, register_blocking=2, stride=2
+            )
+            assert_equivalent(naive, scheduled, matmul_inputs(m, n, k))
+
+    def test_sgemm_tail_schedule_carries_clipped_staging(self):
+        from repro.tile.ir import Stage, Unstage
+
+        scheduled = library.schedule_sgemm(
+            library.matmul_proc(13, 11, 7), tile=8, register_blocking=2, stride=2
+        )
+        stages = [s for s in walk_stmts(scheduled.body) if isinstance(s, Stage)]
+        unstages = [s for s in walk_stmts(scheduled.body) if isinstance(s, Unstage)]
+        assert {s.tensor: s.limits for s in stages} == {
+            "A": (13, 7), "B": (7, 11)
+        }
+        assert unstages[0].limits == (13, 11)
+
+    def test_transpose_schedule_on_prime_sizes(self):
+        for m, n in ((13, 10), (7, 19)):
+            naive = library.transpose_proc(m, n)
+            scheduled = library.schedule_transpose(naive, tile=8)
+            rng = np.random.default_rng(m * n)
+            inputs = {"in": rng.uniform(-1, 1, (m, n)).astype(np.float32)}
+            assert_equivalent(naive, scheduled, inputs)
+
+    def test_sgemv_schedule_on_prime_sizes(self):
+        for m, k in ((13, 11), (5, 3)):
+            naive = library.sgemv_proc(m, k)
+            scheduled = library.schedule_sgemv(naive, threads=8)
+            rng = np.random.default_rng(m + k)
+            inputs = {
+                "A": rng.uniform(-1, 1, (m, k)).astype(np.float32),
+                "x": rng.uniform(-1, 1, (k,)).astype(np.float32),
+            }
+            assert_equivalent(naive, scheduled, inputs)
 
     def test_loop_tags_land_where_expected(self):
         scheduled = library.schedule_sgemm(

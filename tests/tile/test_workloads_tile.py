@@ -5,7 +5,8 @@ import pytest
 
 from repro.kernels import get_workload, run_workload, workload_cycles
 from repro.opt import autotune_workloads, schedule_sweep_candidates
-from repro.tile.autotune import schedule_candidates
+from repro.tile.autotune import prune_by_bound, schedule_candidates, schedule_space
+from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
 
 TILE_WORKLOADS = ("tile_sgemm", "tile_transpose", "tile_sgemv")
 
@@ -65,6 +66,49 @@ class TestRegistryIntegration:
         )
 
 
+class TestImperfectSizes:
+    """Arbitrary (M, N, K) through the registry: the acceptance criterion."""
+
+    @pytest.mark.parametrize("gpu_name", ("fermi", "kepler"))
+    def test_sgemm_on_prime_sizes_validates_bit_exactly(self, gpu_name, request):
+        # The full-size analogue (193x161x97) runs in benchmarks/bench_tile;
+        # this scaled case keeps every tail dimension live at the default
+        # 96-wide tile and 256-thread block.
+        gpu = request.getfixturevalue(gpu_name)
+        workload = get_workload("tile_sgemm")
+        config = TileSgemmConfig(m=97, n=65, k=33)
+        run = run_workload(gpu, workload, config, optimized=False,
+                           max_cycles=20_000_000)
+        inputs = workload.prepare_inputs(config)
+        oracle = workload.oracle(config, inputs)["C"]
+        assert np.array_equal(run.output, oracle)
+
+    def test_transpose_on_prime_sizes_validates_bit_exactly(self, fermi):
+        workload = get_workload("tile_transpose")
+        config = TileTransposeConfig(m=29, n=23)
+        run = run_workload(fermi, workload, config, optimized=False)
+        inputs = workload.prepare_inputs(config)
+        oracle = workload.oracle(config, inputs)["out"]
+        assert np.array_equal(run.output, oracle)
+
+    def test_sgemv_on_prime_sizes_validates_bit_exactly(self, fermi):
+        workload = get_workload("tile_sgemv")
+        config = TileSgemvConfig(m=41, k=19)
+        run = run_workload(fermi, workload, config, optimized=False)
+        inputs = workload.prepare_inputs(config)
+        oracle = workload.oracle(config, inputs)["y"]
+        assert np.array_equal(run.output, oracle)
+
+    def test_optimized_tail_sgemm_still_validates(self, fermi):
+        workload = get_workload("tile_sgemm")
+        config = TileSgemmConfig(m=41, n=37, k=13, tile=32,
+                                 register_blocking=4, stride=4)
+        run = run_workload(fermi, workload, config, optimized=True)
+        inputs = workload.prepare_inputs(config)
+        oracle = workload.oracle(config, inputs)["C"]
+        assert np.array_equal(run.output, oracle)
+
+
 class TestScheduleAutotuning:
     def test_candidate_set_covers_every_tile_workload(self):
         labels = [c.label for c in schedule_candidates()]
@@ -96,3 +140,36 @@ class TestScheduleAutotuning:
         # Wide loads beat narrow loads on the sgemv pair.
         by_label = {o.label: o.cycles for o in outcomes}
         assert by_label["tile_sgemv:golden"] < by_label["tile_sgemv:w1"]
+
+
+class TestGenerativeSweep:
+    def test_space_is_generative_not_curated(self):
+        labels = [c.label for c in schedule_space()]
+        # Grid points over (tile, B_R, L, window)...
+        assert any(label.startswith("tile_sgemm:t48b6l8") for label in labels)
+        assert any(label.startswith("tile_sgemm:t24b") for label in labels)
+        # ...crossed with imperfect tail problem sizes.
+        assert any("@100x92x20" in label for label in labels)
+
+    def test_bound_prunes_at_least_half_before_simulation(self, fermi):
+        report = prune_by_bound(fermi, schedule_space())
+        assert report.pruned_fraction >= 0.5
+        kept = [c.label for c in report.kept]
+        # The paper-point schedule is never pruned; the unstaged strawman is.
+        assert "tile_sgemm:golden" in kept
+        assert any("nostage" in label for label, _ in report.pruned)
+
+    def test_pruned_candidates_have_worse_bounds(self, fermi):
+        space = schedule_space()
+        report = prune_by_bound(fermi, space)
+        workload = get_workload("tile_sgemm")
+        golden = next(c for c in report.kept if c.label == "tile_sgemm:golden")
+        best = workload.bound(golden.config, fermi).bound_time_s
+        for label, bound_time in report.pruned:
+            if label.startswith("tile_sgemm") and "@" not in label:
+                assert bound_time > best
+
+    def test_gpu_argument_prunes_schedule_candidates(self, fermi):
+        full = schedule_candidates()
+        pruned = schedule_candidates(gpu=fermi)
+        assert len(pruned) < len(full)
