@@ -57,9 +57,22 @@ def record_tile_metric(name: str, payload: dict[str, object]) -> None:
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:
-    """Write every metrics report that benchmarks recorded this session."""
+    """Write every metrics report that benchmarks recorded this session.
+
+    Merges into the existing file rather than overwriting it: a filtered run
+    (``pytest bench_tile.py -k double_buffer``, as the CI steps do) updates
+    only the metrics it actually recorded and leaves the rest of the trend
+    file intact, so partial sessions never clobber the committed ladder.
+    """
     for path, metrics in _REPORTS.items():
-        document = {"schema": 1, "metrics": dict(sorted(metrics.items()))}
+        merged: dict[str, object] = {}
+        if path.exists():
+            try:
+                merged = dict(json.loads(path.read_text()).get("metrics", {}))
+            except (json.JSONDecodeError, OSError):
+                merged = {}
+        merged.update(metrics)
+        document = {"schema": 1, "metrics": dict(sorted(merged.items()))}
         path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
 
 

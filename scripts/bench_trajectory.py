@@ -11,10 +11,13 @@ single-line change in ``BENCH_summary.json``.
 Usage::
 
     python scripts/bench_trajectory.py           # (re)write BENCH_summary.json
-    python scripts/bench_trajectory.py --check   # CI: fail when stale
+    python scripts/bench_trajectory.py --check   # CI: fail on regression/staleness
 
 The summary is deterministic over the committed BENCH files, so ``--check``
-doubles as a staleness test in CI.
+doubles as a staleness test in CI — and as a **perf regression gate**: any
+``cycle_ladder`` entry whose freshly computed value exceeds the checked-in
+one by more than ``REGRESSION_TOLERANCE`` fails the check with a per-entry
+report, before the staleness diff is even considered.
 """
 
 from __future__ import annotations
@@ -36,8 +39,12 @@ CYCLE_KEYS = frozenset({
     "naive_schedule",
     "golden_schedule",
     "golden_schedule_opt",
+    "double_buffer_opt",
     "hand_golden",
 })
+
+#: A ladder entry may grow by at most this fraction before --check fails.
+REGRESSION_TOLERANCE = 0.02
 
 
 def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float]) -> None:
@@ -79,10 +86,16 @@ def main(argv: list[str] | None = None) -> int:
         "--check", action="store_true",
         help="verify the committed summary matches the BENCH files (CI)",
     )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="summary file to gate regressions against (e.g. the merge-base "
+             "BENCH_summary.json in CI); defaults to the checked-in summary, "
+             "which only catches regressions recorded but not yet regenerated",
+    )
     args = parser.parse_args(argv)
 
     summary_path = BENCH_DIR / SUMMARY_NAME
-    summary = build_summary()
+    summary = build_summary(BENCH_DIR)
     text = render(summary)
     entries = len(summary["cycle_ladder"])
     if args.check:
@@ -90,11 +103,36 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{summary_path} is missing; run scripts/bench_trajectory.py",
                   file=sys.stderr)
             return 1
+        baseline_path = args.baseline if args.baseline is not None else summary_path
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} is missing", file=sys.stderr)
+            return 1
+        baseline = json.loads(
+            baseline_path.read_text(encoding="utf-8")
+        ).get("cycle_ladder", {})
+        fresh = summary["cycle_ladder"]
+        regressions = [
+            (key, baseline[key], fresh[key])
+            for key in sorted(set(baseline) & set(fresh))
+            if fresh[key] > baseline[key] * (1.0 + REGRESSION_TOLERANCE)
+        ]
+        if regressions:
+            print(
+                f"{len(regressions)} cycle-ladder entr"
+                f"{'y' if len(regressions) == 1 else 'ies'} regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} against {baseline_path.name}:",
+                file=sys.stderr,
+            )
+            for key, was, now in regressions:
+                print(f"  {key}: {was:.0f} -> {now:.0f} "
+                      f"({100 * (now / was - 1):+.1f}%)", file=sys.stderr)
+            return 1
         if summary_path.read_text(encoding="utf-8") != text:
             print(f"{summary_path} is stale; run scripts/bench_trajectory.py",
                   file=sys.stderr)
             return 1
-        print(f"{summary_path.name} is up to date ({entries} ladder entries)")
+        print(f"{summary_path.name} is up to date ({entries} ladder entries, "
+              f"no >{REGRESSION_TOLERANCE:.0%} regressions)")
         return 0
     summary_path.write_text(text, encoding="utf-8")
     print(f"wrote {summary_path} ({entries} ladder entries)")

@@ -202,6 +202,12 @@ class KernelBuilder:
             opcode=Opcode.LOP_AND, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
         )
 
+    def lop_xor(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``LOP.XOR Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.LOP_XOR, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
     def mov(self, dest: RegisterLike, source: OperandLike) -> Instruction:
         """``MOV Rd, src`` (register, immediate or constant-bank source)."""
         return self._emit(opcode=Opcode.MOV, dest=_as_register(dest), sources=(_as_operand(source),))

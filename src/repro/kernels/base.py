@@ -75,6 +75,11 @@ class WorkloadRun:
         Maximum absolute deviation from the NumPy reference.
     optimized:
         Whether the kernel went through the optimization pipeline.
+    dram_load_bytes / dram_store_bytes:
+        Simulated DRAM traffic of the run — bytes actually moved by active
+        lanes (predicated-off lanes move nothing), summed over every block
+        of the grid.  Comparable against the compulsory traffic the bound
+        model prices.
     """
 
     workload_name: str
@@ -84,6 +89,13 @@ class WorkloadRun:
     output: np.ndarray
     max_error: float
     optimized: bool
+    dram_load_bytes: int = 0
+    dram_store_bytes: int = 0
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total simulated DRAM traffic (loads plus stores)."""
+        return self.dram_load_bytes + self.dram_store_bytes
 
 
 class Workload(ABC):
@@ -221,6 +233,8 @@ def run_workload(
         output=output,
         max_error=max_error,
         optimized=optimized,
+        dram_load_bytes=launch.memory.load_bytes,
+        dram_store_bytes=launch.memory.store_bytes,
     )
 
 

@@ -34,6 +34,28 @@ class GlobalMemory:
         self._data = np.zeros(size_bytes, dtype=np.uint8)
         self._next_free = self.ALIGNMENT  # keep address 0 unused (null)
         self._allocations: dict[str, tuple[int, int]] = {}
+        self._load_bytes = 0
+        self._store_bytes = 0
+
+    @property
+    def load_bytes(self) -> int:
+        """Bytes loaded by active lanes since construction (simulated DRAM reads)."""
+        return self._load_bytes
+
+    @property
+    def store_bytes(self) -> int:
+        """Bytes stored by active lanes since construction (simulated DRAM writes)."""
+        return self._store_bytes
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Total simulated DRAM traffic: loads plus stores, active lanes only.
+
+        Predicated-off lanes move no data, so a kernel whose boundary loads
+        and stores are properly predicated reports exactly its compulsory
+        traffic here — the figure the upper-bound model prices.
+        """
+        return self._load_bytes + self._store_bytes
 
     @property
     def size_bytes(self) -> int:
@@ -96,6 +118,7 @@ class GlobalMemory:
         """Gather one 32-bit word per lane from ``addresses`` (masked lanes read 0)."""
         result = np.zeros(addresses.shape, dtype=np.uint32)
         active = np.flatnonzero(mask)
+        self._load_bytes += 4 * len(active)
         for lane in active:
             address = int(addresses[lane])
             if address < 0 or address + 4 > self.size_bytes:
@@ -106,6 +129,7 @@ class GlobalMemory:
     def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
         """Scatter one 32-bit word per lane to ``addresses`` (masked lanes skipped)."""
         active = np.flatnonzero(mask)
+        self._store_bytes += 4 * len(active)
         for lane in active:
             address = int(addresses[lane])
             if address < 0 or address + 4 > self.size_bytes:

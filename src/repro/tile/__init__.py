@@ -30,11 +30,12 @@ from repro.tile.ir import (
     Unstage,
     check_proc,
 )
-from repro.tile.lower import LaunchGeometry, launch_geometry, lower
-from repro.tile.resources import proc_resources
+from repro.tile.lower import LaunchGeometry, launch_geometry, lower, shared_layout
+from repro.tile.resources import proc_occupancy, proc_resources, proc_shared_footprint
 from repro.tile.schedule import (
     bind_block,
     bind_thread,
+    double_buffer,
     fission,
     predicate_tail,
     reorder,
@@ -66,7 +67,10 @@ __all__ = [
     "lower",
     "launch_geometry",
     "LaunchGeometry",
+    "shared_layout",
     "proc_resources",
+    "proc_shared_footprint",
+    "proc_occupancy",
     "split",
     "predicate_tail",
     "reorder",
@@ -76,4 +80,5 @@ __all__ = [
     "bind_thread",
     "stage_shared",
     "stage_registers",
+    "double_buffer",
 ]

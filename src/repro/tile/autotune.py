@@ -27,16 +27,18 @@ This module closes the paper's §5.5 loop mechanically:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 
 from repro.arch.specs import GpuSpec, get_gpu_spec
-from repro.errors import ReproError
+from repro.errors import ReproError, ResourceLimitError
 from repro.opt.autotune import (
     AutotuneCache,
     TuneOutcome,
     WorkloadCandidate,
     autotune_workloads,
 )
+from repro.tile.resources import proc_occupancy
 from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
 
 __all__ = [
@@ -52,6 +54,7 @@ SGEMM_TILES = (24, 48, 96)
 SGEMM_BLOCKINGS = (3, 6)
 SGEMM_STRIDES = (8, 16)
 SGEMM_WINDOWS = (1, 2)
+SGEMM_DOUBLE_BUFFERS = (False, True)
 
 #: Default imperfect problem sizes crossed into the sweep (predicate-tail
 #: schedules: none of these is a multiple of any swept tile).
@@ -97,8 +100,9 @@ def _sgemm_points(
     blockings: tuple[int, ...],
     strides: tuple[int, ...],
     windows: tuple[int, ...],
+    double_buffers: tuple[bool, ...] = SGEMM_DOUBLE_BUFFERS,
 ) -> list[tuple[str, TileSgemmConfig]]:
-    """The generative (tile, B_R, L, window) grid, validity-filtered."""
+    """The generative (tile, B_R, L, window, double-buffer) grid, filtered."""
     points: list[tuple[str, TileSgemmConfig]] = []
     seen: set[TileSgemmConfig] = set()
 
@@ -117,18 +121,25 @@ def _sgemm_points(
         for blocking in blockings:
             for stride in strides:
                 for window in windows:
-                    config = replace(
-                        base,
-                        tile=tile,
-                        register_blocking=blocking,
-                        stride=stride,
-                        b_window=window,
-                        # Halved tiles quadruple the threads per element: the
-                        # prefetch registers no longer fit beside the full
-                        # accumulator tile, so sub-base tiles pipeline off.
-                        prefetch=base.prefetch and tile >= base.tile,
-                    )
-                    push(f"t{tile}b{blocking}l{stride}w{window}", config)
+                    for double in double_buffers:
+                        config = replace(
+                            base,
+                            tile=tile,
+                            register_blocking=blocking,
+                            stride=stride,
+                            b_window=window,
+                            # Halved tiles quadruple the threads per element:
+                            # the prefetch registers no longer fit beside the
+                            # full accumulator tile, so sub-base tiles
+                            # pipeline off.
+                            prefetch=base.prefetch and tile >= base.tile,
+                            # The double-buffer axis only exists for staged
+                            # schedules (there is no tile to alternate
+                            # otherwise).
+                            double_buffer=double and base.stage,
+                        )
+                        label = f"t{tile}b{blocking}l{stride}w{window}"
+                        push(label + ("db" if config.double_buffer else ""), config)
     return points
 
 
@@ -142,6 +153,7 @@ def schedule_space(
     register_blockings: tuple[int, ...] = SGEMM_BLOCKINGS,
     strides: tuple[int, ...] = SGEMM_STRIDES,
     b_windows: tuple[int, ...] = SGEMM_WINDOWS,
+    double_buffers: tuple[bool, ...] = SGEMM_DOUBLE_BUFFERS,
     tail_sizes: tuple[tuple[int, int, int], ...] = TAIL_SIZES,
 ) -> list[WorkloadCandidate]:
     """The unpruned generative sweep over every DSL workload's schedules.
@@ -150,6 +162,10 @@ def schedule_space(
     pipeline, doubling the sweep (useful for before/after tables).
     ``tail_sizes`` crosses the SGEMM grid with imperfect (M, N, K) problem
     sizes — every candidate carries its problem size in the label.
+    ``double_buffers`` is the double-buffering axis: ``True`` points stage
+    two alternating shared tiles (one barrier per main-loop iteration, twice
+    the footprint); :func:`prune_by_bound` discards the ones whose doubled
+    tiles cannot even be resident.
     """
     candidates: list[WorkloadCandidate] = []
 
@@ -170,13 +186,13 @@ def schedule_space(
 
     base = sgemm or TileSgemmConfig()
     for label, config in _sgemm_points(
-        base, tiles, register_blockings, strides, b_windows
+        base, tiles, register_blockings, strides, b_windows, double_buffers
     ):
         push("tile_sgemm", label, config)
     for m, n, k in tail_sizes:
         tail_base = replace(base, m=m, n=n, k=k)
         for label, config in _sgemm_points(
-            tail_base, tiles, register_blockings, strides, b_windows
+            tail_base, tiles, register_blockings, strides, b_windows, double_buffers
         ):
             push("tile_sgemm", f"{label}@{m}x{n}x{k}", config)
 
@@ -204,11 +220,16 @@ class PruneReport:
     """Outcome of an analytic-bound pruning pass.
 
     ``kept`` feed the simulator; ``pruned`` records (label, bound seconds)
-    of everything discarded without simulating.
+    of everything discarded without simulating — occupancy-killed candidates
+    (doubled tiles that cannot be resident) carry an infinite bound.
+    ``elapsed_s`` is the host-side wall time of the pruning pass itself; the
+    per-candidate schedule applications are memoized by schedule hash, so
+    repeated sweeps over overlapping spaces get cheaper, not slower.
     """
 
     kept: tuple[WorkloadCandidate, ...]
     pruned: tuple[tuple[str, float], ...]
+    elapsed_s: float = field(default=0.0, compare=False)
 
     @property
     def total(self) -> int:
@@ -243,14 +264,22 @@ def prune_by_bound(
     (workload, problem size) group, candidates whose *bound* already exceeds
     ``keep_within ×`` the group's best bound cannot win by simulation either
     — the bound is a lower bound on time — so they are pruned unsimulated.
+
+    Occupancy prunes on top of the bound: a schedule whose shared-memory
+    footprint cannot be resident on ``gpu`` at all — double-buffered tiles
+    are the textbook case, costing 2× the footprint plus the parity
+    alignment hole — is discarded outright (recorded with an infinite
+    bound), because it cannot launch, let alone win.
     """
     from repro.kernels.registry import get_workload
 
+    started = time.perf_counter()
     spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
     if keep_within < 1.0:
         raise ReproError("keep_within must be >= 1.0 (a ratio over the best bound)")
     times: dict[int, float] = {}
     groups: dict[tuple, list[int]] = {}
+    unresident: set[int] = set()
     for position, candidate in enumerate(candidates):
         try:
             workload = get_workload(candidate.workload)
@@ -259,12 +288,20 @@ def prune_by_bound(
                 if candidate.config is not None
                 else workload.default_config()
             )
+            scheduled = getattr(workload, "cached_scheduled_proc", None)
+            if scheduled is not None:
+                try:
+                    proc_occupancy(scheduled(config), spec)
+                except ResourceLimitError:
+                    times[position] = float("inf")
+                    unresident.add(position)
+                    continue
             times[position] = workload.bound(config, spec).bound_time_s
         except ReproError:
             continue  # unboundable: let the simulator report the error
         groups.setdefault(_size_key(candidate), []).append(position)
 
-    pruned: set[int] = set()
+    pruned: set[int] = set(unresident)
     for members in groups.values():
         best = min(times[position] for position in members)
         for position in members:
@@ -280,6 +317,7 @@ def prune_by_bound(
             (candidates[position].display_label, times[position])
             for position in sorted(pruned)
         ),
+        elapsed_s=time.perf_counter() - started,
     )
 
 

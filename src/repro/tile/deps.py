@@ -69,6 +69,7 @@ __all__ = [
     "check_reorder",
     "check_fission",
     "check_unroll",
+    "check_double_buffer",
 ]
 
 
@@ -494,6 +495,59 @@ def check_fission(
             return dep
         if interval[0] < 0:
             return dep
+    return None
+
+
+def check_double_buffer(
+    proc: Proc, loop: Loop, stage: Stage, *, path: tuple[str, ...]
+) -> Dependence | None:
+    """The dependence blocking ``double_buffer`` of ``stage`` in ``loop``.
+
+    Double buffering commits the lowering to *prefetching*: the staged window
+    of iteration ``i`` is read from global memory during iteration ``i − 1``
+    (the loads land in the inactive tile while the compute still reads the
+    active one).  That is only sound when no value the window reads is
+    produced too late: a cross-iteration flow from a write inside the loop
+    into the staged window must have an **exact** distance of at least 2
+    iterations — distance 1 means the producing write and the prefetching
+    read share an iteration, and an unknown (``*``) distance may hide exactly
+    that case, so both are rejected.  Same-iteration writes after the stage
+    (``δ = 0`` anti direction) are harmless: the stage semantically reads the
+    pre-write value, and the prefetch reads it even earlier.
+
+    ``stage_shared`` never creates this situation (it requires the staged
+    tensor to be read-only inside the loop), so schedules built from the
+    primitives always pass; the check guards hand-constructed IR.
+    """
+    extents = {var: inner.extent for var, inner in proc.loops().items()}
+    accesses = collect_accesses(loop.body, base_loops=path + (loop.var,))
+    stage_text = str(stage)
+    window_reads = [
+        a for a in accesses
+        if a.tensor == stage.tensor and not a.is_write and a.stmt == stage_text
+    ]
+    writes = [a for a in accesses if a.tensor == stage.tensor and a.is_write]
+    for read in window_reads:
+        for write in writes:
+            a, b = (read, write) if read.position <= write.position else (write, read)
+            dep = solve_pair(a, b, extents)
+            if dep is None:
+                continue
+            interval = dep.range_of(loop.var)
+            if interval is None:  # pragma: no cover - loop.var always common
+                return dep
+            lo, hi = interval
+            if a is read:
+                # δ = write iter − read iter; the write feeds the window when
+                # δ ≤ −1, and the prefetch honors only δ ≤ −2.
+                if lo <= -1 <= hi:
+                    return dep
+            else:
+                # Write textually before the stage: it feeds the window at
+                # δ ≥ 0, but the prefetch reads one iteration early, so δ of
+                # 0 or 1 both land after the load was issued.
+                if lo <= 1 and hi >= 0:
+                    return dep
     return None
 
 

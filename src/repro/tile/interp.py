@@ -34,6 +34,7 @@ from repro.tile.ir import (
     Stmt,
     Unstage,
     check_proc,
+    walk_stmts,
 )
 
 
@@ -73,26 +74,47 @@ def interpret(
         else:
             tensors[param.name] = np.zeros(param.shape, dtype=np.float32)
     for buffer in proc.buffers:
-        tensors[buffer.name] = np.zeros(buffer.shape, dtype=np.float32)
+        # Double-buffered shared tiles are modelled as they are laid out: two
+        # parity-indexed copies, tile ``i % 2`` serving staging-loop iteration
+        # ``i``.  This is the oracle the parity lowering is validated against.
+        shape = (2,) + buffer.shape if buffer.double else buffer.shape
+        tensors[buffer.name] = np.zeros(shape, dtype=np.float32)
 
-    _run(proc, proc.body, tensors, {})
+    parity_of: dict[str, str] = {}
+    for stmt in walk_stmts(proc.body):
+        if isinstance(stmt, Stage) and stmt.parity is not None:
+            known = parity_of.setdefault(stmt.buffer, stmt.parity)
+            if known != stmt.parity:
+                raise TileError(
+                    f"buffer '{stmt.buffer}' is staged under two parity loops "
+                    f"('{known}' and '{stmt.parity}')"
+                )
+
+    _run(proc, proc.body, tensors, {}, parity_of)
     return {name: tensors[name] for name in proc.outputs()}
 
 
+def _half(parity_of: dict[str, str], tensor: str, env: dict[str, int]) -> int:
+    """Which copy of a double-buffered tile the current iteration addresses."""
+    return env.get(parity_of[tensor], 0) % 2
+
+
 def _run(proc: Proc, stmts: tuple[Stmt, ...], tensors: dict[str, np.ndarray],
-         env: dict[str, int]) -> None:
+         env: dict[str, int], parity_of: dict[str, str]) -> None:
     for stmt in stmts:
         if isinstance(stmt, Loop):
             for value in range(stmt.extent):
                 env[stmt.var] = value
-                _run(proc, stmt.body, tensors, env)
+                _run(proc, stmt.body, tensors, env, parity_of)
             del env[stmt.var]
         elif isinstance(stmt, Guard):
             if stmt.expr.evaluate(env) < stmt.bound:
-                _run(proc, stmt.body, tensors, env)
+                _run(proc, stmt.body, tensors, env, parity_of)
         elif isinstance(stmt, Assign):
             index = tuple(i.evaluate(env) for i in stmt.index)
-            value = _eval(stmt.value, tensors, env)
+            if stmt.tensor in parity_of:
+                index = (_half(parity_of, stmt.tensor, env),) + index
+            value = _eval(stmt.value, tensors, env, parity_of)
             if stmt.accumulate:
                 tensors[stmt.tensor][index] = np.float32(tensors[stmt.tensor][index] + value)
             else:
@@ -105,15 +127,18 @@ def _run(proc: Proc, stmts: tuple[Stmt, ...], tensors: dict[str, np.ndarray],
             raise TileError(f"cannot interpret statement {stmt!r}")
 
 
-def _eval(expr: Expr, tensors: dict[str, np.ndarray], env: dict[str, int]) -> np.float32:
+def _eval(expr: Expr, tensors: dict[str, np.ndarray], env: dict[str, int],
+          parity_of: dict[str, str]) -> np.float32:
     if isinstance(expr, Const):
         return np.float32(expr.value)
     if isinstance(expr, Read):
         index = tuple(i.evaluate(env) for i in expr.index)
+        if expr.tensor in parity_of:
+            index = (_half(parity_of, expr.tensor, env),) + index
         return np.float32(tensors[expr.tensor][index])
     if isinstance(expr, BinOp):
-        lhs = _eval(expr.lhs, tensors, env)
-        rhs = _eval(expr.rhs, tensors, env)
+        lhs = _eval(expr.lhs, tensors, env, parity_of)
+        rhs = _eval(expr.rhs, tensors, env, parity_of)
         return np.float32(lhs * rhs) if expr.op == "mul" else np.float32(lhs + rhs)
     raise TileError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
 
@@ -128,6 +153,9 @@ def _clipped_count(base: int, size: int, limit: int | None) -> int:
 def _run_stage(stmt: Stage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
     base = tuple(b.evaluate(env) for b in stmt.base)
     source = tensors[stmt.tensor]
+    target = tensors[stmt.buffer]
+    if stmt.parity is not None:
+        target = target[env.get(stmt.parity, 0) % 2]
     limits = stmt.limits or (None,) * len(base)
     # Window in tensor-dim order (clipped to the tensor on limited dims),
     # then permuted into buffer-dim order.
@@ -147,7 +175,7 @@ def _run_stage(stmt: Stage, tensors: dict[str, np.ndarray], env: dict[str, int])
     order = tuple(walked.index(t) for t in stmt.axes)
     staged = np.zeros(stmt.sizes, dtype=np.float32)
     staged[tuple(slice(0, c) for c in counts)] = np.transpose(window, order)
-    tensors[stmt.buffer][...] = staged
+    target[...] = staged
 
 
 def _run_unstage(stmt: Unstage, tensors: dict[str, np.ndarray], env: dict[str, int]) -> None:
@@ -158,7 +186,10 @@ def _run_unstage(stmt: Unstage, tensors: dict[str, np.ndarray], env: dict[str, i
         for b, s, limit in zip(base, stmt.sizes, limits)
     )
     slices = tuple(slice(b, b + c) for b, c in zip(base, counts))
-    window = tensors[stmt.buffer].reshape(stmt.sizes)
+    source = tensors[stmt.buffer]
+    if stmt.parity is not None:
+        source = source[env.get(stmt.parity, 0) % 2]
+    window = source.reshape(stmt.sizes)
     tensors[stmt.tensor][slices] = window[tuple(slice(0, c) for c in counts)]
 
 

@@ -330,6 +330,13 @@ class Stage:
     reads as zero.  ``stage_shared`` derives the limits from ``predicate_tail``
     guards, which is what lets boundary tiles of an imperfect problem size
     stage a full-shape buffer.
+
+    ``parity`` names the sequential loop whose iteration parity selects which
+    of a double-buffered target's two tiles the copy fills (and the compute
+    reads): iteration ``i`` uses tile ``i % 2``.  Set by the ``double_buffer``
+    scheduling primitive, always together with the target buffer's ``double``
+    flag; the lowering exploits it to drop one of the two per-iteration
+    barriers.
     """
 
     buffer: str
@@ -339,13 +346,15 @@ class Stage:
     axes: tuple[int, ...]
     prefetch: bool = True
     limits: tuple[int | None, ...] = ()
+    parity: str | None = None
 
     def __str__(self) -> str:
         base = ", ".join(str(b) for b in self.base)
         clip = ""
         if any(limit is not None for limit in self.limits):
             clip = f" clip<{list(self.limits)}"
-        return f"stage {self.buffer}{list(self.sizes)} <- {self.tensor}[{base} ...]{clip}"
+        par = f" parity({self.parity})" if self.parity else ""
+        return f"stage {self.buffer}{list(self.sizes)} <- {self.tensor}[{base} ...]{clip}{par}"
 
 
 @dataclass(frozen=True)
@@ -357,6 +366,9 @@ class Unstage:
     ``base_d + offset_d < limits[d]`` are stored.  ``stage_registers`` derives
     the limits from ``predicate_tail`` guards around the staged accesses — the
     predicated epilogue stores of a boundary tile.
+
+    ``parity`` mirrors :class:`Stage.parity` for the (rare) write-back from a
+    double-buffered shared buffer: the copy reads tile ``parity % 2``.
     """
 
     tensor: str
@@ -364,13 +376,15 @@ class Unstage:
     buffer: str
     sizes: tuple[int, ...]
     limits: tuple[int | None, ...] = ()
+    parity: str | None = None
 
     def __str__(self) -> str:
         base = ", ".join(str(b) for b in self.base)
         clip = ""
         if any(limit is not None for limit in self.limits):
             clip = f" clip<{list(self.limits)}"
-        return f"unstage {self.tensor}[{base} ...] <- {self.buffer}{list(self.sizes)}{clip}"
+        par = f" parity({self.parity})" if self.parity else ""
+        return f"unstage {self.tensor}[{base} ...] <- {self.buffer}{list(self.sizes)}{clip}{par}"
 
 
 Stmt = Union[Assign, Loop, Guard, Stage, Unstage]
@@ -415,18 +429,27 @@ class Buffer:
     ``"register"`` (per-thread scalars).  Shared buffers may carry a row
     ``pad`` — extra words appended to the innermost dimension, the paper's
     §5.1 bank-conflict padding.
+
+    ``double`` marks a double-buffered shared tile: the allocation holds
+    *two* copies of ``shape`` and the ``Stage`` filling it alternates between
+    them by the parity of its staging loop (``Stage.parity``).  ``shape``,
+    ``padded_shape`` and ``size_words`` keep describing one tile; the
+    lowering's shared-memory layout doubles the footprint.
     """
 
     name: str
     shape: tuple[int, ...]
     memory: str
     pad: int = 0
+    double: bool = False
 
     def __post_init__(self) -> None:
         if self.memory not in ("shared", "register"):
             raise TileError(f"buffer memory must be 'shared' or 'register', got {self.memory!r}")
         if self.pad and self.memory != "shared":
             raise TileError("only shared buffers can be padded")
+        if self.double and self.memory != "shared":
+            raise TileError("only shared buffers can be double-buffered")
         if not self.shape or any(s < 1 for s in self.shape):
             raise TileError(f"buffer '{self.name}' must have positive dimensions")
 
@@ -514,7 +537,8 @@ class Proc:
         lines = [f"proc {self.name}({', '.join(f'{p.name}: f32{list(p.shape)}' for p in self.params)})"]
         for buffer in self.buffers:
             lines.append(f"  {buffer.memory} {buffer.name}: f32{list(buffer.shape)}"
-                         + (f" pad={buffer.pad}" if buffer.pad else ""))
+                         + (f" pad={buffer.pad}" if buffer.pad else "")
+                         + (" x2" if buffer.double else ""))
         _format_stmts(self.body, lines, indent=1)
         return "\n".join(lines)
 
@@ -612,6 +636,21 @@ def check_proc(proc: Proc) -> None:
     if len(names) != len(proc.params) + len(proc.buffers):
         raise TileError(f"proc '{proc.name}' has duplicate tensor/buffer names")
 
+    # Which loop's parity selects each double-buffered tile's active copy.
+    # Every access to such a buffer must sit inside that loop — outside it
+    # "the" tile is ambiguous (and the interpreter and the lowering would be
+    # free to disagree) — and two stages alternating the same tile on
+    # different loops are equally ambiguous.
+    parity_loop: dict[str, str] = {}
+    for stmt in walk_stmts(proc.body):
+        if isinstance(stmt, Stage) and stmt.parity is not None:
+            known = parity_loop.setdefault(stmt.buffer, stmt.parity)
+            if known != stmt.parity:
+                raise TileError(
+                    f"buffer '{stmt.buffer}' is staged under two parity loops "
+                    f"('{known}' and '{stmt.parity}')"
+                )
+
     bound_axes: dict[LoopKind, str] = {}
     for stmt in walk_stmts(proc.body):
         if isinstance(stmt, Loop) and stmt.kind not in (LoopKind.SEQ, LoopKind.UNROLL):
@@ -629,6 +668,14 @@ def check_proc(proc: Proc) -> None:
 
     def check_access(name: str, index: tuple[Affine, ...], ranges: dict[str, int],
                      guards: tuple[tuple[Affine, int], ...] = ()) -> None:
+        if proc.is_buffer(name) and proc.buffer(name).double:
+            loop_var = parity_loop.get(name)
+            if loop_var is None or loop_var not in ranges:
+                raise TileError(
+                    f"access to double-buffered '{name}' outside its parity "
+                    f"loop{f' {loop_var!r}' if loop_var else ''}: which tile is "
+                    f"active is undefined there"
+                )
         shape = shape_of(name)
         if len(index) != len(shape):
             raise TileError(
@@ -646,6 +693,23 @@ def check_proc(proc: Proc) -> None:
                 raise TileError(
                     f"index {expr} of '{name}' spans [{lo}, {hi}] outside dimension {shape[dim]}"
                 )
+
+    def check_parity(parity: str | None, buffer: Buffer, ranges: dict[str, int]) -> None:
+        if buffer.double:
+            if parity is None:
+                raise TileError(
+                    f"double-buffered '{buffer.name}' is staged without a parity loop"
+                )
+            if parity not in ranges:
+                raise TileError(
+                    f"parity loop '{parity}' of '{buffer.name}' does not enclose the "
+                    f"staging copy"
+                )
+        elif parity is not None:
+            raise TileError(
+                f"staging of '{buffer.name}' carries parity loop '{parity}' but the "
+                f"buffer is not double-buffered"
+            )
 
     def check_window(name: str, base: tuple[Affine, ...], sizes: tuple[int, ...],
                      axes: tuple[int, ...], ranges: dict[str, int],
@@ -695,9 +759,12 @@ def check_proc(proc: Proc) -> None:
                         f"stage sizes {stmt.sizes} do not match buffer '{buffer.name}' "
                         f"shape {buffer.shape}"
                     )
+                check_parity(stmt.parity, buffer, ranges)
                 check_window(stmt.tensor, stmt.base, stmt.sizes, stmt.axes, ranges,
                              stmt.limits)
             elif isinstance(stmt, Unstage):
+                if proc.is_buffer(stmt.buffer):
+                    check_parity(stmt.parity, proc.buffer(stmt.buffer), ranges)
                 identity = tuple(range(len(stmt.sizes)))
                 check_window(stmt.tensor, stmt.base, stmt.sizes, identity, ranges,
                              stmt.limits)

@@ -203,6 +203,7 @@ def schedule_sgemm(
     stage: bool = True,
     prefetch: bool = True,
     unroll_inner: bool = True,
+    double_buffer: bool = False,
 ) -> Proc:
     """The paper's SGEMM structure, derived from the naive triple loop.
 
@@ -211,13 +212,18 @@ def schedule_sgemm(
     tile edge (B_R), ``stride`` the K-extent staged per iteration (L), and
     ``b_window`` the B-register group width (2 ⇒ the LDS.64 pairs of the
     hand kernel; 1 ⇒ 32-bit B loads).  ``stage``/``prefetch``/``unroll_inner``
-    exist so the autotuner can sweep the staging and pipelining decisions.
+    exist so the autotuner can sweep the staging and pipelining decisions;
+    ``double_buffer`` alternates both shared tiles by k-iteration parity, so
+    the lowered main loop pays one ``BAR.SYNC`` instead of two (at twice the
+    shared-memory footprint).
     """
     br = register_blocking
     if tile % br:
         raise ScheduleError(f"register blocking {br} must divide the tile {tile}")
     if br % b_window:
         raise ScheduleError(f"b_window {b_window} must divide register blocking {br}")
+    if double_buffer and not stage:
+        raise ScheduleError("double_buffer requires staged shared tiles")
 
     # Block and thread decomposition: i = by·tile + ty·br + iq, same for j.
     # predicate_tail is split when the tile divides and the guarded tail
@@ -250,6 +256,9 @@ def schedule_sgemm(
     if stage:
         p = S.stage_shared(p, "ko", "A", transpose=True, prefetch=prefetch)
         p = S.stage_shared(p, "ko", "B", prefetch=prefetch)
+        if double_buffer:
+            p = S.double_buffer(p, "A_shared")
+            p = S.double_buffer(p, "B_shared")
 
     # Inner loop: per k-step, walk the B row in windows of `b_window`
     # registers against the whole A column (the hand kernel's 2-register

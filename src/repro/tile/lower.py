@@ -70,6 +70,41 @@ DEFAULT_POOL_SIZE = 8
 _LOOP_PREDICATE = 0
 _PREFETCH_PREDICATE = 1
 _GUARD_PREDICATES = (2, 3)
+#: Predicates for clip conditions of cooperative staging loads (P4 holds the
+#: element-invariant conjunction, P5 the per-element condition).
+_CLIP_PREDICATES = (4, 5)
+
+
+def shared_layout(
+    buffers: tuple[Buffer, ...]
+) -> tuple[dict[str, int], int, int]:
+    """Shared-memory layout of a proc's buffers: (bases, total bytes, mask).
+
+    Double-buffered tiles are laid out first, their parity-1 copies at a
+    power-of-two byte offset ``mask`` above the parity-0 block: because every
+    parity-0 address of a double tile is below ``mask``, ``address XOR mask``
+    *is* ``address + mask`` — one ``LOP.XOR`` on a pointer register flips it
+    between the two tiles.  Single-buffered tiles follow after the parity-1
+    block.  The mask is 0 when nothing is double-buffered (and the layout is
+    then the plain declaration-order packing it always was).
+    """
+    doubles = [b for b in buffers if b.memory == "shared" and b.double]
+    singles = [b for b in buffers if b.memory == "shared" and not b.double]
+    bases: dict[str, int] = {}
+    offset = 0
+    for buffer in doubles:
+        bases[buffer.name] = offset
+        offset += buffer.size_words * 4
+    if doubles:
+        mask = 1 << (offset - 1).bit_length()
+        total = mask + offset
+    else:
+        mask = 0
+        total = 0
+    for buffer in singles:
+        bases[buffer.name] = total
+        total += buffer.size_words * 4
+    return bases, total, mask
 
 
 @dataclass(frozen=True)
@@ -228,12 +263,15 @@ class _Pointer:
     seq_terms: dict[str, int] = field(default_factory=dict)  # advance steps per loop
     scratch_seq: bool = False         # True → recompute seq terms per access
     epilogue: bool = False            # all uses in the trailing write-back zone
+    is_store: bool = False            # the shared-store side of a Stage copy
+    force_register: bool = False      # double-buffered: parity XOR needs a home
     sites_after_loop: set[str] = field(default_factory=set)
     reg: Register | None = None
 
     @property
     def needs_register(self) -> bool:
-        return self.param_offset is not None or bool(self.runtime_terms) or bool(self.seq_terms)
+        return (self.param_offset is not None or bool(self.runtime_terms)
+                or bool(self.seq_terms) or self.force_register)
 
 
 @dataclass
@@ -289,13 +327,9 @@ class _Lowering:
         self._param_offsets = {
             p.name: PARAM_BASE_OFFSET + 4 * i for i, p in enumerate(proc.params)
         }
-        self._shared_bases: dict[str, int] = {}
-        offset = 0
-        for buffer in proc.buffers:
-            if buffer.memory == "shared":
-                self._shared_bases[buffer.name] = offset
-                offset += buffer.size_words * 4
-        self._shared_bytes = offset
+        self._shared_bases, self._shared_bytes, self._parity_mask = shared_layout(
+            proc.buffers
+        )
 
         self._regs = _RegFile()
         self._pointers: dict[tuple, _Pointer] = {}
@@ -378,6 +412,14 @@ class _Lowering:
                 shared_base=self._shared_bases.get(tensor, 0),
                 runtime_terms=runtime_terms,
                 seq_terms=dict(seq_terms),
+                # A double-buffered tile is addressed through a register even
+                # when the access has no runtime terms: the parity XOR needs
+                # a pointer to flip.
+                force_register=(
+                    self._proc.is_buffer(tensor)
+                    and self._proc.buffer(tensor).memory == "shared"
+                    and self._proc.buffer(tensor).double
+                ),
             )
             self._pointers[key] = pointer
         elif pointer.seq_terms != seq_terms:
@@ -685,9 +727,20 @@ class _Lowering:
                 param_offset=None,
                 shared_base=self._shared_bases[stage.buffer],
                 runtime_terms=store_terms,
+                is_store=True,
             )
             self._pointers[store_key] = store_pointer
             self._seq_enclosure[store_key] = set()
+
+        # Clipped cooperative loads predicate per element on the runtime
+        # window base: sequential base terms read the loop's iteration count.
+        if any(limit is not None for limit in stage.limits):
+            for dim, limit in enumerate(stage.limits):
+                if limit is None:
+                    continue
+                for var in stage.base[dim].vars():
+                    if self._var_class(var) == "seq":
+                        self._needs_up.add(var)
 
         self._stage_plans[id(stage)] = _StagePlan(
             stage=stage,
@@ -1061,6 +1114,16 @@ class _Lowering:
         pipelined = bool(stages) and all(
             self._stage_plans[id(s)].pipelined for s in stages
         )
+        parity = bool(stages) and all(s.parity is not None for s in stages)
+        if not parity and any(s.parity is not None for s in stages):
+            raise LoweringError(
+                f"loop '{loop.var}' mixes double-buffered and single-buffered "
+                f"stages; double_buffer every staged operand of the loop"
+            )
+        if parity and any(s.parity != loop.var for s in stages):
+            raise LoweringError(
+                f"a stage heading '{loop.var}' alternates on a different loop"
+            )
 
         advanced = [
             p for p in self._pointers.values()
@@ -1072,16 +1135,78 @@ class _Lowering:
         early = [p for p in advanced if id(p) in stage_pointers]
         late = [p for p in advanced if id(p) not in stage_pointers]
 
+        # Pointers whose parity bit flips each iteration of a double-buffered
+        # loop: the stage's shared-store pointers, and every pointer that
+        # reads one of the alternating tiles.
+        parity_stores: list[_Pointer] = []
+        parity_reads: list[_Pointer] = []
+        if parity:
+            buffers = {s.buffer for s in stages}
+            seen: set[int] = set()
+            for stage in stages:
+                pointer = self._stage_plans[id(stage)].store_pointer
+                if id(pointer) not in seen:
+                    seen.add(id(pointer))
+                    parity_stores.append(pointer)
+            parity_reads = [
+                p for p in self._pointers.values()
+                if p.tensor in buffers and not p.is_store and p.reg is not None
+            ]
+
         if pipelined:
             for stage in stages:
                 self._emit_prefetch_loads(self._stage_plans[id(stage)], guard=None)
+        if parity and pipelined:
+            # Double buffering needs only ONE barrier per iteration: tile 0
+            # is staged into parity half 0 ahead of the loop, the in-loop
+            # barrier separates each iteration's reads from the previous
+            # iteration's stores, and the prefetched stores of tile ``i + 1``
+            # land in the *inactive* half after iteration ``i``'s compute —
+            # the write-after-read hazard the second barrier used to fence is
+            # gone.  Re-entry from an enclosing loop needs one fence: the
+            # previous run's final reads may target the half these pre-loop
+            # stores rewrite.
+            if enclosing_seq:
+                builder.bar(0)
+            for stage in stages:
+                self._emit_stage_stores(self._stage_plans[id(stage)],
+                                        from_prefetch=True, guard=None)
+
+        if parity and not pipelined and enclosing_seq:
+            # Eager parity stores write their half right at the loop head;
+            # fence them once from a previous run's final reads.
+            builder.bar(0)
 
         label = builder.label(f"L_{loop.var}")
         # Guard predicates computed outside the loop may involve this loop's
         # iteration counter; force re-evaluation inside the body (and again
         # after the loop, when the counter holds its final value).
         self._guard_slot_key.clear()
-        if stages:
+        p_more = predicate(_PREFETCH_PREDICATE)
+        bottom_decrement = True
+        if stages and parity:
+            if pipelined:
+                builder.bar(0)
+                if loop.extent > 1:
+                    for pointer in early:
+                        builder.iadd(pointer.reg, pointer.reg,
+                                     pointer.seq_terms[loop.var])
+                    builder.iadd(counter, counter, -1)
+                    bottom_decrement = False
+                    builder.isetp(p_more, "GT", counter, 0)
+                    for stage in stages:
+                        self._emit_prefetch_loads(
+                            self._stage_plans[id(stage)], guard=p_more,
+                            advance_var=loop.var, advance_steps=1,
+                        )
+            else:
+                # Eager double buffering: the current tile lands in its
+                # parity half, then a single barrier fences the stores from
+                # the reads.  (Re-entry from an enclosing loop was fenced
+                # once, ahead of the label.)
+                self._emit_stage_group(stages, env, guard=None,
+                                       leading_barrier=False)
+        elif stages:
             builder.bar(0)
             if pipelined:
                 for stage in stages:
@@ -1092,20 +1217,40 @@ class _Lowering:
                                        leading_barrier=False)
             builder.bar(0)
 
-        if pipelined:
+        if pipelined and not parity:
             for pointer in early:
                 builder.iadd(pointer.reg, pointer.reg, pointer.seq_terms[loop.var])
             builder.iadd(counter, counter, -1)
-            p_more = predicate(_PREFETCH_PREDICATE)
+            bottom_decrement = False
             builder.isetp(p_more, "GT", counter, 0)
             for stage in stages:
-                self._emit_prefetch_loads(self._stage_plans[id(stage)], guard=p_more)
+                self._emit_prefetch_loads(self._stage_plans[id(stage)], guard=p_more,
+                                          advance_var=loop.var)
 
         self._emit_block(tuple(body), env, None)
 
+        if parity and loop.extent > 1:
+            if pipelined:
+                # After the compute: tile ``i + 1``'s prefetched values land
+                # in the inactive half, fenced from their readers by the
+                # *next* iteration's barrier.  The prefetch predicate is
+                # re-evaluated here — a nested pipelined staging loop in the
+                # body shares P1 and would otherwise leave it false.
+                builder.isetp(p_more, "GT", counter, 0)
+                for pointer in parity_stores:
+                    builder.lop_xor(pointer.reg, pointer.reg, self._parity_mask)
+                for stage in stages:
+                    self._emit_stage_stores(self._stage_plans[id(stage)],
+                                            from_prefetch=True, guard=p_more)
+                for pointer in parity_reads:
+                    builder.lop_xor(pointer.reg, pointer.reg, self._parity_mask)
+            else:
+                for pointer in parity_stores + parity_reads:
+                    builder.lop_xor(pointer.reg, pointer.reg, self._parity_mask)
+
         for pointer in late:
             builder.iadd(pointer.reg, pointer.reg, pointer.seq_terms[loop.var])
-        if not pipelined:
+        if bottom_decrement:
             builder.iadd(counter, counter, -1)
         if up is not None:
             builder.iadd(up, up, 1)
@@ -1118,41 +1263,258 @@ class _Lowering:
         for pointer in advanced:
             # Rewind the pointer when its advanced value survives the loop:
             # either later statements use it, or an enclosing sequential loop
-            # will run this loop again from the advanced value.
-            if loop.var in pointer.sites_after_loop or enclosing_seq:
+            # will run this loop again from the advanced value.  (A parity
+            # loop of one iteration never advances its stage pointers — the
+            # in-loop prefetch is elided entirely.)
+            steps = loop.extent
+            if parity and pipelined and loop.extent == 1 and pointer in early:
+                steps = 0
+            if steps and (loop.var in pointer.sites_after_loop or enclosing_seq):
                 builder.iadd(
-                    pointer.reg, pointer.reg, -loop.extent * pointer.seq_terms[loop.var]
+                    pointer.reg, pointer.reg, -steps * pointer.seq_terms[loop.var]
                 )
+        if parity and loop.extent > 1 and loop.extent % 2 and enclosing_seq:
+            # An enclosing loop will run this loop again: restore parity 0.
+            for pointer in parity_stores + parity_reads:
+                builder.lop_xor(pointer.reg, pointer.reg, self._parity_mask)
 
     # -- staging --------------------------------------------------------- #
 
-    def _emit_prefetch_loads(self, plan: _StagePlan, guard) -> None:
-        """Global loads of one staged tile into the prefetch registers."""
+    def _stage_clip_dims(self, stage: Stage) -> tuple[list[int], int | None]:
+        """Clipped tensor dims of a stage: (element-invariant, q-varying).
+
+        A thread's consecutive elements walk ``axes[-1]``; a clip on that
+        dimension needs a per-element predicate, clips on any other dimension
+        are invariant across the thread's run.
+        """
+        if not stage.limits or all(limit is None for limit in stage.limits):
+            return [], None
+        qdim = stage.axes[-1]
+        invariant = [
+            dim for dim, limit in enumerate(stage.limits)
+            if limit is not None and dim != qdim
+        ]
+        varying = qdim if stage.limits[qdim] is not None else None
+        return invariant, varying
+
+    def _clip_var_reg(self, var: str, plan: _StagePlan,
+                      cache: dict[str, Register], temps: list[Register]) -> Register:
+        """A live register holding ``var``'s runtime value at staging time.
+
+        Persistent index registers and up-counters are reused; everything
+        else (block/thread indices, the cooperative-load distribution) is
+        recomputed from the special registers into pool scratch — the clip
+        conditions must not widen the kernel's persistent register set.
+        """
+        if var in cache:
+            return cache[var]
+        builder = self._builder
+        geometry = self._geometry
+
+        def fresh() -> Register:
+            reg = self._pool.alloc()
+            temps.append(reg)
+            return reg
+
+        def tid_reg() -> Register:
+            if "__tid" not in cache:
+                reg = fresh()
+                builder.s2r(reg, SpecialRegister.TID_X)
+                cache["__tid"] = reg
+            return cache["__tid"]
+
+        reg = self._var_regs.get(var) or self._up_counters.get(var)
+        if reg is None and var == "__flat_tid":
+            reg = tid_reg()
+        elif reg is None and var in ("__b0", "__b1"):
+            groups = plan.groups_per_row
+            if groups <= 1:
+                if var == "__b0":
+                    reg = tid_reg()
+                else:
+                    reg = fresh()
+                    builder.mov32i(reg, 0)
+            else:
+                tid = tid_reg()
+                reg = fresh()
+                if var == "__b0":
+                    builder.shr(reg, tid, groups.bit_length() - 1)
+                else:
+                    builder.lop_and(reg, tid, groups - 1)
+        elif reg is None:
+            kind = self._kinds.get(var)
+            if kind is None:
+                raise LoweringError(f"no runtime value for staging variable '{var}'")
+            if kind.is_block:
+                reg = fresh()
+                builder.s2r(
+                    reg,
+                    SpecialRegister.CTAID_X if kind is LoopKind.BLOCK_X
+                    else SpecialRegister.CTAID_Y,
+                )
+            elif kind is LoopKind.THREAD_X:
+                tid = tid_reg()
+                if geometry.threads_y > 1:
+                    reg = fresh()
+                    builder.lop_and(reg, tid, geometry.threads_x - 1)
+                else:
+                    reg = tid
+            elif kind is LoopKind.THREAD_Y:
+                tid = tid_reg()
+                reg = fresh()
+                builder.shr(reg, tid, geometry.threads_x.bit_length() - 1)
+            else:
+                raise LoweringError(
+                    f"staging clip condition depends on {kind.value} loop '{var}'"
+                )
+        cache[var] = reg
+        return reg
+
+    def _emit_clip_index(self, plan: _StagePlan, dim: int, advance_var: str | None,
+                         cache: dict[str, Register], temps: list[Register],
+                         advance_steps: int = 1) -> Register:
+        """The runtime tensor-dim index of a thread's first element in ``dim``.
+
+        ``advance_var`` shifts the sequential base ``advance_steps`` staging
+        steps forward — the in-loop prefetch targets a tile *ahead* of the
+        one the iteration register describes.
+        """
+        builder = self._builder
+        stage = plan.stage
+        expr = stage.base[dim]
+        const = expr.const + (
+            expr.coeff(advance_var) * advance_steps if advance_var else 0
+        )
+        reg = self._pool.alloc()
+        temps.append(reg)
+        builder.mov32i(reg, const)
+        for var in sorted(expr.vars()):
+            builder.imad(
+                reg, self._clip_var_reg(var, plan, cache, temps), expr.coeff(var), reg
+            )
+        if len(stage.sizes) == 2:
+            if dim == stage.axes[0]:
+                builder.iadd(reg, reg, self._clip_var_reg("__b0", plan, cache, temps))
+            elif dim == stage.axes[1]:
+                builder.imad(
+                    reg, self._clip_var_reg("__b1", plan, cache, temps),
+                    plan.per_thread, reg,
+                )
+        elif dim == stage.axes[0]:
+            builder.imad(
+                reg, self._clip_var_reg("__flat_tid", plan, cache, temps),
+                plan.per_thread, reg,
+            )
+        return reg
+
+    def _stage_clip_plan(self, plan: _StagePlan, guard, advance_var: str | None,
+                         cache: dict[str, Register], temps: list[Register],
+                         advance_steps: int = 1):
+        """Prepare a clipped stage's load predicates.
+
+        Returns ``(base_pred, varying_reg, varying_limit)``: the
+        element-invariant clip conjunction (folded with ``guard``) lands in
+        one predicate, and the q-varying dimension's index register is left
+        for :meth:`_element_guard` to compare per element.
+        """
+        builder = self._builder
+        invariant, varying = self._stage_clip_dims(plan.stage)
+        base_pred = guard
+        first = True
+        for dim in invariant:
+            slot = predicate(_CLIP_PREDICATES[0])
+            reg = self._emit_clip_index(plan, dim, advance_var, cache, temps,
+                                        advance_steps)
+            limit = plan.stage.limits[dim]
+            if first and base_pred is None:
+                builder.isetp(slot, "LT", reg, limit)
+            elif first:
+                builder.isetp(slot, "GE", RZ, 1)  # preset false: 0 >= 1
+                with builder.guarded(base_pred):
+                    builder.isetp(slot, "LT", reg, limit)
+            else:
+                with builder.guarded(slot):
+                    builder.isetp(slot, "LT", reg, limit)
+            first = False
+            base_pred = slot
+            temps.remove(reg)
+            self._pool.release([reg])
+        varying_reg = None
+        varying_limit = 0
+        if varying is not None:
+            varying_reg = self._emit_clip_index(plan, varying, advance_var, cache,
+                                                temps, advance_steps)
+            varying_limit = plan.stage.limits[varying]
+        return base_pred, varying_reg, varying_limit
+
+    def _element_guard(self, base_pred, varying_reg, varying_limit: int, q: int):
+        """The load predicate of staged element ``q`` (``None`` = unguarded)."""
+        if varying_reg is None:
+            return base_pred
+        builder = self._builder
+        slot = predicate(_CLIP_PREDICATES[1])
+        if base_pred is None:
+            builder.isetp(slot, "LT", varying_reg, varying_limit - q)
+        else:
+            builder.isetp(slot, "GE", RZ, 1)  # preset false: 0 >= 1
+            with builder.guarded(base_pred):
+                builder.isetp(slot, "LT", varying_reg, varying_limit - q)
+        return slot
+
+    def _emit_prefetch_loads(self, plan: _StagePlan, guard, *,
+                             advance_var: str | None = None,
+                             advance_steps: int = 1) -> None:
+        """Global loads of one staged tile into the prefetch registers.
+
+        Clipped stages predicate every element's load on its window
+        condition (conjoined with ``guard``), so the dead lanes of a
+        boundary tile stop reading slack memory — the simulated DRAM traffic
+        of a clipped pipelined stage equals the compulsory traffic the bound
+        model prices.
+        """
         builder = self._builder
         base = plan.src_pointer.reg
+        if not plan.stage.limits or all(l is None for l in plan.stage.limits):
+            def emit() -> None:
+                q = 0
+                while q < plan.per_thread:
+                    offset = plan.src_const + q * plan.q_src_step
+                    reg = plan.prefetch_regs[q]
+                    if (
+                        self._wide_global
+                        and plan.q_src_step == 4
+                        and q + 1 < plan.per_thread
+                        and plan.prefetch_regs[q + 1].index == reg.index + 1
+                    ):
+                        builder.ld(reg, MemRef(base=base, offset=offset), width=64)
+                        q += 2
+                    else:
+                        builder.ld(reg, MemRef(base=base, offset=offset), width=32)
+                        q += 1
 
-        def emit() -> None:
-            q = 0
-            while q < plan.per_thread:
-                offset = plan.src_const + q * plan.q_src_step
-                reg = plan.prefetch_regs[q]
-                if (
-                    self._wide_global
-                    and plan.q_src_step == 4
-                    and q + 1 < plan.per_thread
-                    and plan.prefetch_regs[q + 1].index == reg.index + 1
-                ):
-                    builder.ld(reg, MemRef(base=base, offset=offset), width=64)
-                    q += 2
-                else:
-                    builder.ld(reg, MemRef(base=base, offset=offset), width=32)
-                    q += 1
-
-        if guard is not None:
-            with builder.guarded(guard):
+            if guard is not None:
+                with builder.guarded(guard):
+                    emit()
+            else:
                 emit()
-        else:
-            emit()
+            return
+
+        temps: list[Register] = []
+        cache: dict[str, Register] = {}
+        base_pred, varying_reg, varying_limit = self._stage_clip_plan(
+            plan, guard, advance_var, cache, temps, advance_steps
+        )
+        for q in range(plan.per_thread):
+            pred = self._element_guard(base_pred, varying_reg, varying_limit, q)
+            offset = plan.src_const + q * plan.q_src_step
+            if pred is not None:
+                with builder.guarded(pred):
+                    builder.ld(plan.prefetch_regs[q], MemRef(base=base, offset=offset),
+                               width=32)
+            else:
+                builder.ld(plan.prefetch_regs[q], MemRef(base=base, offset=offset),
+                           width=32)
+        self._pool.release(temps)
 
     def _emit_stage_stores(self, plan: _StagePlan, *, from_prefetch: bool,
                            guard, temps: list[Register] | None = None) -> None:
@@ -1187,17 +1549,35 @@ class _Lowering:
         for stage in stages:
             plan = self._stage_plans[id(stage)]
             base = plan.src_pointer.reg
+            clipped = bool(stage.limits) and any(
+                limit is not None for limit in stage.limits
+            )
+            clip_temps: list[Register] = []
+            base_pred, varying_reg, varying_limit = guard, None, 0
+            if clipped:
+                base_pred, varying_reg, varying_limit = self._stage_clip_plan(
+                    plan, guard, None, {}, clip_temps
+                )
             chunk = max(1, min(plan.per_thread, self._pool.free_count))
             for start in range(0, plan.per_thread, chunk):
                 count = min(chunk, plan.per_thread - start)
                 temps = [self._pool.alloc() for _ in range(count)]
                 for i in range(count):
-                    builder.ld(
-                        temps[i],
-                        MemRef(
-                            base=base,
-                            offset=plan.src_const + (start + i) * plan.q_src_step,
+                    pred = (
+                        self._element_guard(
+                            base_pred, varying_reg, varying_limit, start + i
+                        )
+                        if clipped else guard
+                    )
+                    self._emit_predicated(
+                        lambda i=i: builder.ld(
+                            temps[i],
+                            MemRef(
+                                base=base,
+                                offset=plan.src_const + (start + i) * plan.q_src_step,
+                            ),
                         ),
+                        pred,
                     )
                 for i in range(count):
                     self._emit_predicated(
@@ -1211,6 +1591,7 @@ class _Lowering:
                         guard,
                     )
                 self._pool.release(temps)
+            self._pool.release(clip_temps)
         builder.bar(0)
 
     # -- batched compute -------------------------------------------------- #

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from itertools import product
 
+from repro.arch.occupancy import OccupancyCalculator, OccupancyResult
+from repro.arch.specs import GpuSpec
 from repro.model.workload_bounds import WorkloadResources
 from repro.tile.ir import (
     Assign,
@@ -42,7 +44,42 @@ from repro.tile.ir import (
     expr_reads,
 )
 
-__all__ = ["proc_resources"]
+__all__ = ["proc_resources", "proc_shared_footprint", "proc_occupancy"]
+
+#: The architectural per-thread register budget every lowering stays inside.
+REGISTER_BUDGET = 63
+
+
+def proc_shared_footprint(proc: Proc) -> int:
+    """Shared-memory bytes one block of ``proc`` allocates, as lowered.
+
+    Uses the lowering's actual layout (:func:`repro.tile.lower.shared_layout`),
+    so double-buffered tiles are priced at their true cost: two copies *plus*
+    the power-of-two alignment hole the parity-XOR addressing needs.
+    """
+    from repro.tile.lower import shared_layout
+
+    return shared_layout(proc.buffers)[1]
+
+
+def proc_occupancy(proc: Proc, gpu: GpuSpec, *,
+                   registers_per_thread: int = REGISTER_BUDGET) -> OccupancyResult:
+    """Occupancy of ``proc`` on ``gpu`` from its launch geometry and footprint.
+
+    Raises :class:`~repro.errors.ResourceLimitError` when the configuration
+    cannot be resident at all — e.g. when a double-buffered schedule's
+    doubled tiles exceed the SM's shared-memory capacity.  The autotuner uses
+    exactly that signal to prune schedules whose doubled tiles kill
+    occupancy before simulating them.
+    """
+    from repro.tile.lower import launch_geometry
+
+    geometry = launch_geometry(proc)
+    return OccupancyCalculator(gpu).resolve(
+        threads_per_block=geometry.threads_per_block,
+        registers_per_thread=registers_per_thread,
+        shared_memory_per_block=proc_shared_footprint(proc),
+    )
 
 
 def _expr_flops(expr: Expr) -> int:

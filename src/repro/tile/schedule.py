@@ -67,6 +67,7 @@ __all__ = [
     "bind_thread",
     "stage_shared",
     "stage_registers",
+    "double_buffer",
 ]
 
 
@@ -637,6 +638,114 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
 
     rewritten = _rewrite_loop(proc, at, rewrite)
     return _checked(replace(rewritten, buffers=rewritten.buffers + (new_buffer,)))
+
+
+def double_buffer(proc: Proc, buffer: str) -> Proc:
+    """Double-buffer a staged shared tile: two copies, alternating by the
+    parity of the staging loop.
+
+    The target must be a shared buffer filled by a :class:`~repro.tile.ir.Stage`
+    that *heads* a sequential loop (the main-loop staging shape
+    ``stage_shared`` produces).  The rewrite marks the buffer ``double`` and
+    tags the stage with the loop's parity, which is all the semantics need:
+    iteration ``i`` writes and reads tile ``i % 2``, bit-identically to the
+    single-buffered proc.  The payoff is in the lowering — with two tiles the
+    write-after-read hazard between consecutive iterations disappears, so the
+    main loop needs **one** ``BAR.SYNC`` instead of the ``BAR; STS; BAR``
+    pair, and the prefetched stores land in the inactive tile while the
+    compute is still reading the active one.
+
+    Legality comes from :func:`repro.tile.deps.check_double_buffer`: the
+    lowering prefetches iteration ``i``'s window during iteration ``i − 1``,
+    so a cross-iteration flow into the staged window whose distance is
+    unknown or can be less than 2 is rejected.  Clipped stages (from
+    ``predicate_tail`` schedules) double-buffer unchanged — the parity only
+    relocates the tile, the clip limits still bound what is copied.
+
+    >>> from repro.tile import library, schedule
+    >>> p = library.matmul_proc(m=4, n=4, k=4)
+    >>> p = schedule.split(p, "k", 2, "ko", "ki")
+    >>> p = schedule.stage_shared(p, "ko", "B", prefetch=True)
+    >>> p = schedule.double_buffer(p, "B_shared")
+    >>> p.buffer("B_shared").double
+    True
+    >>> print(p)                            # doctest: +NORMALIZE_WHITESPACE
+    proc matmul_4x4x4(A: f32[4, 4], B: f32[4, 4], C: f32[4, 4])
+      shared B_shared: f32[2, 1] x2
+      for i in 4:
+        for j in 4:
+          C[i, j] = 0.0
+          for ko in 2:
+            stage B_shared[2, 1] <- B[2*ko, j ...] parity(ko)
+            for ki in 2:
+              C[i, j] += (A[i, ki + 2*ko] * B_shared[ki, 0])
+    """
+    target = None
+    for candidate in proc.buffers:
+        if candidate.name == buffer:
+            target = candidate
+    if target is None:
+        _reject("double_buffer", f"proc '{proc.name}' has no staging buffer '{buffer}'")
+    if target.memory != "shared":
+        _reject("double_buffer", f"'{buffer}' is a {target.memory} buffer; only "
+                                 f"shared tiles can be double-buffered")
+    if target.double:
+        _reject("double_buffer", f"'{buffer}' is already double-buffered")
+    for stmt in walk_stmts(proc.body):
+        if isinstance(stmt, Assign) and stmt.tensor == buffer:
+            _reject(
+                "double_buffer",
+                f"'{buffer}' is written by '{stmt}' outside its staging copy; "
+                f"parity lowering requires the stage to be the only writer",
+            )
+
+    def find(stmts: tuple[Stmt, ...], path: tuple[str, ...]):
+        """(loop, stage, enclosing path) where the stage heads a seq loop."""
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                if stmt.kind is LoopKind.SEQ:
+                    for inner in stmt.body:
+                        if not isinstance(inner, Stage):
+                            break
+                        if inner.buffer == buffer:
+                            return stmt, inner, path
+                found = find(stmt.body, path + (stmt.var,))
+                if found is not None:
+                    return found
+            elif isinstance(stmt, Guard):
+                found = find(stmt.body, path)
+                if found is not None:
+                    return found
+        return None
+
+    found = find(proc.body, ())
+    if found is None:
+        _reject(
+            "double_buffer",
+            f"the stage of '{buffer}' does not head a sequential loop; only "
+            f"main-loop staging can alternate tiles",
+        )
+    loop, stage, path = found
+
+    blocking = D.check_double_buffer(proc, loop, stage, path=path)
+    if blocking is not None:
+        _reject(
+            "double_buffer",
+            f"the staged window of '{stage.tensor}' is written inside '{loop.var}' "
+            f"too close to its prefetch",
+            dependence=blocking,
+        )
+
+    def rewrite(stmt: Stmt):
+        if isinstance(stmt, Stage) and stmt is stage:
+            return replace(stmt, parity=loop.var)
+        return stmt
+
+    rewritten = proc.with_body(map_stmts(proc.body, rewrite))
+    buffers = tuple(
+        replace(b, double=True) if b.name == buffer else b for b in rewritten.buffers
+    )
+    return _checked(replace(rewritten, buffers=buffers))
 
 
 def stage_registers(proc: Proc, at: str, tensor: str, *,

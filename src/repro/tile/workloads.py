@@ -34,6 +34,24 @@ from repro.tile.lower import launch_geometry, lower
 from repro.tile.resources import proc_resources
 
 
+#: Memoized schedule applications and lowerings, keyed by *schedule hash* —
+#: the (workload, frozen config) pair identifies the schedule point exactly.
+#: Procs and kernels are immutable, so the sweep machinery (bound pruning,
+#: candidate generation, benchmarks) can re-request the same point without
+#: re-running ~30 primitive applications and a full lowering each time.
+#: Capped FIFO so a long sweep cannot grow memory without bound.
+_SCHEDULE_CACHE_LIMIT = 256
+_SCHEDULED_PROCS: dict[tuple[str, object], Proc] = {}
+_LOWERED_KERNELS: dict[tuple[str, object], Kernel] = {}
+
+
+def _cache_put(cache: dict, key, value):
+    if len(cache) >= _SCHEDULE_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+    return value
+
+
 class TileWorkload(Workload):
     """Shared machinery: proc → schedule → lowering → launch plumbing.
 
@@ -52,6 +70,14 @@ class TileWorkload(Workload):
         """The golden schedule applied to the naive proc."""
         raise NotImplementedError
 
+    def cached_scheduled_proc(self, config) -> Proc:
+        """The scheduled proc, memoized by schedule hash."""
+        key = (self.name, config)
+        proc = _SCHEDULED_PROCS.get(key)
+        if proc is None:
+            proc = _cache_put(_SCHEDULED_PROCS, key, self.scheduled_proc(config))
+        return proc
+
     def lds_width_bits(self, config) -> int:
         return 64
 
@@ -59,12 +85,16 @@ class TileWorkload(Workload):
         return 64
 
     def generate_naive(self, config) -> Kernel:
-        proc = self.scheduled_proc(config)
-        return lower(
-            proc,
-            lds_width_bits=self.lds_width_bits(config),
-            ld_width_bits=self.ld_width_bits(config),
-        )
+        key = (self.name, config)
+        kernel = _LOWERED_KERNELS.get(key)
+        if kernel is None:
+            proc = self.cached_scheduled_proc(config)
+            kernel = _cache_put(_LOWERED_KERNELS, key, lower(
+                proc,
+                lds_width_bits=self.lds_width_bits(config),
+                ld_width_bits=self.ld_width_bits(config),
+            ))
+        return kernel
 
     def oracle(self, config, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         """Interpret the *naive* proc on ``inputs`` — the ground truth."""
@@ -78,10 +108,10 @@ class TileWorkload(Workload):
         (and the tests pin it against the hand workloads' Eq. 6-style
         accounting).
         """
-        return proc_resources(self.scheduled_proc(config))
+        return proc_resources(self.cached_scheduled_proc(config))
 
     def build_launch(self, config, inputs: dict[str, np.ndarray]) -> WorkloadLaunch:
-        proc = self.scheduled_proc(config)
+        proc = self.cached_scheduled_proc(config)
         outputs = set(proc.outputs())
         memory = GlobalMemory()
         params = KernelParams()
@@ -102,7 +132,7 @@ class TileWorkload(Workload):
         return WorkloadLaunch(memory=memory, params=params, grid=grid)
 
     def read_output(self, config, memory: GlobalMemory) -> np.ndarray:
-        proc = self.scheduled_proc(config)
+        proc = self.cached_scheduled_proc(config)
         (output,) = proc.outputs()
         return memory.read_array(output, np.float32, proc.param(output).shape)
 
@@ -134,6 +164,7 @@ class TileSgemmConfig:
     stage: bool = True
     prefetch: bool = True
     unroll_inner: bool = True
+    double_buffer: bool = False
 
     @property
     def kernel_name(self) -> str:
@@ -141,6 +172,7 @@ class TileSgemmConfig:
         return (
             f"tile_sgemm_b{self.register_blocking}_t{self.tile}_l{self.stride}"
             f"_w{self.b_window}{('_' + flags) if flags != 'sp' else ''}"
+            f"{'_db' if self.double_buffer else ''}"
             f"_{self.m}x{self.n}x{self.k}"
         )
 
@@ -176,6 +208,7 @@ class TileSgemmWorkload(TileWorkload):
             stage=config.stage,
             prefetch=config.prefetch,
             unroll_inner=config.unroll_inner,
+            double_buffer=config.double_buffer,
         )
         return replace(proc, name=config.kernel_name)
 

@@ -1,0 +1,90 @@
+"""The cycle-ladder aggregation script and its --check regression gate."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_trajectory.py"
+_BENCH = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture()
+def trajectory(tmp_path, monkeypatch):
+    """The script module, pointed at a scratch copy of the BENCH files."""
+    spec = importlib.util.spec_from_file_location("bench_trajectory", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for bench_file in _BENCH.glob("BENCH_*.json"):
+        shutil.copy(bench_file, tmp_path / bench_file.name)
+    monkeypatch.setattr(module, "BENCH_DIR", tmp_path)
+    return module, tmp_path
+
+
+def _regress(bench_dir: Path, factor: float) -> None:
+    data = json.loads((bench_dir / "BENCH_tile.json").read_text())
+    data["metrics"]["tile_sgemm"]["fermi"]["golden_schedule_opt"] *= factor
+    (bench_dir / "BENCH_tile.json").write_text(json.dumps(data))
+
+
+def test_check_passes_on_a_fresh_summary(trajectory, capsys):
+    module, bench_dir = trajectory
+    assert module.main([]) == 0          # write the summary
+    assert module.main(["--check"]) == 0
+    assert "no >" in capsys.readouterr().out
+
+
+def test_check_fails_on_a_cycle_regression(trajectory, capsys):
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    _regress(bench_dir, 1.05)            # 5% > the 2% tolerance
+    assert module.main(["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "regressed" in err and "golden_schedule_opt" in err
+
+
+def test_check_tolerates_small_noise(trajectory):
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    _regress(bench_dir, 1.01)            # within tolerance ...
+    # ... but the summary is now stale, which the check still reports.
+    assert module.main(["--check"]) == 1
+    # Regenerating clears it.
+    assert module.main([]) == 0
+    assert module.main(["--check"]) == 0
+
+
+def test_check_flags_a_stale_improvement(trajectory, capsys):
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    _regress(bench_dir, 0.5)             # improvement, summary not regenerated
+    assert module.main(["--check"]) == 1
+    assert "stale" in capsys.readouterr().err
+
+
+def test_check_requires_a_committed_summary(trajectory):
+    module, bench_dir = trajectory
+    (bench_dir / module.SUMMARY_NAME).unlink(missing_ok=True)
+    assert module.main(["--check"]) == 1
+
+
+def test_explicit_baseline_gates_across_regeneration(trajectory, capsys):
+    """--baseline catches a regression even after the summary is regenerated.
+
+    The default baseline (the checked-in summary) moves with the PR; an
+    external baseline — e.g. the merge base's summary — does not.
+    """
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    baseline = bench_dir / "merge_base_summary.json"
+    shutil.copy(bench_dir / module.SUMMARY_NAME, baseline)
+    _regress(bench_dir, 1.05)
+    assert module.main([]) == 0          # regenerate: absorbs the regression
+    assert module.main(["--check"]) == 0  # ...so the default gate passes
+    assert module.main(["--check", "--baseline", str(baseline)]) == 1
+    assert "regressed" in capsys.readouterr().err
+    assert module.main(["--check", "--baseline", str(bench_dir / "nope.json")]) == 1

@@ -1,0 +1,387 @@
+"""Double buffering: the primitive, its legality, and the parity lowering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError, TileError
+from repro.isa.instructions import Opcode
+from repro.tile import interpret, library, lower, proc_occupancy, proc_shared_footprint
+from repro.tile import schedule as S
+from repro.tile.interp import assert_equivalent
+from repro.tile.ir import (
+    Affine,
+    Assign,
+    Buffer,
+    Loop,
+    Proc,
+    Stage,
+    TensorParam,
+    check_proc,
+    read,
+)
+
+from test_lower import simulate
+
+
+def _double_buffered_sgemm(m=8, n=8, k=8, tile=4, br=2, stride=2):
+    naive = library.matmul_proc(m, n, k)
+    p = library.schedule_sgemm(
+        naive, tile=tile, register_blocking=br, stride=stride, b_window=2,
+        double_buffer=True,
+    )
+    return naive, p
+
+
+class TestPrimitive:
+    def test_marks_buffer_and_stage(self):
+        _, p = _double_buffered_sgemm()
+        assert p.buffer("A_shared").double and p.buffer("B_shared").double
+        assert all(s.parity == "ko" for s in _walk_stages(p))
+
+    def test_oracle_equivalence(self):
+        naive, p = _double_buffered_sgemm()
+        rng = np.random.default_rng(0)
+        inputs = {
+            "A": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+        }
+        assert_equivalent(naive, p, inputs)
+
+    def test_oracle_equivalence_odd_trip_count(self):
+        naive, p = _double_buffered_sgemm(m=8, n=8, k=12, stride=2)  # 6 iterations
+        rng = np.random.default_rng(1)
+        inputs = {
+            "A": rng.uniform(-1, 1, (8, 12)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (12, 8)).astype(np.float32),
+        }
+        assert_equivalent(naive, p, inputs)
+
+    def test_accepted_after_predicate_tail(self):
+        """Clipped (imperfect-size) stages double-buffer with limits intact."""
+        naive, p = _double_buffered_sgemm(m=13, n=11, k=7, tile=8, br=2, stride=2)
+        stages = list(_walk_stages(p))
+        assert all(s.parity == "ko" for s in stages)
+        assert all(any(limit is not None for limit in s.limits) for s in stages)
+        rng = np.random.default_rng(2)
+        inputs = {
+            "A": rng.uniform(-1, 1, (13, 7)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (7, 11)).astype(np.float32),
+        }
+        assert_equivalent(naive, p, inputs)
+
+    def test_rejects_register_buffer(self):
+        p = S.stage_registers(library.matmul_proc(2, 2, 2), "i", "C")
+        with pytest.raises(ScheduleError, match="shared"):
+            S.double_buffer(p, "C_reg")
+
+    def test_rejects_double_application(self):
+        _, p = _double_buffered_sgemm()
+        with pytest.raises(ScheduleError, match="already"):
+            S.double_buffer(p, "A_shared")
+
+    def test_rejects_stage_not_heading_a_seq_loop(self):
+        # Block-level staging (transpose): the stage heads no sequential loop.
+        p = library.schedule_transpose(library.transpose_proc(32, 32))
+        with pytest.raises(ScheduleError, match="sequential loop"):
+            S.double_buffer(p, "in_shared")
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ScheduleError):
+            S.double_buffer(library.matmul_proc(2, 2, 2), "nope")
+
+
+def _walk_stages(proc):
+    from repro.tile.ir import walk_stmts
+
+    return (s for s in walk_stmts(proc.body) if isinstance(s, Stage))
+
+
+def _staged_loop_proc(write_offset: int | None, *, unknown: bool = False) -> Proc:
+    """A hand-built proc whose staged tensor is written inside the loop.
+
+    ``write_offset`` shifts the written element by whole tiles relative to
+    the current iteration's window (2 ⇒ the write feeds the stage two
+    iterations later); ``unknown`` writes through an unrelated loop instead,
+    leaving the cross-iteration distance unknown.
+    """
+    stage = Stage(
+        buffer="t_sh", tensor="t", base=(Affine.var("ko") * 2,), sizes=(2,),
+        axes=(0,),
+    )
+    if unknown:
+        writer = Loop(
+            var="j", extent=12,
+            body=(Assign(tensor="t", index=(Affine.var("j"),), value=read("out", 0)),),
+        )
+    else:
+        writer = Assign(
+            tensor="t",
+            index=(Affine.var("ko") * 2 + 2 * write_offset,),
+            value=read("out", 0),
+        )
+    body = (
+        Loop(
+            var="ko", extent=4,
+            body=(
+                stage,
+                Assign(tensor="out", index=(Affine.constant(0),),
+                       value=read("t_sh", 0), accumulate=True),
+                writer,
+            ),
+        ),
+    )
+    return Proc(
+        name="staged_flow",
+        params=(TensorParam("t", (12,)), TensorParam("out", (1,))),
+        body=body,
+        buffers=(Buffer("t_sh", (2,), "shared"),),
+    )
+
+
+class TestLegality:
+    def test_unknown_distance_flow_rejected(self):
+        proc = _staged_loop_proc(None, unknown=True)
+        with pytest.raises(ScheduleError, match="prefetch") as error:
+            S.double_buffer(proc, "t_sh")
+        assert error.value.dependence is not None
+
+    def test_distance_one_flow_rejected(self):
+        # The write feeds the very next iteration's window: the prefetch
+        # would read it before it happens.
+        proc = _staged_loop_proc(1)
+        with pytest.raises(ScheduleError, match="prefetch"):
+            S.double_buffer(proc, "t_sh")
+
+    def test_distance_two_flow_accepted(self):
+        proc = _staged_loop_proc(2)
+        rewritten = S.double_buffer(proc, "t_sh")
+        assert rewritten.buffer("t_sh").double
+
+    def test_other_writer_of_buffer_rejected(self):
+        proc = _staged_loop_proc(2)
+        body = proc.body[0]
+        extra = Assign(tensor="t_sh", index=(Affine.constant(0),), value=read("out", 0))
+        poisoned = proc.with_body((
+            Loop(var=body.var, extent=body.extent, body=body.body + (extra,)),
+        ))
+        with pytest.raises(ScheduleError, match="only writer"):
+            S.double_buffer(poisoned, "t_sh")
+
+
+class TestInterp:
+    def test_parity_indexed_buffer_shapes(self):
+        _, p = _double_buffered_sgemm()
+        # The oracle models the layout: two copies per double buffer.
+        rng = np.random.default_rng(3)
+        inputs = {
+            "A": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (8, 8)).astype(np.float32),
+        }
+        out = interpret(p, inputs)
+        assert out["C"].shape == (8, 8)
+
+    def test_conflicting_parity_vars_rejected(self):
+        from dataclasses import replace as dc_replace
+
+        db = S.double_buffer(_staged_loop_proc(2), "t_sh")
+        # Stage the same buffer under a second loop with a different parity
+        # variable — the oracle must refuse the ambiguous alternation.
+        loop = db.body[0]
+        retagged = tuple(
+            dc_replace(stmt, parity="k2") if isinstance(stmt, Stage) else stmt
+            for stmt in loop.body
+        )
+        other = Loop(var="k2", extent=2, body=retagged)
+        broken = db.with_body((loop, other))
+        with pytest.raises(TileError, match="parity"):
+            interpret(broken, {"t": np.zeros(12, dtype=np.float32)}, check=False)
+
+
+class TestCheckProc:
+    def test_double_requires_parity(self):
+        proc = _staged_loop_proc(2)
+        broken = Proc(
+            name=proc.name, params=proc.params, body=proc.body,
+            buffers=(Buffer("t_sh", (2,), "shared", double=True),),
+        )
+        with pytest.raises(TileError, match="parity"):
+            check_proc(broken)
+
+    def test_parity_requires_double(self):
+        db = S.double_buffer(_staged_loop_proc(2), "t_sh")
+        broken = Proc(
+            name=db.name, params=db.params, body=db.body,
+            buffers=(Buffer("t_sh", (2,), "shared"),),
+        )
+        with pytest.raises(TileError, match="not double-buffered"):
+            check_proc(broken)
+
+    def test_double_must_be_shared(self):
+        with pytest.raises(TileError, match="shared"):
+            Buffer("r", (2,), "register", double=True)
+
+    def test_access_outside_the_parity_loop_rejected(self):
+        # Outside the alternating loop "the" tile is ambiguous; the oracle
+        # and the lowering could legitimately disagree, so check_proc bans it.
+        db = S.double_buffer(_staged_loop_proc(2), "t_sh")
+        stray = Assign(tensor="out", index=(Affine.constant(0),),
+                       value=read("t_sh", 1), accumulate=True)
+        broken = db.with_body(db.body + (stray,))
+        with pytest.raises(TileError, match="parity loop"):
+            check_proc(broken)
+
+
+class TestLowering:
+    def test_one_barrier_per_iteration(self, bar_counter):
+        _, p = _double_buffered_sgemm()
+        assert bar_counter(lower(p)) == 1
+
+    def test_pipelined_path_still_two_barriers(self, bar_counter):
+        p = library.schedule_sgemm(
+            library.matmul_proc(8, 8, 8), tile=4, register_blocking=2, stride=2,
+        )
+        assert bar_counter(lower(p)) == 2
+
+    def test_parity_xor_toggles_pointers(self):
+        _, p = _double_buffered_sgemm()
+        kernel = lower(p)
+        xors = [i for i in kernel.instructions if i.opcode is Opcode.LOP_XOR]
+        # Two stage-store pointers and two tile-read pointers flip per
+        # iteration, all by the same power-of-two parity mask.
+        assert len(xors) == 4
+        masks = {i.sources[1].as_int() for i in xors}
+        assert len(masks) == 1
+        (mask,) = masks
+        assert mask & (mask - 1) == 0
+
+    def test_doubled_footprint_with_alignment(self):
+        naive, p = _double_buffered_sgemm()
+        single = library.schedule_sgemm(
+            library.matmul_proc(8, 8, 8), tile=4, register_blocking=2, stride=2,
+        )
+        one = proc_shared_footprint(single)
+        two = proc_shared_footprint(p)
+        assert two > 2 * one - 1  # two copies plus the alignment hole
+        assert lower(p).shared_memory_bytes == two
+
+    def test_mixed_single_and_double_stages_rejected(self):
+        naive = library.matmul_proc(8, 8, 8)
+        p = library.schedule_sgemm(naive, tile=4, register_blocking=2, stride=2)
+        p = S.double_buffer(p, "A_shared")
+        from repro.errors import LoweringError
+
+        with pytest.raises(LoweringError, match="mixes"):
+            lower(p)
+
+    @pytest.mark.parametrize("m,n,k", [(8, 8, 8), (13, 11, 7), (8, 8, 12)])
+    def test_bit_exact_on_both_machines(self, fermi, kepler, m, n, k):
+        naive, p = _double_buffered_sgemm(m=m, n=n, k=k, tile=8 if m == 13 else 4,
+                                          br=2, stride=2)
+        rng = np.random.default_rng(4)
+        inputs = {
+            "A": rng.uniform(-1, 1, (m, k)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (k, n)).astype(np.float32),
+        }
+        oracle = interpret(naive, inputs)["C"]
+        kernel = lower(p)
+        for gpu in (fermi, kepler):
+            out = simulate(p, kernel, inputs, gpu)["C"]
+            assert np.array_equal(out, oracle)
+
+    def test_reentered_parity_loop_is_fenced_and_bit_exact(self, fermi):
+        """A parity loop nested in an enclosing seq loop re-enters safely.
+
+        Odd trip count (3) so the parity-restore XORs run, two warps so the
+        cooperative staging is genuinely shared, and a re-entry whose
+        pre-loop stores rewrite the half the previous run's final reads
+        used — the lowering fences that hand-off with one barrier.
+        """
+        p = library.sgemv_proc(m=64, k=384)
+        p = S.predicate_tail(p, "i", 64, "bx", "tx")
+        p = S.bind_block(p, "bx", "x")
+        p = S.bind_thread(p, "tx", "x")
+        p = S.stage_registers(p, "tx", "y")
+        p = S.split(p, "k", 192, "kr", "kk")     # enclosing seq loop (2)
+        p = S.split(p, "kk", 64, "ko", "ki")     # parity loop (odd extent 3)
+        p = S.stage_shared(p, "ko", "x")
+        p = S.unroll(p, "ki")
+        db = S.double_buffer(p, "x_shared")
+        naive = library.sgemv_proc(m=64, k=384)
+        rng = np.random.default_rng(6)
+        inputs = {
+            "A": rng.uniform(-1, 1, (64, 384)).astype(np.float32),
+            "x": rng.uniform(-1, 1, (384,)).astype(np.float32),
+        }
+        oracle = interpret(naive, inputs)["y"]
+        out = simulate(db, lower(db), inputs, fermi, max_cycles=20_000_000)["y"]
+        assert np.array_equal(out, oracle)
+
+    def test_nested_pipelined_stage_does_not_clobber_the_prefetch_guard(
+        self, fermi, kepler
+    ):
+        """A pipelined staged loop nested inside a double-buffered loop.
+
+        Both loops share the P1 prefetch predicate; the outer loop's
+        bottom-of-body stage stores must re-evaluate it, or the inner loop's
+        final (false) value silently masks them and compute keeps reading
+        the stale tile.
+        """
+        p = library.sgemv_proc(m=32, k=64)
+        p = S.predicate_tail(p, "i", 32, "bx", "tx")
+        p = S.bind_block(p, "bx", "x")
+        p = S.bind_thread(p, "tx", "x")
+        p = S.stage_registers(p, "tx", "y")
+        p = S.split(p, "k", 32, "ko", "kk")     # outer staged loop
+        p = S.stage_shared(p, "ko", "x")
+        p = S.split(p, "kk", 8, "kio", "kii")   # inner pipelined staged loop
+        p = S.stage_shared(p, "kio", "A")
+        p = S.unroll(p, "kii")
+        db = S.double_buffer(p, "x_shared")
+        rng = np.random.default_rng(7)
+        inputs = {
+            "A": rng.uniform(-1, 1, (32, 64)).astype(np.float32),
+            "x": rng.uniform(-1, 1, (64,)).astype(np.float32),
+        }
+        oracle = interpret(library.sgemv_proc(m=32, k=64), inputs)["y"]
+        kernel = lower(db)
+        for gpu in (fermi, kepler):
+            out = simulate(db, kernel, inputs, gpu, max_cycles=20_000_000)["y"]
+            assert np.array_equal(out, oracle)
+
+    def test_prime_size_double_buffer_bit_exact(self, fermi):
+        """The scaled-down version of the 193x161x97 acceptance case."""
+        naive, p = _double_buffered_sgemm(m=29, n=23, k=19, tile=8, br=2, stride=2)
+        rng = np.random.default_rng(5)
+        inputs = {
+            "A": rng.uniform(-1, 1, (29, 19)).astype(np.float32),
+            "B": rng.uniform(-1, 1, (19, 23)).astype(np.float32),
+        }
+        oracle = interpret(naive, inputs)["C"]
+        out = simulate(p, lower(p), inputs, fermi, max_cycles=20_000_000)["C"]
+        assert np.array_equal(out, oracle)
+
+    def test_occupancy_prices_the_doubled_tiles(self, fermi):
+        naive, p = _double_buffered_sgemm()
+        single = library.schedule_sgemm(
+            library.matmul_proc(8, 8, 8), tile=4, register_blocking=2, stride=2,
+        )
+        assert (
+            proc_occupancy(p, fermi).active_blocks
+            <= proc_occupancy(single, fermi).active_blocks
+        )
+
+
+class TestTraffic:
+    def test_clipped_pipelined_traffic_matches_compulsory(self, fermi):
+        """Simulated DRAM traffic == the priced compulsory traffic, exactly."""
+        from repro.kernels import get_workload, run_workload
+        from repro.tile.workloads import TileSgemmConfig
+
+        workload = get_workload("tile_sgemm")
+        for config in (
+            TileSgemmConfig(m=13, n=11, k=7, tile=8, register_blocking=2, stride=2),
+            TileSgemmConfig(m=13, n=11, k=7, tile=8, register_blocking=2, stride=2,
+                            double_buffer=True),
+        ):
+            run = run_workload(fermi, workload, config, max_cycles=20_000_000)
+            assert run.dram_bytes == workload.resources(config).dram_bytes

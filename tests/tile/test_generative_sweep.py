@@ -27,6 +27,47 @@ def _tiny_space():
     )
 
 
+def test_double_buffer_axis_in_the_space():
+    """The sweep generates double-buffered twins of staged schedule points."""
+    _, space = _tiny_space()
+    labels = {c.label for c in space}
+    assert any(label.endswith("db") for label in labels)
+    db = [c for c in space if c.label.endswith("db")]
+    assert all(c.config.double_buffer for c in db)
+
+
+def test_occupancy_kills_oversized_double_buffers(fermi):
+    """Doubled tiles that cannot be resident are pruned with an infinite bound."""
+    import math
+
+    from repro.opt.autotune import WorkloadCandidate
+
+    # 96-wide tile, L=32, doubled: ~56 KB of shared memory against Fermi's
+    # 48 KB — the kernel cannot even launch, so the bound prunes it unrun.
+    monster = WorkloadCandidate(
+        workload="tile_sgemm",
+        config=TileSgemmConfig(stride=32, double_buffer=True),
+        optimize=True,
+        label="tile_sgemm:db_l32",
+    )
+    report = prune_by_bound(fermi, [monster])
+    assert not report.kept
+    ((label, bound),) = report.pruned
+    assert label == "tile_sgemm:db_l32" and math.isinf(bound)
+
+
+def test_prune_report_carries_wall_time(fermi):
+    _, space = _tiny_space()
+    first = prune_by_bound(fermi, space)
+    assert first.elapsed_s > 0.0
+    # The schedule applications are memoized by schedule hash, so a repeated
+    # sweep is deterministic (and cheaper host-side — not asserted, wall
+    # clocks jitter).
+    again = prune_by_bound(fermi, space)
+    assert again.elapsed_s > 0.0
+    assert [c.label for c in again.kept] == [c.label for c in first.kept]
+
+
 def test_tiny_sweep_prunes_and_the_winner_beats_naive(fermi):
     base, space = _tiny_space()
     sgemm_space = [c for c in space if c.workload == "tile_sgemm"]
