@@ -105,6 +105,7 @@ def test_schedule_ladder_recovers_hand_performance(benchmark, fermi, kepler):
         }
         for gpu_name, gpu in (("fermi", fermi), ("kepler", kepler)):
             hand = _hand_golden(name, gpu)
+            opt_result = simulate_one_block(gpu, bundle[f"{gpu_name}_opt"])
             cycles = {
                 "naive_schedule": simulate_one_block(
                     gpu, bundle["naive_schedule"]
@@ -112,9 +113,7 @@ def test_schedule_ladder_recovers_hand_performance(benchmark, fermi, kepler):
                 "golden_schedule": simulate_one_block(
                     gpu, bundle["golden_schedule"]
                 ).cycles,
-                "golden_schedule_opt": simulate_one_block(
-                    gpu, bundle[f"{gpu_name}_opt"]
-                ).cycles,
+                "golden_schedule_opt": opt_result.cycles,
                 "hand_golden": simulate_one_block(gpu, hand).cycles,
             }
             if name == "tile_sgemm":
@@ -122,7 +121,14 @@ def test_schedule_ladder_recovers_hand_performance(benchmark, fermi, kepler):
                     gpu, bundle[f"{gpu_name}_db"]
                 ).cycles
             ratio = cycles["golden_schedule_opt"] / cycles["hand_golden"]
-            metrics[gpu_name] = {**cycles, "vs_hand": ratio}
+            # The optimized kernel's stall breakdown rides along so the
+            # trajectory gate can name the stall reason behind a cycle
+            # regression (scripts/bench_trajectory.py --check).
+            metrics[gpu_name] = {
+                **cycles,
+                "vs_hand": ratio,
+                "stalls": opt_result.stalls.as_dict(),
+            }
             line = (
                 f"{name:15s} {gpu_name:7s} naive {cycles['naive_schedule']:7.0f}  "
                 f"golden {cycles['golden_schedule']:7.0f}  +opt "
@@ -148,6 +154,53 @@ def test_schedule_ladder_recovers_hand_performance(benchmark, fermi, kepler):
 
         record_tile_metric(name, metrics)
     print_series("Tile IR — schedule ladder vs hand kernels", lines)
+
+
+def test_bound_pruned_sweep_economics(benchmark, fermi):
+    """A tiny generative sweep, its one-line summary, and its cost figures.
+
+    Tracks the sweep economics in BENCH_tile.json: how many candidates the
+    analytic bound pruned without simulating, the host-side wall time of the
+    pruning pass, and how many simulations the kernel-hash cache absorbed.
+    The winner's cycles are recorded as ``best_cycles`` — deliberately not a
+    cycle-ladder key, since the sweep space (not the kernels) defines it.
+    """
+    from repro.opt.autotune import AutotuneCache, autotune_workloads
+    from repro.tile.autotune import prune_by_bound, schedule_space, sweep_summary
+
+    base = TileSgemmConfig(m=16, n=16, k=8, tile=8, register_blocking=2,
+                           stride=2, b_window=2)
+    space = [
+        c for c in schedule_space(
+            sgemm=base, tiles=(4, 8), register_blockings=(2, 4),
+            strides=(2, 4), b_windows=(1, 2), tail_sizes=(),
+        )
+        if c.workload == "tile_sgemm"
+    ]
+
+    report = benchmark.pedantic(
+        lambda: prune_by_bound(fermi, space), rounds=1, iterations=1
+    )
+    assert report.kept and report.pruned
+    assert report.elapsed_s > 0.0
+
+    cache = AutotuneCache()
+    outcomes = autotune_workloads(fermi, list(report.kept), workers=1, cache=cache)
+    assert all(outcome.ok for outcome in outcomes)
+    cache_hits = sum(1 for o in outcomes if o.from_cache)
+    best = outcomes[0]
+
+    record_tile_metric("tile_sgemm_bound_pruned_sweep", {
+        "total_candidates": report.total,
+        "pruned": len(report.pruned),
+        "kept": len(report.kept),
+        "prune_elapsed_s": round(report.elapsed_s, 3),
+        "simulated": len(outcomes),
+        "cache_hits": cache_hits,
+        "fermi": {"best_label": best.label, "best_cycles": best.cycles},
+    })
+    print_series("Tile IR — bound-pruned sweep economics",
+                 [sweep_summary(report, outcomes)])
 
 
 def test_double_buffered_sgemm_is_bit_exact(benchmark, fermi, kepler):

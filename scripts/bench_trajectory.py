@@ -18,6 +18,12 @@ doubles as a staleness test in CI — and as a **perf regression gate**: any
 ``cycle_ladder`` entry whose freshly computed value exceeds the checked-in
 one by more than ``REGRESSION_TOLERANCE`` fails the check with a per-entry
 report, before the staleness diff is even considered.
+
+Suites may record a per-reason ``stalls`` breakdown next to a cycle figure
+(``benchmarks/bench_tile.py`` does, from the simulator's StallBreakdown);
+those are collected into a parallel ``stall_ladder``, and a regressed cycle
+entry's report names the sibling stall reason that grew the most — the
+gate says not just *that* a kernel got slower but *why*.
 """
 
 from __future__ import annotations
@@ -46,21 +52,30 @@ CYCLE_KEYS = frozenset({
 #: A ladder entry may grow by at most this fraction before --check fails.
 REGRESSION_TOLERANCE = 0.02
 
+#: Key under which suites record a per-reason stall breakdown dict.
+STALL_KEY = "stalls"
 
-def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float]) -> None:
-    """Walk one metrics blob, recording every cycle-like numeric leaf."""
+
+def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float],
+                    stalls: dict[str, float]) -> None:
+    """Walk one metrics blob, recording cycle-like and stall-breakdown leaves."""
     if isinstance(blob, dict):
         for key in sorted(blob):
             value = blob[key]
             if key in CYCLE_KEYS and isinstance(value, (int, float)):
                 ladder[":".join(path + (key,))] = float(value)
+            elif key == STALL_KEY and isinstance(value, dict):
+                for reason in sorted(value):
+                    if isinstance(value[reason], (int, float)):
+                        stalls[":".join(path + (key, reason))] = float(value[reason])
             else:
-                _collect_cycles(value, path + (key,), ladder)
+                _collect_cycles(value, path + (key,), ladder, stalls)
 
 
 def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
     """The aggregate of every BENCH_*.json currently on disk."""
     ladder: dict[str, float] = {}
+    stalls: dict[str, float] = {}
     sources: list[str] = []
     for bench_file in sorted(bench_dir.glob("BENCH_*.json")):
         if bench_file.name == SUMMARY_NAME:
@@ -68,12 +83,35 @@ def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
         with open(bench_file, encoding="utf-8") as handle:
             data = json.load(handle)
         sources.append(bench_file.name)
-        _collect_cycles(data.get("metrics", data), (bench_file.stem,), ladder)
+        _collect_cycles(data.get("metrics", data), (bench_file.stem,), ladder, stalls)
     return {
-        "schema": 1,
+        "schema": 2,
         "sources": sources,
         "cycle_ladder": dict(sorted(ladder.items())),
+        "stall_ladder": dict(sorted(stalls.items())),
     }
+
+
+def _blame_stall(key: str, baseline: dict[str, float],
+                 fresh: dict[str, float]) -> tuple[str, float, float] | None:
+    """The stall reason that grew the most next to a regressed cycle entry.
+
+    Cycle entries and stall breakdowns are recorded as siblings
+    (``...:fermi:golden_schedule_opt`` next to ``...:fermi:stalls:<reason>``),
+    so the regressed key's prefix locates its breakdown in both summaries.
+    """
+    prefix = key.rsplit(":", 1)[0] + f":{STALL_KEY}:"
+    growths = [
+        (fresh[entry] - baseline[entry], entry[len(prefix):],
+         baseline[entry], fresh[entry])
+        for entry in fresh
+        if entry.startswith(prefix) and entry in baseline
+    ]
+    growths = [g for g in growths if g[0] > 0]
+    if not growths:
+        return None
+    _, reason, was, now = max(growths)
+    return reason, was, now
 
 
 def render(summary: dict[str, object]) -> str:
@@ -107,10 +145,11 @@ def main(argv: list[str] | None = None) -> int:
         if not baseline_path.exists():
             print(f"baseline {baseline_path} is missing", file=sys.stderr)
             return 1
-        baseline = json.loads(
-            baseline_path.read_text(encoding="utf-8")
-        ).get("cycle_ladder", {})
+        baseline_summary = json.loads(baseline_path.read_text(encoding="utf-8"))
+        baseline = baseline_summary.get("cycle_ladder", {})
+        baseline_stalls = baseline_summary.get("stall_ladder", {})
         fresh = summary["cycle_ladder"]
+        fresh_stalls = summary["stall_ladder"]
         regressions = [
             (key, baseline[key], fresh[key])
             for key in sorted(set(baseline) & set(fresh))
@@ -124,8 +163,14 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             for key, was, now in regressions:
-                print(f"  {key}: {was:.0f} -> {now:.0f} "
-                      f"({100 * (now / was - 1):+.1f}%)", file=sys.stderr)
+                line = (f"  {key}: {was:.0f} -> {now:.0f} "
+                        f"({100 * (now / was - 1):+.1f}%)")
+                blame = _blame_stall(key, baseline_stalls, fresh_stalls)
+                if blame is not None:
+                    reason, stall_was, stall_now = blame
+                    line += (f" — stall:{reason} grew "
+                             f"{stall_was:.0f} -> {stall_now:.0f}")
+                print(line, file=sys.stderr)
             return 1
         if summary_path.read_text(encoding="utf-8") != text:
             print(f"{summary_path} is stale; run scripts/bench_trajectory.py",

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Profile a registry workload: per-provenance cycles, stalls and bound gap.
+
+Functionally simulates the whole grid of one workload on each requested
+machine model with per-instruction counters enabled, rolls the counters up
+by tile-IR provenance tag, and joins the result against the workload's
+analytic upper bound (Eq. 6/8/9) — the achieved-vs-bound gap decomposed into
+issue slots and per-reason stall cycles.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_kernel.py tile_sgemm
+    PYTHONPATH=src python scripts/profile_kernel.py tile_sgemm --gpu gtx580 \
+        --m 193 --n 161 --k 97 --json profile.json --trace profile.trace.json
+
+``--json`` writes the full machine-readable profile; ``--trace`` writes a
+Chrome trace-event file (load it in Perfetto) covering schedule application,
+lowering and the optimization passes of the profiled build.
+``--check-attribution`` exits non-zero unless every profile attributes at
+least the given fraction of simulated cycles — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+
+from repro.arch.specs import get_gpu_spec
+from repro.kernels.registry import get_workload, workload_names
+from repro.prof import format_profile, profile_workload, tracing
+
+DEFAULT_GPUS = ("gtx580", "gtx680")
+
+
+def _build_config(workload_name: str, args: argparse.Namespace):
+    """The workload's default config with any --m/--n/--k overrides applied."""
+    config = get_workload(workload_name).default_config()
+    overrides = {
+        name: getattr(args, name)
+        for name in ("m", "n", "k")
+        if getattr(args, name) is not None and hasattr(config, name)
+    }
+    return replace(config, **overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("workload", nargs="?", default="tile_sgemm",
+                        help="registry workload name (default: tile_sgemm)")
+    parser.add_argument("--list", action="store_true",
+                        help="list profilable workloads and exit")
+    parser.add_argument("--gpu", action="append", default=None,
+                        help="GPU name (repeatable; default: gtx580 and gtx680)")
+    parser.add_argument("--m", type=int, default=None, help="problem-size override")
+    parser.add_argument("--n", type=int, default=None, help="problem-size override")
+    parser.add_argument("--k", type=int, default=None, help="problem-size override")
+    parser.add_argument("--naive", action="store_true",
+                        help="profile the naive kernel instead of the opt pipeline's")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="truncate provenance tags to this many path segments")
+    parser.add_argument("--max-cycles", type=int, default=50_000_000,
+                        help="simulation cycle cap per run")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the machine-readable profiles to this file")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="write a Chrome trace-event JSON to this file")
+    parser.add_argument("--check-attribution", type=float, default=None,
+                        metavar="FRACTION",
+                        help="fail unless every profile attributes at least this "
+                             "fraction of simulated cycles (e.g. 0.95)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in workload_names():
+            print(name)
+        return 0
+
+    gpus = args.gpu if args.gpu else list(DEFAULT_GPUS)
+    config = _build_config(args.workload, args)
+
+    profiles = []
+    with tracing() as tracer:
+        for gpu_name in gpus:
+            profiles.append(
+                profile_workload(
+                    get_gpu_spec(gpu_name),
+                    args.workload,
+                    config,
+                    optimized=not args.naive,
+                    max_cycles=args.max_cycles,
+                    depth=args.depth,
+                )
+            )
+    if args.trace:
+        tracer.dump(args.trace)
+
+    for index, profile in enumerate(profiles):
+        if index:
+            print()
+        print(format_profile(profile))
+
+    if args.json:
+        payload = {"workload": args.workload, "profiles": [p.as_dict() for p in profiles]}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+
+    if args.check_attribution is not None:
+        for profile in profiles:
+            fraction = profile.rollup.attributed_fraction
+            if fraction < args.check_attribution:
+                print(
+                    f"attribution check failed on {profile.gpu_name}: "
+                    f"{fraction:.4f} < {args.check_attribution}",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"attribution >= {args.check_attribution:.0%} on "
+              f"{len(profiles)} profile{'s' if len(profiles) != 1 else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

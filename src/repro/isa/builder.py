@@ -74,6 +74,7 @@ class KernelBuilder:
     _guard: Predicate = field(default=PT, repr=False)
     _guard_negated: bool = field(default=False, repr=False)
     _label_counter: int = field(default=0, repr=False)
+    _provenance: tuple[str, ...] = field(default=(), repr=False)
 
     # ------------------------------------------------------------------ #
     # Structural helpers.                                                 #
@@ -101,7 +102,9 @@ class KernelBuilder:
         return label
 
     def raw(self, instruction: Instruction) -> Instruction:
-        """Append an already-built instruction."""
+        """Append an already-built instruction (stamping provenance if unset)."""
+        if not instruction.provenance and self._provenance:
+            instruction = instruction.with_provenance(self.current_provenance)
         self._items.append(instruction)
         return instruction
 
@@ -118,6 +121,20 @@ class KernelBuilder:
         """Context manager applying a guard predicate to enclosed instructions."""
         return _GuardScope(self, predicate, negated)
 
+    def provenance(self, tag: str) -> "_ProvenanceScope":
+        """Context manager tagging enclosed instructions with an origin path.
+
+        Scopes nest: ``provenance("loop(k)")`` inside ``provenance("main")``
+        stamps ``main/loop(k)``.  The tag survives assembly, optimisation
+        passes and profiling rollups (see :mod:`repro.prof`).
+        """
+        return _ProvenanceScope(self, tag)
+
+    @property
+    def current_provenance(self) -> str:
+        """The ``/``-joined provenance path currently in scope."""
+        return "/".join(self._provenance)
+
     @property
     def instruction_count(self) -> int:
         """Number of instructions appended so far."""
@@ -131,6 +148,7 @@ class KernelBuilder:
         instruction = Instruction(
             predicate=self._guard,
             predicate_negated=self._guard_negated,
+            provenance=self.current_provenance,
             **kwargs,
         )
         self._items.append(instruction)
@@ -259,6 +277,7 @@ class KernelBuilder:
             target=target,
             predicate=guard,
             predicate_negated=negated if predicate is not None else self._guard_negated,
+            provenance=self.current_provenance,
         )
         self._items.append(instruction)
         return instruction
@@ -313,3 +332,18 @@ class _GuardScope:
     def __exit__(self, exc_type, exc, tb) -> None:
         assert self._saved is not None
         self._builder._guard, self._builder._guard_negated = self._saved
+
+
+class _ProvenanceScope:
+    """Context manager that pushes a provenance path segment."""
+
+    def __init__(self, builder: KernelBuilder, tag: str) -> None:
+        self._builder = builder
+        self._tag = tag
+
+    def __enter__(self) -> KernelBuilder:
+        self._builder._provenance = self._builder._provenance + (self._tag,)
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._builder._provenance = self._builder._provenance[:-1]

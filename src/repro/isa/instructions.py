@@ -261,6 +261,11 @@ class Instruction:
         Branch target label for BRA.
     comment:
         Free-form annotation kept through assembly/disassembly round trips.
+    provenance:
+        ``/``-separated origin path (IR node / schedule primitive) stamped by
+        the generator that emitted the instruction.  Optimisation passes
+        preserve it, so profilers can roll machine-level counters up to the
+        tile-IR construct that produced each instruction.  Not encoded.
     """
 
     opcode: Opcode
@@ -274,6 +279,7 @@ class Instruction:
     special: SpecialRegister | None = None
     target: Label | None = None
     comment: str = ""
+    provenance: str = ""
 
     def __post_init__(self) -> None:
         if self.opcode in (Opcode.LDS, Opcode.STS, Opcode.LD, Opcode.ST):
@@ -417,6 +423,24 @@ class Instruction:
             special=self.special,
             target=self.target,
             comment=comment,
+            provenance=self.provenance,
+        )
+
+    def with_provenance(self, provenance: str) -> "Instruction":
+        """A copy of this instruction carrying ``provenance``."""
+        return Instruction(
+            opcode=self.opcode,
+            dest=self.dest,
+            sources=self.sources,
+            predicate=self.predicate,
+            predicate_negated=self.predicate_negated,
+            width=self.width,
+            dest_predicate=self.dest_predicate,
+            compare_op=self.compare_op,
+            special=self.special,
+            target=self.target,
+            comment=self.comment,
+            provenance=provenance,
         )
 
     @property

@@ -198,11 +198,14 @@ def run_workload(
     seed: int = 0,
     validate: bool = True,
     max_cycles: int = 20_000_000,
+    collect_profile: bool = False,
 ) -> WorkloadRun:
     """Generate, simulate (functionally) and validate one workload.
 
     Simulates every block of the launch grid so the full output is computed
     and comparable against NumPy — keep the problem sizes small.
+    ``collect_profile`` threads through to :meth:`SmSimulator.run`, filling
+    the result's per-instruction :class:`~repro.sim.results.InstructionCounters`.
     """
     if config is None:
         config = workload.default_config()
@@ -219,6 +222,7 @@ def run_workload(
     result = simulator.run(
         LaunchConfig(grid=launch.grid, functional=True, max_cycles=max_cycles),
         block_indices=launch.grid.block_indices(),
+        collect_profile=collect_profile,
     )
     output = workload.read_output(config, launch.memory)
     max_error = 0.0

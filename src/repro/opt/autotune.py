@@ -33,6 +33,7 @@ from repro.errors import ModelError, ReproError
 from repro.model.params import SgemmConfig
 from repro.opt.pipeline import default_pipeline
 from repro.opt.rewrite import kernel_hash
+from repro.prof.trace import trace_instant, trace_span
 from repro.sgemm.config import SgemmKernelConfig, SgemmVariant
 from repro.sgemm.conflict_analysis import analyse_ffma_conflicts
 from repro.sgemm.generator import generate_naive_sgemm_kernel, generate_sgemm_kernel
@@ -163,12 +164,14 @@ def simulate_one_block(
     *,
     max_cycles: int = 2_000_000,
     functional: bool = False,
+    collect_profile: bool = False,
 ):
     """Timing-mode simulation of one block of ``kernel`` on one SM.
 
     The shared evaluation primitive behind the autotuner, the opt benchmark
     and the examples: one `threads_per_block`-wide block, no functional
-    execution unless requested.
+    execution unless requested.  ``collect_profile`` fills the result's
+    per-instruction counters (see :mod:`repro.prof`).
     """
     simulator = SmSimulator(gpu, kernel)
     launch = LaunchConfig(
@@ -176,7 +179,7 @@ def simulate_one_block(
         functional=functional,
         max_cycles=max_cycles,
     )
-    return simulator.run(launch, block_indices=[(0, 0)])
+    return simulator.run(launch, block_indices=[(0, 0)], collect_profile=collect_profile)
 
 
 def evaluate_candidate(
@@ -458,15 +461,33 @@ def _sweep(
     workers = max(1, min(workers, len(candidates)))
 
     snapshot = dict(cache.entries)
-    if workers == 1:
-        outcomes = [
-            _evaluate_star((spec, candidate, max_cycles, snapshot))
-            for candidate in candidates
-        ]
-    else:
-        jobs = [(spec, candidate, max_cycles, snapshot) for candidate in candidates]
-        with multiprocessing.Pool(processes=workers) as pool:
-            outcomes = pool.map(_evaluate_star, jobs)
+    # The whole sweep is one trace span; per-candidate results are recorded
+    # as instants *after* the pool returns, so traces work identically for
+    # serial and multiprocessing sweeps (worker processes never see the
+    # parent's tracer).
+    with trace_span(
+        "autotune.sweep", category="autotune", candidates=len(candidates), workers=workers
+    ) as span:
+        if workers == 1:
+            outcomes = [
+                _evaluate_star((spec, candidate, max_cycles, snapshot))
+                for candidate in candidates
+            ]
+        else:
+            jobs = [(spec, candidate, max_cycles, snapshot) for candidate in candidates]
+            with multiprocessing.Pool(processes=workers) as pool:
+                outcomes = pool.map(_evaluate_star, jobs)
+        span["cache_hits"] = sum(1 for o in outcomes if o.ok and o.from_cache)
+    for outcome in outcomes:
+        trace_instant(
+            f"candidate.{outcome.label}",
+            category="autotune",
+            # Failed candidates carry cycles=inf, which strict JSON cannot
+            # represent; record the error string instead.
+            cycles=outcome.cycles if outcome.ok else None,
+            from_cache=outcome.from_cache,
+            ok=outcome.ok,
+        )
 
     for outcome in outcomes:
         if outcome.ok and not outcome.from_cache:

@@ -31,6 +31,7 @@ from repro.opt.control_hints import assign_control_hints
 from repro.opt.liveness import analyse_liveness
 from repro.opt.reallocation import reallocate_registers
 from repro.opt.scheduling import schedule_kernel
+from repro.prof.trace import trace_span
 from repro.sgemm.conflict_analysis import analyse_ffma_conflicts
 
 
@@ -172,7 +173,10 @@ class PassPipeline:
         for pipeline_pass in self._passes:
             before_conflicts = analyse_ffma_conflicts(current)
             before_registers = current.register_count
-            transformed = pipeline_pass.run(current, context)
+            with trace_span(
+                f"opt.{pipeline_pass.name}", category="opt", kernel=kernel.name
+            ):
+                transformed = pipeline_pass.run(current, context)
             _verify_invariants(pipeline_pass.name, current, transformed)
             after_conflicts = analyse_ffma_conflicts(transformed)
             # Notes accumulate in the context (later passes may read earlier

@@ -1,0 +1,182 @@
+"""Profile orchestration: simulate with counters, roll up, attribute the gap.
+
+Two entry points mirror the repo's two simulation harnesses:
+
+* :func:`profile_workload` — the full-grid *functional* run of a registry
+  workload (:func:`repro.kernels.run_workload` with ``collect_profile``),
+  rolled up by provenance and joined against the workload's analytic bound;
+* :func:`profile_kernel` — the cheap single-block *timing* profile of any
+  assembled kernel (the autotuner's evaluation primitive with counters on),
+  rollup only — a raw kernel carries no resource declaration to bound.
+
+Both return a :class:`KernelProfile`; :func:`format_profile` renders it as
+the per-schedule-primitive breakdown ``scripts/profile_kernel.py`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.arch.specs import GpuSpec
+from repro.isa.assembler import Kernel
+from repro.prof.report import GapReport, attribute_gap, format_gap
+from repro.prof.rollup import ProfileRollup, rollup_by_provenance
+from repro.prof.trace import trace_span
+from repro.sim.results import SimResult
+
+__all__ = ["KernelProfile", "profile_kernel", "profile_workload", "format_profile"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One profiled simulation: counters rolled up by provenance, plus context.
+
+    ``gap`` is populated when the profiled work has a resource declaration to
+    bound (workload profiles); raw kernel profiles carry None.
+    """
+
+    label: str
+    gpu_name: str
+    kernel: Kernel
+    result: SimResult
+    rollup: ProfileRollup
+    gap: GapReport | None = None
+
+    @property
+    def cycles(self) -> float:
+        """Simulated cycles of the profiled run."""
+        return self.result.cycles
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view (the ``--json`` payload of the CLI)."""
+        payload: dict[str, object] = {
+            "label": self.label,
+            "gpu": self.gpu_name,
+            "kernel": self.kernel.name,
+            "instructions": self.kernel.instruction_count,
+            "registers": self.kernel.register_count,
+            "cycles": self.result.cycles,
+            "warp_instructions": self.result.warp_instructions,
+            "flops": self.result.flops,
+            "stalls": self.result.stalls.as_dict(),
+            "rollup": self.rollup.as_dict(),
+        }
+        if self.gap is not None:
+            payload["gap"] = self.gap.as_dict()
+        return payload
+
+
+def profile_workload(
+    gpu: GpuSpec,
+    workload_name: str,
+    config: Any = None,
+    *,
+    optimized: bool = True,
+    seed: int = 0,
+    validate: bool = True,
+    max_cycles: int = 20_000_000,
+    depth: int | None = None,
+) -> KernelProfile:
+    """Functionally simulate one registry workload with full attribution.
+
+    Runs every block of the grid on one simulated SM (so the achieved cycles
+    and the workload's whole-problem resources price the same work), rolls
+    the counters up by provenance tag and attributes the achieved-vs-bound
+    gap.  ``depth`` truncates provenance tags (see
+    :func:`repro.prof.rollup.rollup_by_provenance`).
+    """
+    from repro.kernels.base import run_workload
+    from repro.kernels.registry import get_workload
+
+    workload = get_workload(workload_name)
+    if config is None:
+        config = workload.default_config()
+    label = f"{workload_name}:{'pipeline' if optimized else 'naive'}"
+    with trace_span(f"profile.{label}", category="prof", gpu=gpu.name) as span:
+        run = run_workload(
+            gpu,
+            workload,
+            config,
+            optimized=optimized,
+            seed=seed,
+            validate=validate,
+            max_cycles=max_cycles,
+            collect_profile=True,
+        )
+        assert run.result.counters is not None
+        rollup = rollup_by_provenance(
+            run.kernel, run.result.counters, total_cycles=run.result.cycles, depth=depth
+        )
+        gap = attribute_gap(gpu, workload.resources(config), rollup, label=label)
+        span["cycles"] = run.result.cycles
+        span["attributed_fraction"] = rollup.attributed_fraction
+    return KernelProfile(
+        label=label,
+        gpu_name=gpu.name,
+        kernel=run.kernel,
+        result=run.result,
+        rollup=rollup,
+        gap=gap,
+    )
+
+
+def profile_kernel(
+    gpu: GpuSpec,
+    kernel: Kernel,
+    *,
+    max_cycles: int = 2_000_000,
+    depth: int | None = None,
+) -> KernelProfile:
+    """Single-block timing profile of an assembled kernel (no bound join)."""
+    from repro.opt.autotune import simulate_one_block
+
+    with trace_span(f"profile.{kernel.name}", category="prof", gpu=gpu.name) as span:
+        result = simulate_one_block(
+            gpu, kernel, max_cycles=max_cycles, collect_profile=True
+        )
+        assert result.counters is not None
+        rollup = rollup_by_provenance(
+            kernel, result.counters, total_cycles=result.cycles, depth=depth
+        )
+        span["cycles"] = result.cycles
+    return KernelProfile(
+        label=kernel.name,
+        gpu_name=gpu.name,
+        kernel=kernel,
+        result=result,
+        rollup=rollup,
+    )
+
+
+def format_profile(profile: KernelProfile) -> str:
+    """Render the per-provenance breakdown (and gap, if any) as text."""
+    rollup = profile.rollup
+    header = (
+        f"{'provenance':44s} {'cycles':>9s} {'%tot':>6s} {'issues':>7s} "
+        f"{'busy':>9s} {'stalled':>9s} {'top stall':>17s} {'replays':>7s} {'dram':>10s}"
+    )
+    lines = [
+        f"profile — {profile.label} on {profile.gpu_name}: "
+        f"{profile.cycles:.0f} cycles, "
+        f"{100.0 * rollup.attributed_fraction:.1f}% attributed",
+        header,
+        "-" * len(header),
+    ]
+    for row in rollup.rows:
+        fraction = row.cycles / rollup.total_cycles if rollup.total_cycles else 0.0
+        dominant = row.dominant_stall
+        top_stall = (
+            f"{dominant} {100.0 * row.stall_cycles[dominant] / row.cycles:.0f}%"
+            if dominant is not None and row.cycles > 0
+            else "-"
+        )
+        lines.append(
+            f"{row.tag:44s} {row.cycles:9.0f} {100.0 * fraction:6.1f} "
+            f"{row.issues:7d} {row.issue_cycles:9.0f} {row.total_stall_cycles:9.0f} "
+            f"{top_stall:>17s} {row.smem_replays:7d} {row.dram_bytes:10d}"
+        )
+    if profile.gap is not None:
+        lines.append("")
+        lines.append(format_gap(profile.gap))
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Bound-gap attribution: decompose achieved-vs-bound in the cycle domain.
+
+The paper's Eq. 6/8/9 bounds say how fast a kernel *could* run given its
+compulsory work (flops, DRAM bytes, shared-memory bytes); the profiled
+simulator says how fast it *did* run and charges every cycle to an
+instruction.  This module joins the two: it converts the workload's analytic
+floors (:func:`repro.model.analyse_workload_bound`) into simulated-SM cycles,
+subtracts the binding floor from the achieved cycle count, and decomposes the
+remaining gap into the profiler's exhaustive issue/stall attribution.
+
+The cycle-domain conversion mirrors the simulator's bandwidth model: the
+whole grid runs on one simulated SM that owns ``1/sm_count`` of the GPU's
+DRAM bandwidth and FLOP throughput, so a whole-GPU bound time of ``t``
+seconds corresponds to ``t × f_shader × sm_count`` cycles on that SM.  The
+floors and the simulator therefore price DRAM bytes identically, and the
+reconciliation identity
+
+``achieved = bound + (busy - bound) + Σ stall_cycles[reason]``
+
+holds exactly (busy = issue-attributed cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.specs import GpuSpec
+from repro.model.workload_bounds import (
+    WorkloadBound,
+    WorkloadResources,
+    analyse_workload_bound,
+)
+from repro.prof.rollup import ProfileRollup
+from repro.sim.results import STALL_REASONS
+
+__all__ = ["BoundFloors", "GapReport", "attribute_gap", "bound_floors", "format_gap"]
+
+
+@dataclass(frozen=True)
+class BoundFloors:
+    """The analytic floors of one workload, in simulated-SM cycles."""
+
+    compute_cycles: float
+    dram_cycles: float
+    shared_cycles: float
+
+    @property
+    def bound_cycles(self) -> float:
+        """The binding floor: no schedule can beat the slowest resource."""
+        return max(self.compute_cycles, self.dram_cycles, self.shared_cycles)
+
+    @property
+    def limited_by(self) -> str:
+        """Which resource the binding floor belongs to."""
+        floors = {
+            "compute": self.compute_cycles,
+            "dram": self.dram_cycles,
+            "shared": self.shared_cycles,
+        }
+        return max(floors, key=lambda name: floors[name])
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "compute_cycles": self.compute_cycles,
+            "dram_cycles": self.dram_cycles,
+            "shared_cycles": self.shared_cycles,
+            "bound_cycles": self.bound_cycles,
+            "limited_by": self.limited_by,
+        }
+
+
+def bound_floors(gpu: GpuSpec, resources: WorkloadResources) -> BoundFloors:
+    """Eq. 6/8/9 floors of ``resources`` converted to simulated-SM cycles.
+
+    One simulated SM owns ``1/sm_count`` of every whole-GPU rate, so the
+    whole-GPU bound times scale by ``f_shader × sm_count`` to become cycles
+    of a single SM executing the entire grid — exactly what
+    :func:`repro.kernels.run_workload` simulates.
+    """
+    bound = analyse_workload_bound(resources, gpu)
+    cycles_per_second = gpu.clocks.shader_mhz * 1e6 * gpu.sm_count
+    return BoundFloors(
+        compute_cycles=bound.compute_time_s * cycles_per_second,
+        dram_cycles=bound.dram_time_s * cycles_per_second,
+        shared_cycles=bound.shared_time_s * cycles_per_second,
+    )
+
+
+@dataclass(frozen=True)
+class GapReport:
+    """Achieved-vs-bound decomposition of one profiled run.
+
+    ``gap_terms`` decomposes ``gap_cycles`` exactly: the issue term is the
+    busy cycles in excess of the binding floor (negative when stalls overlap
+    a non-compute floor), and each stall term is that reason's exhaustively
+    attributed idle cycles.
+    """
+
+    label: str
+    gpu_name: str
+    achieved_cycles: float
+    floors: BoundFloors
+    bound: WorkloadBound
+    busy_cycles: float
+    stall_cycles: dict[str, float]
+
+    @property
+    def gap_cycles(self) -> float:
+        """Cycles lost to the binding floor (achieved minus bound)."""
+        return self.achieved_cycles - self.floors.bound_cycles
+
+    @property
+    def gap_fraction(self) -> float:
+        """Gap as a fraction of the bound (0.25 = 25% over the bound)."""
+        if self.floors.bound_cycles <= 0:
+            return 0.0
+        return self.gap_cycles / self.floors.bound_cycles
+
+    @property
+    def bound_efficiency(self) -> float:
+        """Achieved fraction of the workload's own bound (not the GPU peak)."""
+        if self.achieved_cycles <= 0:
+            return 0.0
+        return self.floors.bound_cycles / self.achieved_cycles
+
+    @property
+    def gap_terms(self) -> list[tuple[str, float]]:
+        """The exact decomposition of ``gap_cycles``, largest term first."""
+        terms = [("issue_above_bound", self.busy_cycles - self.floors.bound_cycles)]
+        terms.extend(
+            (f"stall:{reason}", self.stall_cycles.get(reason, 0.0))
+            for reason in STALL_REASONS
+        )
+        return sorted(terms, key=lambda term: -term[1])
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view."""
+        return {
+            "label": self.label,
+            "gpu": self.gpu_name,
+            "achieved_cycles": self.achieved_cycles,
+            "floors": self.floors.as_dict(),
+            "busy_cycles": self.busy_cycles,
+            "stall_cycles": dict(self.stall_cycles),
+            "gap_cycles": self.gap_cycles,
+            "gap_fraction": self.gap_fraction,
+            "bound_efficiency": self.bound_efficiency,
+            "gap_terms": [{"term": name, "cycles": value} for name, value in self.gap_terms],
+            "potential_gflops": self.bound.potential_gflops,
+        }
+
+
+def attribute_gap(
+    gpu: GpuSpec,
+    resources: WorkloadResources,
+    rollup: ProfileRollup,
+    *,
+    label: str = "",
+) -> GapReport:
+    """Join a profiled run's rollup against the workload's analytic floors.
+
+    ``rollup`` must come from a run whose simulated work matches
+    ``resources`` (the full grid for whole-problem resources) — otherwise
+    the floors and the achieved cycles price different amounts of work.
+    """
+    return GapReport(
+        label=label,
+        gpu_name=gpu.name,
+        achieved_cycles=rollup.total_cycles,
+        floors=bound_floors(gpu, resources),
+        bound=analyse_workload_bound(resources, gpu),
+        busy_cycles=rollup.issue_cycle_total,
+        stall_cycles=rollup.stall_cycle_totals,
+    )
+
+
+def format_gap(report: GapReport) -> str:
+    """Render a gap report as aligned text."""
+    floors = report.floors
+    lines = [
+        f"bound-gap attribution — {report.label or 'kernel'} on {report.gpu_name}",
+        f"  achieved: {report.achieved_cycles:12.0f} cycles "
+        f"({100.0 * report.bound_efficiency:.1f}% of bound)",
+        f"  bound:    {floors.bound_cycles:12.0f} cycles  (limited by {floors.limited_by})",
+        f"    compute floor: {floors.compute_cycles:12.0f}",
+        f"    dram floor:    {floors.dram_cycles:12.0f}",
+        f"    shared floor:  {floors.shared_cycles:12.0f}",
+        f"  gap:      {report.gap_cycles:12.0f} cycles ({100.0 * report.gap_fraction:+.1f}%)",
+    ]
+    for name, cycles in report.gap_terms:
+        if cycles == 0.0:
+            continue
+        lines.append(f"    {name:24s} {cycles:12.0f}")
+    return "\n".join(lines)

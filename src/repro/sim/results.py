@@ -4,7 +4,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.arch.specs import GpuSpec
+
+#: Stall reasons tracked by the simulator, in reporting order.  Shared by
+#: :class:`StallBreakdown` (pressure counters) and
+#: :class:`InstructionCounters` (per-instruction attribution).
+STALL_REASONS = (
+    "scoreboard",
+    "issue_bandwidth",
+    "sp_pipe",
+    "ldst_pipe",
+    "barrier",
+    "memory",
+    "control_notation",
+)
 
 
 @dataclass
@@ -49,6 +64,77 @@ class StallBreakdown:
 
 
 @dataclass
+class InstructionCounters:
+    """Per-instruction (program-counter-indexed) simulator counters.
+
+    Every array has one slot per kernel instruction.  Wall-clock attribution
+    is exhaustive by construction: each simulated cycle is split among the
+    instructions that issued in it (``issue_cycles``), and cycles in which no
+    warp could issue — including fast-forwarded idle spans — are charged to
+    the instructions the stalled warps were blocked on, per stall reason
+    (``stall_cycles``).  ``attributed_cycles`` therefore reconstructs the
+    total simulated cycle count.
+    """
+
+    issues: np.ndarray                      # warp-instruction issue count
+    issue_cycles: np.ndarray                # wall cycles attributed at issue
+    stall_events: dict[str, np.ndarray]     # stall-pressure events per reason
+    stall_cycles: dict[str, np.ndarray]     # idle wall cycles per reason
+    smem_replays: np.ndarray                # extra bank-conflict replays
+    dram_bytes: np.ndarray                  # global-memory bytes moved
+
+    @classmethod
+    def zeros(cls, instruction_count: int) -> "InstructionCounters":
+        """Fresh counters for a kernel of ``instruction_count`` instructions."""
+        return cls(
+            issues=np.zeros(instruction_count, dtype=np.int64),
+            issue_cycles=np.zeros(instruction_count, dtype=np.float64),
+            stall_events={
+                reason: np.zeros(instruction_count, dtype=np.int64)
+                for reason in STALL_REASONS
+            },
+            stall_cycles={
+                reason: np.zeros(instruction_count, dtype=np.float64)
+                for reason in STALL_REASONS
+            },
+            smem_replays=np.zeros(instruction_count, dtype=np.int64),
+            dram_bytes=np.zeros(instruction_count, dtype=np.int64),
+        )
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of instruction slots tracked."""
+        return int(self.issues.shape[0])
+
+    @property
+    def attributed_cycles(self) -> float:
+        """Total wall-clock cycles attributed across all instructions."""
+        total = float(self.issue_cycles.sum())
+        for array in self.stall_cycles.values():
+            total += float(array.sum())
+        return total
+
+    @property
+    def total_dram_bytes(self) -> int:
+        """DRAM bytes across all instructions (loads plus stores)."""
+        return int(self.dram_bytes.sum())
+
+    def merge(self, other: "InstructionCounters") -> None:
+        """Accumulate ``other`` (same kernel, e.g. another SM run) in place."""
+        if other.instruction_count != self.instruction_count:
+            raise ValueError(
+                "cannot merge counters of kernels with different instruction counts"
+            )
+        self.issues += other.issues
+        self.issue_cycles += other.issue_cycles
+        for reason in STALL_REASONS:
+            self.stall_events[reason] += other.stall_events[reason]
+            self.stall_cycles[reason] += other.stall_cycles[reason]
+        self.smem_replays += other.smem_replays
+        self.dram_bytes += other.dram_bytes
+
+
+@dataclass
 class SimResult:
     """Outcome of simulating a kernel launch (or a slice of one) on one SM.
 
@@ -72,6 +158,8 @@ class SimResult:
         Number of warps that ran on the SM.
     blocks_simulated:
         Number of blocks that ran on the SM.
+    counters:
+        Per-instruction counters (populated when the run was profiled).
     """
 
     cycles: float
@@ -83,6 +171,7 @@ class SimResult:
     stalls: StallBreakdown = field(default_factory=StallBreakdown)
     warps_simulated: int = 0
     blocks_simulated: int = 0
+    counters: InstructionCounters | None = None
 
     @property
     def instructions_per_cycle(self) -> float:

@@ -30,7 +30,7 @@ from repro.sim.functional import FunctionalExecutor, SharedMemoryArray
 from repro.sim.launch import LaunchConfig
 from repro.sim.memory import GlobalMemory, KernelParams
 from repro.sim.pipelines import CostModel, PipelineState
-from repro.sim.results import SimResult, StallBreakdown
+from repro.sim.results import InstructionCounters, SimResult, StallBreakdown
 from repro.sim.warp import WarpState, build_warps_for_block
 
 #: Issue-efficiency derating applied to the ideal throughput model.  Real SMs
@@ -143,6 +143,8 @@ class SmSimulator:
         self,
         config: LaunchConfig,
         block_indices: list[tuple[int, int]] | None = None,
+        *,
+        collect_profile: bool = False,
     ) -> SimResult:
         """Simulate the given blocks (default: all blocks of the grid) on this SM.
 
@@ -153,6 +155,11 @@ class SmSimulator:
         block_indices:
             The (blockIdx.x, blockIdx.y) pairs resident on this SM.  Pass a
             subset to model one SM's share of a larger grid.
+        collect_profile:
+            Attribute issue slots, wall-clock cycles, stall events, shared
+            bank-conflict replays and DRAM bytes to individual instructions;
+            the result's ``counters`` field then holds the per-instruction
+            arrays (see :class:`repro.sim.results.InstructionCounters`).
 
         Returns
         -------
@@ -184,6 +191,7 @@ class SmSimulator:
 
         pipes = PipelineState()
         stalls = StallBreakdown()
+        counters = InstructionCounters.zeros(instruction_count) if collect_profile else None
         histogram: dict[str, int] = {}
         warp_instructions = 0
         thread_instructions = 0
@@ -230,6 +238,8 @@ class SmSimulator:
             issue_tokens = min(issue_tokens + issue_capacity, issue_token_cap)
             warp_issues = 0
             progress = False
+            issued_pcs: list[int] = []
+            stalled: list[tuple[int, str]] = []
 
             order = range(len(all_warps))
             for offset in order:
@@ -240,9 +250,17 @@ class SmSimulator:
                     continue
                 if warp.at_barrier:
                     stalls.barrier += 1
+                    if counters is not None:
+                        # The warp's pc already advanced past the BAR it waits at.
+                        bar_pc = max(warp.pc - 1, 0)
+                        counters.stall_events["barrier"][bar_pc] += 1
+                        stalled.append((bar_pc, "barrier"))
                     continue
                 if not warp.can_issue(cycle):
                     stalls.control_notation += 1
+                    if counters is not None:
+                        counters.stall_events["control_notation"][warp.pc] += 1
+                        stalled.append((warp.pc, "control_notation"))
                     continue
                 if warp.pc >= instruction_count:
                     warp.finished = True
@@ -255,14 +273,23 @@ class SmSimulator:
                 dest_indices = tuple(r.index for r in instruction.registers_written)
                 if not warp.registers_ready(source_indices + dest_indices, cycle):
                     stalls.scoreboard += 1
+                    if counters is not None:
+                        counters.stall_events["scoreboard"][warp.pc] += 1
+                        stalled.append((warp.pc, "scoreboard"))
                     continue
 
                 # Pipe availability.
                 if instruction.is_math and not pipes.sp_available(cycle):
                     stalls.sp_pipe += 1
+                    if counters is not None:
+                        counters.stall_events["sp_pipe"][warp.pc] += 1
+                        stalled.append((warp.pc, "sp_pipe"))
                     continue
                 if instruction.is_memory and not pipes.ldst_available(cycle):
                     stalls.ldst_pipe += 1
+                    if counters is not None:
+                        counters.stall_events["ldst_pipe"][warp.pc] += 1
+                        stalled.append((warp.pc, "ldst_pipe"))
                     continue
 
                 smem_replays = 1
@@ -275,6 +302,9 @@ class SmSimulator:
                 issue_cost = self._cost_model.issue_cost_threads(instruction, smem_replays)
                 if issue_cost > issue_tokens:
                     stalls.issue_bandwidth += 1
+                    if counters is not None:
+                        counters.stall_events["issue_bandwidth"][warp.pc] += 1
+                        stalled.append((warp.pc, "issue_bandwidth"))
                     continue
 
                 # --- The instruction issues. ---
@@ -291,6 +321,11 @@ class SmSimulator:
                 if instruction.is_ffma:
                     ffma_thread_instructions += 32
                 flops += instruction.flop_count * 32
+                if counters is not None:
+                    issued_pcs.append(warp.pc)
+                    counters.issues[warp.pc] += 1
+                    if smem_replays > 1:
+                        counters.smem_replays[warp.pc] += smem_replays - 1
 
                 latency = self._cost_model.result_latency(instruction)
                 if instruction.is_math:
@@ -299,6 +334,20 @@ class SmSimulator:
                     pipes.occupy_ldst(cycle, self._cost_model.ldst_cost_cycles(instruction, smem_replays))
                     bytes_moved = self._cost_model.global_memory_bytes(instruction)
                     if bytes_moved:
+                        if counters is not None:
+                            if config.functional:
+                                # Count what actually moves: active lanes under
+                                # the instruction's predicate, matching the
+                                # GlobalMemory byte counters exactly.
+                                lanes = warp.active_mask & warp.read_predicate(
+                                    instruction.predicate.index,
+                                    instruction.predicate_negated,
+                                )
+                                counters.dram_bytes[warp.pc] += int(lanes.sum()) * (
+                                    instruction.width // 8
+                                )
+                            else:
+                                counters.dram_bytes[warp.pc] += bytes_moved
                         memory_bytes_in_flight += bytes_moved
                         # Bandwidth queueing delay added to the load latency.
                         queue_delay = memory_bytes_in_flight / max(bandwidth_bytes_per_cycle, 1e-9)
@@ -307,11 +356,16 @@ class SmSimulator:
 
                 warp.mark_written(dest_indices, cycle + latency)
 
-                # Control notation / static stall hints (Kepler).
+                # Control notation / static stall hints (Kepler).  Hints are
+                # charged at half weight, rounded up to keep wake cycles
+                # integral — a fractional ready_cycle used to leak into the
+                # scheduler's cycle arithmetic (the integral wake is identical
+                # to what the old fractional value resolved to, since warps
+                # only re-check eligibility on whole cycles).
                 notation = self._kernel.control_notation_for(warp.pc)
                 if notation is not None:
                     slot = warp.pc % 7
-                    warp.ready_cycle = cycle + 1 + notation.stall_cycles(slot) * 0.5
+                    warp.ready_cycle = cycle + 1 + (notation.stall_cycles(slot) + 1) // 2
                 else:
                     warp.ready_cycle = cycle + 1
 
@@ -349,6 +403,7 @@ class SmSimulator:
                     block.release_barrier()
 
             rotation += 1
+            cycle_before = cycle
             cycle += 1.0
             if not progress:
                 # Jump ahead to the next interesting event instead of burning cycles.
@@ -363,6 +418,32 @@ class SmSimulator:
                 if next_ready > cycle:
                     cycle = float(np.ceil(next_ready))
 
+            if counters is not None:
+                # Wall-clock attribution: split the elapsed span (one cycle,
+                # or the whole fast-forwarded idle jump) among this cycle's
+                # issuers, else among the instructions warps stalled on.
+                elapsed = cycle - cycle_before
+                if issued_pcs:
+                    share = elapsed / len(issued_pcs)
+                    for pc in issued_pcs:
+                        counters.issue_cycles[pc] += share
+                elif stalled:
+                    share = elapsed / len(stalled)
+                    for pc, reason in stalled:
+                        counters.stall_cycles[reason][pc] += share
+                else:
+                    # Token starvation / scheduler cap before any warp was
+                    # examined: charge the first runnable warp's instruction.
+                    for w in all_warps:
+                        if w.finished:
+                            continue
+                        if w.at_barrier:
+                            counters.stall_cycles["barrier"][max(w.pc - 1, 0)] += elapsed
+                        else:
+                            pc = min(w.pc, instruction_count - 1)
+                            counters.stall_cycles["issue_bandwidth"][pc] += elapsed
+                        break
+
         return SimResult(
             cycles=cycle,
             thread_instructions=thread_instructions,
@@ -373,6 +454,7 @@ class SmSimulator:
             stalls=stalls,
             warps_simulated=len(all_warps),
             blocks_simulated=len(blocks),
+            counters=counters,
         )
 
     def _branch_taken(self, warp: WarpState, instruction: Instruction, functional: bool) -> bool:

@@ -38,6 +38,7 @@ from repro.opt.autotune import (
     WorkloadCandidate,
     autotune_workloads,
 )
+from repro.prof.trace import trace_span
 from repro.tile.resources import proc_occupancy
 from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
 
@@ -47,6 +48,7 @@ __all__ = [
     "prune_by_bound",
     "schedule_candidates",
     "autotune_schedules",
+    "sweep_summary",
 ]
 
 #: Default generative axes of the SGEMM schedule space.
@@ -277,6 +279,23 @@ def prune_by_bound(
     spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
     if keep_within < 1.0:
         raise ReproError("keep_within must be >= 1.0 (a ratio over the best bound)")
+    with trace_span(
+        "autotune.prune_by_bound", category="autotune", candidates=len(candidates)
+    ) as span:
+        report = _prune_by_bound(spec, candidates, keep_within, started)
+        span["kept"] = len(report.kept)
+        span["pruned"] = len(report.pruned)
+    return report
+
+
+def _prune_by_bound(
+    spec: GpuSpec,
+    candidates: list[WorkloadCandidate],
+    keep_within: float,
+    started: float,
+) -> PruneReport:
+    from repro.kernels.registry import get_workload
+
     times: dict[int, float] = {}
     groups: dict[tuple, list[int]] = {}
     unresident: set[int] = set()
@@ -366,3 +385,25 @@ def autotune_schedules(
         cache=cache,
         max_cycles=max_cycles,
     )
+
+
+def sweep_summary(report: PruneReport, outcomes: list[TuneOutcome]) -> str:
+    """One-line sweep log: candidate economics at a glance.
+
+    Surfaces the figures a sweep's cost is made of — how many candidates the
+    bound pruned (and how long pruning took), how many simulations the
+    kernel-hash cache absorbed, and the winner::
+
+        swept 63 candidates: pruned 41 by bound in 0.52s, simulated 22
+        (9 cache hits), best tile_sgemm:golden @ 8125 cycles
+    """
+    cache_hits = sum(1 for outcome in outcomes if outcome.ok and outcome.from_cache)
+    best = next((outcome for outcome in outcomes if outcome.ok), None)
+    line = (
+        f"swept {report.total} candidates: pruned {len(report.pruned)} by bound "
+        f"in {report.elapsed_s:.2f}s, simulated {len(outcomes)} "
+        f"({cache_hits} cache hit{'' if cache_hits == 1 else 's'})"
+    )
+    if best is not None:
+        line += f", best {best.label} @ {best.cycles:.0f} cycles"
+    return line

@@ -39,6 +39,7 @@ from repro.isa.assembler import Kernel
 from repro.isa.builder import KernelBuilder
 from repro.isa.instructions import ConstRef, MemRef
 from repro.isa.registers import RZ, Register, SpecialRegister, predicate
+from repro.prof.trace import trace_span
 from repro.tile.ir import (
     Affine,
     Assign,
@@ -165,8 +166,12 @@ def lower(proc: Proc, *, lds_width_bits: int = 64, ld_width_bits: int = 64,
         if width not in (32, 64):
             raise LoweringError(f"{name} must be 32 or 64, got {width}")
     check_proc(proc)
-    return _Lowering(proc, lds_width_bits=lds_width_bits, ld_width_bits=ld_width_bits,
-                     pool_size=pool_size).lower()
+    with trace_span(f"lower.{proc.name}", category="tile") as span:
+        kernel = _Lowering(proc, lds_width_bits=lds_width_bits,
+                           ld_width_bits=ld_width_bits, pool_size=pool_size).lower()
+        span["instructions"] = kernel.instruction_count
+        span["registers"] = kernel.register_count
+    return kernel
 
 
 # --------------------------------------------------------------------------- #
@@ -770,7 +775,8 @@ class _Lowering:
         main, epilogue = self._epilogue_zone()
         self._emit_block(main, {}, None)
         self._emit_epilogue(epilogue)
-        self._builder.exit()
+        with self._builder.provenance("exit"):
+            self._builder.exit()
         kernel = self._builder.build()
         if kernel.register_count > 63:
             raise LoweringError(
@@ -832,6 +838,10 @@ class _Lowering:
     # -- prologue ------------------------------------------------------- #
 
     def _emit_prologue(self) -> None:
+        with self._builder.provenance("prologue"):
+            self._emit_prologue_inner()
+
+    def _emit_prologue_inner(self) -> None:
         builder = self._builder
         geometry = self._geometry
 
@@ -1043,6 +1053,10 @@ class _Lowering:
         is preset false and the compare executes under the outer predicate,
         so masked lanes keep the false value (a per-lane AND).
         """
+        with self._builder.provenance("guard"):
+            return self._materialise_guard_inner(expr, bound, pred)
+
+    def _materialise_guard_inner(self, expr: Affine, bound: int, pred):
         builder = self._builder
         scratch = self._pool.alloc()
         builder.mov32i(scratch, expr.const)
@@ -1098,6 +1112,10 @@ class _Lowering:
     # -- sequential loops ------------------------------------------------ #
 
     def _emit_seq_loop(self, loop: Loop, env: dict[str, int]) -> None:
+        with self._builder.provenance(f"loop({loop.var})"):
+            self._emit_seq_loop_inner(loop, env)
+
+    def _emit_seq_loop_inner(self, loop: Loop, env: dict[str, int]) -> None:
         builder = self._builder
         counter = self._counters[loop.var]
         up = self._up_counters.get(loop.var)
@@ -1472,6 +1490,13 @@ class _Lowering:
         of a clipped pipelined stage equals the compulsory traffic the bound
         model prices.
         """
+        with self._builder.provenance(f"stage_shared({plan.stage.buffer})/prefetch"):
+            self._emit_prefetch_loads_inner(plan, guard, advance_var=advance_var,
+                                            advance_steps=advance_steps)
+
+    def _emit_prefetch_loads_inner(self, plan: _StagePlan, guard, *,
+                                   advance_var: str | None = None,
+                                   advance_steps: int = 1) -> None:
         builder = self._builder
         base = plan.src_pointer.reg
         if not plan.stage.limits or all(l is None for l in plan.stage.limits):
@@ -1518,6 +1543,12 @@ class _Lowering:
 
     def _emit_stage_stores(self, plan: _StagePlan, *, from_prefetch: bool,
                            guard, temps: list[Register] | None = None) -> None:
+        with self._builder.provenance(f"stage_shared({plan.stage.buffer})/store"):
+            self._emit_stage_stores_inner(plan, from_prefetch=from_prefetch,
+                                          guard=guard, temps=temps)
+
+    def _emit_stage_stores_inner(self, plan: _StagePlan, *, from_prefetch: bool,
+                                 guard, temps: list[Register] | None = None) -> None:
         builder = self._builder
         regs = plan.prefetch_regs if from_prefetch else temps
         store_base = plan.store_pointer.reg
@@ -1545,54 +1576,62 @@ class _Lowering:
         """
         builder = self._builder
         if leading_barrier:
-            builder.bar(0)
+            with builder.provenance("barrier"):
+                builder.bar(0)
         for stage in stages:
-            plan = self._stage_plans[id(stage)]
-            base = plan.src_pointer.reg
-            clipped = bool(stage.limits) and any(
-                limit is not None for limit in stage.limits
+            with builder.provenance(f"stage_shared({stage.buffer})/copy"):
+                self._emit_stage_copy(stage, guard)
+        with builder.provenance("barrier"):
+            builder.bar(0)
+
+    def _emit_stage_copy(self, stage: Stage, guard) -> None:
+        """One eager cooperative copy: chunked loads into pool temps, stores."""
+        builder = self._builder
+        plan = self._stage_plans[id(stage)]
+        base = plan.src_pointer.reg
+        clipped = bool(stage.limits) and any(
+            limit is not None for limit in stage.limits
+        )
+        clip_temps: list[Register] = []
+        base_pred, varying_reg, varying_limit = guard, None, 0
+        if clipped:
+            base_pred, varying_reg, varying_limit = self._stage_clip_plan(
+                plan, guard, None, {}, clip_temps
             )
-            clip_temps: list[Register] = []
-            base_pred, varying_reg, varying_limit = guard, None, 0
-            if clipped:
-                base_pred, varying_reg, varying_limit = self._stage_clip_plan(
-                    plan, guard, None, {}, clip_temps
+        chunk = max(1, min(plan.per_thread, self._pool.free_count))
+        for start in range(0, plan.per_thread, chunk):
+            count = min(chunk, plan.per_thread - start)
+            temps = [self._pool.alloc() for _ in range(count)]
+            for i in range(count):
+                pred = (
+                    self._element_guard(
+                        base_pred, varying_reg, varying_limit, start + i
+                    )
+                    if clipped else guard
                 )
-            chunk = max(1, min(plan.per_thread, self._pool.free_count))
-            for start in range(0, plan.per_thread, chunk):
-                count = min(chunk, plan.per_thread - start)
-                temps = [self._pool.alloc() for _ in range(count)]
-                for i in range(count):
-                    pred = (
-                        self._element_guard(
-                            base_pred, varying_reg, varying_limit, start + i
-                        )
-                        if clipped else guard
-                    )
-                    self._emit_predicated(
-                        lambda i=i: builder.ld(
-                            temps[i],
-                            MemRef(
-                                base=base,
-                                offset=plan.src_const + (start + i) * plan.q_src_step,
-                            ),
+                self._emit_predicated(
+                    lambda i=i: builder.ld(
+                        temps[i],
+                        MemRef(
+                            base=base,
+                            offset=plan.src_const + (start + i) * plan.q_src_step,
                         ),
-                        pred,
-                    )
-                for i in range(count):
-                    self._emit_predicated(
-                        lambda i=i: builder.sts(
-                            MemRef(
-                                base=plan.store_pointer.reg,
-                                offset=plan.shared_base + (start + i) * plan.q_store_step,
-                            ),
-                            temps[i],
+                    ),
+                    pred,
+                )
+            for i in range(count):
+                self._emit_predicated(
+                    lambda i=i: builder.sts(
+                        MemRef(
+                            base=plan.store_pointer.reg,
+                            offset=plan.shared_base + (start + i) * plan.q_store_step,
                         ),
-                        guard,
-                    )
-                self._pool.release(temps)
-            self._pool.release(clip_temps)
-        builder.bar(0)
+                        temps[i],
+                    ),
+                    guard,
+                )
+            self._pool.release(temps)
+        self._pool.release(clip_temps)
 
     # -- batched compute -------------------------------------------------- #
 
@@ -1681,7 +1720,8 @@ class _Lowering:
     def _emit_compute(self, stmts: tuple[Stmt, ...], env: dict[str, int], pred) -> None:
         mark = self._pool.mark()
         self._compute_cache: dict[tuple, Register] = {}
-        self._emit_compute_rec(stmts, env, pred, self._compute_cache)
+        with self._builder.provenance("compute"):
+            self._emit_compute_rec(stmts, env, pred, self._compute_cache)
         self._pool.restore(mark)
 
     def _guard_scratch_reserve(self, stmts: tuple[Stmt, ...]) -> int:
@@ -1949,6 +1989,10 @@ class _Lowering:
         return reg
 
     def _emit_unstage(self, stmt: Unstage, env: dict[str, int], pred) -> None:
+        with self._builder.provenance(f"unstage({stmt.buffer})"):
+            self._emit_unstage_inner(stmt, env, pred)
+
+    def _emit_unstage_inner(self, stmt: Unstage, env: dict[str, int], pred) -> None:
         builder = self._builder
         regs = self._buffer_regs[stmt.buffer]
         runtime, seq, unroll_affine = self._split_access(stmt.tensor, stmt.base)
@@ -2008,6 +2052,10 @@ class _Lowering:
     def _emit_epilogue(self, stmts: tuple[Stmt, ...]) -> None:
         if not stmts:
             return
+        with self._builder.provenance("epilogue"):
+            self._emit_epilogue_inner(stmts)
+
+    def _emit_epilogue_inner(self, stmts: tuple[Stmt, ...]) -> None:
         builder = self._builder
         # The main loop is over: prefetch and pool registers are dead, so the
         # write-back pointers can reuse them (the hand kernels' trick for

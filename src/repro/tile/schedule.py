@@ -34,9 +34,11 @@ way into the lowering's predicated epilogue.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import replace
 
 from repro.errors import ScheduleError
+from repro.prof.trace import trace_span
 from repro.tile import deps as D
 from repro.tile.ir import (
     Affine,
@@ -74,6 +76,21 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # Internal helpers.                                                            #
 # --------------------------------------------------------------------------- #
+
+
+def _traced(primitive):
+    """Record each primitive application as a trace span (see ``repro.prof``)."""
+
+    @functools.wraps(primitive)
+    def wrapper(proc, *args, **kwargs):
+        with trace_span(
+            f"schedule.{primitive.__name__}",
+            category="tile",
+            proc=getattr(proc, "name", ""),
+        ):
+            return primitive(proc, *args, **kwargs)
+
+    return wrapper
 
 
 def _reject(primitive: str, detail: str, *, dependence: D.Dependence | None = None):
@@ -168,6 +185,7 @@ def _guards_matching_dim(
 # --------------------------------------------------------------------------- #
 
 
+@_traced
 def split(proc: Proc, var: str, factor: int, outer: str | None = None,
           inner: str | None = None) -> Proc:
     """Split loop ``var`` into ``outer`` × ``inner`` (``factor`` must divide).
@@ -218,6 +236,7 @@ def split(proc: Proc, var: str, factor: int, outer: str | None = None,
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
+@_traced
 def predicate_tail(proc: Proc, var: str, factor: int, outer: str | None = None,
                    inner: str | None = None) -> Proc:
     """Split ``var`` by a possibly non-dividing ``factor``, guarding the tail.
@@ -266,6 +285,7 @@ def predicate_tail(proc: Proc, var: str, factor: int, outer: str | None = None,
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
+@_traced
 def reorder(proc: Proc, outer_var: str, inner_var: str) -> Proc:
     """Interchange two nested loops (``outer_var`` around ``inner_var``,
     possibly through a chain of tail guards).
@@ -318,6 +338,7 @@ def reorder(proc: Proc, outer_var: str, inner_var: str) -> Proc:
     return _checked(_rewrite_loop(proc, outer_var, rewrite))
 
 
+@_traced
 def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = None) -> Proc:
     """Fission loop ``var`` into two loops over the same range.
 
@@ -392,6 +413,7 @@ def fission(proc: Proc, var: str, at: int = 1, names: tuple[str, str] | None = N
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
+@_traced
 def unroll(proc: Proc, var: str) -> Proc:
     """Tag loop ``var`` for full unrolling at lowering time.
 
@@ -425,6 +447,7 @@ def unroll(proc: Proc, var: str) -> Proc:
     return _checked(_rewrite_loop(proc, var, rewrite))
 
 
+@_traced
 def bind_block(proc: Proc, var: str, axis: str) -> Proc:
     """Bind loop ``var`` to a launch-grid axis (``"x"`` or ``"y"``).
 
@@ -440,6 +463,7 @@ def bind_block(proc: Proc, var: str, axis: str) -> Proc:
                  {"x": LoopKind.BLOCK_X, "y": LoopKind.BLOCK_Y})
 
 
+@_traced
 def bind_thread(proc: Proc, var: str, axis: str) -> Proc:
     """Bind loop ``var`` to a thread axis within the block.
 
@@ -508,6 +532,7 @@ def _window_limits(
     return tuple(limits)
 
 
+@_traced
 def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
                  transpose: bool = False, prefetch: bool = True,
                  buffer: str | None = None) -> Proc:
@@ -640,6 +665,7 @@ def stage_shared(proc: Proc, at: str, tensor: str, *, pad: int = 0,
     return _checked(replace(rewritten, buffers=rewritten.buffers + (new_buffer,)))
 
 
+@_traced
 def double_buffer(proc: Proc, buffer: str) -> Proc:
     """Double-buffer a staged shared tile: two copies, alternating by the
     parity of the staging loop.
@@ -748,6 +774,7 @@ def double_buffer(proc: Proc, buffer: str) -> Proc:
     return _checked(replace(rewritten, buffers=buffers))
 
 
+@_traced
 def stage_registers(proc: Proc, at: str, tensor: str, *,
                     buffer: str | None = None) -> Proc:
     """Stage the per-thread window of ``tensor`` written inside loop ``at`` in

@@ -1,0 +1,88 @@
+"""Provenance tagging: every instruction, end to end through the opt pipeline."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.isa.builder import KernelBuilder
+from repro.isa.registers import Register
+from repro.kernels.registry import get_workload
+
+DSL_WORKLOADS = ("tile_sgemm", "tile_transpose", "tile_sgemv")
+
+
+class TestBuilderProvenance:
+    def test_scopes_nest_into_slash_paths(self):
+        builder = KernelBuilder(name="p")
+        builder.mov32i(Register(0), 0.0)
+        with builder.provenance("loop(k)"):
+            builder.mov32i(Register(1), 0.0)
+            with builder.provenance("stage(A)"):
+                builder.mov32i(Register(2), 0.0)
+            builder.mov32i(Register(3), 0.0)
+        builder.exit()
+        kernel = builder.build()
+        assert [i.provenance for i in kernel.instructions] == [
+            "", "loop(k)", "loop(k)/stage(A)", "loop(k)", "",
+        ]
+
+    def test_current_provenance_property(self):
+        builder = KernelBuilder(name="p")
+        assert builder.current_provenance == ""
+        with builder.provenance("a"):
+            with builder.provenance("b"):
+                assert builder.current_provenance == "a/b"
+            assert builder.current_provenance == "a"
+
+
+@pytest.mark.parametrize("workload_name", DSL_WORKLOADS)
+class TestLoweredProvenance:
+    def test_every_instruction_tagged(self, workload_name):
+        workload = get_workload(workload_name)
+        kernel = workload.generate_naive(workload.default_config())
+        untagged = [
+            (pc, instruction.mnemonic)
+            for pc, instruction in enumerate(kernel.instructions)
+            if not instruction.provenance
+        ]
+        assert untagged == []
+
+    def test_tags_survive_the_opt_pipeline(self, workload_name, fermi):
+        """Every instruction of the final optimized SASS still carries its tag,
+        and the (tag, mnemonic) population is exactly the naive kernel's —
+        reallocation renames registers and scheduling reorders, but neither
+        may lose or invent provenance."""
+        workload = get_workload(workload_name)
+        config = workload.default_config()
+        naive = workload.generate_naive(config)
+        optimized, _ = workload.generate_optimized(config, fermi)
+        assert all(instruction.provenance for instruction in optimized.instructions)
+
+        def population(kernel) -> Counter:
+            return Counter(
+                (instruction.provenance, instruction.mnemonic)
+                for instruction in kernel.instructions
+            )
+
+        assert population(optimized) == population(naive)
+
+    def test_tags_survive_control_hints_on_kepler(self, workload_name, kepler):
+        workload = get_workload(workload_name)
+        optimized, _ = workload.generate_optimized(workload.default_config(), kepler)
+        assert all(instruction.provenance for instruction in optimized.instructions)
+
+
+class TestSgemmTagVocabulary:
+    def test_schedule_phases_present(self):
+        """The SGEMM tags speak the schedule's vocabulary: staging, loop,
+        compute, epilogue — the names the profiler reports against."""
+        workload = get_workload("tile_sgemm")
+        kernel = workload.generate_naive(workload.default_config())
+        tags = {instruction.provenance for instruction in kernel.instructions}
+        tops = {tag.split("/")[0] for tag in tags}
+        assert {"prologue", "loop(ko)", "compute", "epilogue", "exit"} <= tops
+        assert any("stage_shared(" in tag for tag in tags)
+        assert any(tag.endswith("/prefetch") for tag in tags)
+        assert any("unstage(" in tag for tag in tags)

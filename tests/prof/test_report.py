@@ -1,0 +1,120 @@
+"""Gap attribution: floors, decomposition identity and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.workload_bounds import analyse_workload_bound
+from repro.prof import (
+    bound_floors,
+    format_gap,
+    format_profile,
+    profile_workload,
+)
+from repro.kernels.registry import get_workload
+from repro.tile.workloads import TileSgemmConfig
+
+
+def assert_gap_reconciles(profile):
+    """The exact decomposition: achieved = bound + issue term + stall terms."""
+    gap = profile.gap
+    assert gap is not None
+    reconstructed = gap.floors.bound_cycles + sum(cycles for _, cycles in gap.gap_terms)
+    assert reconstructed == pytest.approx(gap.achieved_cycles, rel=1e-9)
+    assert gap.achieved_cycles == profile.cycles
+    assert gap.gap_cycles == pytest.approx(
+        gap.achieved_cycles - gap.floors.bound_cycles
+    )
+    assert 0.0 < gap.bound_efficiency <= 1.0
+
+
+class TestBoundFloors:
+    def test_floors_agree_with_the_bound_model(self, fermi):
+        """Cycle-domain floors are the Eq. 6/8/9 times rescaled, nothing else."""
+        workload = get_workload("tile_sgemm")
+        resources = workload.resources(workload.default_config())
+        floors = bound_floors(fermi, resources)
+        bound = analyse_workload_bound(resources, fermi)
+        scale = fermi.clocks.shader_mhz * 1e6 * fermi.sm_count
+        assert floors.compute_cycles == pytest.approx(bound.compute_time_s * scale)
+        assert floors.dram_cycles == pytest.approx(bound.dram_time_s * scale)
+        assert floors.shared_cycles == pytest.approx(bound.shared_time_s * scale)
+        assert floors.bound_cycles == pytest.approx(bound.bound_time_s * scale)
+
+    def test_limited_by_names_the_binding_resource(self, fermi, kepler):
+        workload = get_workload("tile_sgemm")
+        # The shallow default (k=16) is DRAM-bound; the cubic problem flips
+        # to compute-bound — the floor report must follow the arithmetic.
+        shallow = bound_floors(fermi, workload.resources(workload.default_config()))
+        cubic = bound_floors(
+            fermi, workload.resources(TileSgemmConfig(m=96, n=96, k=96))
+        )
+        assert shallow.limited_by == "dram"
+        assert cubic.limited_by == "compute"
+
+
+class TestGapReconciliation:
+    @pytest.mark.parametrize(
+        "gpu_name, limiter", [("fermi", "compute"), ("kepler", "shared")]
+    )
+    def test_cubic_96_sgemm(self, gpu_name, limiter, request):
+        """96x96x96: achieved vs bound reconciles exactly on both machines."""
+        gpu = request.getfixturevalue(gpu_name)
+        profile = profile_workload(
+            gpu, "tile_sgemm", TileSgemmConfig(m=96, n=96, k=96),
+            max_cycles=50_000_000,
+        )
+        assert profile.rollup.attributed_fraction >= 0.95
+        assert_gap_reconciles(profile)
+        # Fermi's cubic problem is compute-bound; Kepler's wider SMX makes
+        # shared-memory bandwidth the binding resource (paper Section 6).
+        assert profile.gap.floors.limited_by == limiter
+
+    def test_arbitrary_size_193x161x97(self, fermi):
+        """The imperfect acceptance size: predicated tails, clipped staging —
+        the gap decomposition still closes to the cycle."""
+        profile = profile_workload(
+            fermi, "tile_sgemm", TileSgemmConfig(m=193, n=161, k=97),
+            optimized=False, max_cycles=50_000_000,
+        )
+        assert profile.rollup.attributed_fraction >= 0.95
+        assert_gap_reconciles(profile)
+        # Predicated staging moves exactly the compulsory traffic, so the
+        # profiler's DRAM floor prices the same bytes the simulator moved.
+        workload = get_workload("tile_sgemm")
+        resources = workload.resources(TileSgemmConfig(m=193, n=161, k=97))
+        total_dram = sum(row.dram_bytes for row in profile.rollup.rows)
+        assert total_dram == resources.dram_bytes
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def profile(self, fermi):
+        return profile_workload(fermi, "tile_sgemm")
+
+    def test_format_gap_names_floors_and_terms(self, profile):
+        text = format_gap(profile.gap)
+        assert "bound-gap attribution" in text
+        assert "limited by dram" in text
+        for needle in ("compute floor", "dram floor", "shared floor", "gap:"):
+            assert needle in text
+        assert "stall:" in text
+
+    def test_format_profile_reports_by_provenance(self, profile):
+        text = format_profile(profile)
+        assert "% attributed" in text
+        assert "loop(ko)/compute" in text
+        assert "stage_shared(" in text
+        # The gap section rides along for workload profiles.
+        assert "bound-gap attribution" in text
+
+    def test_as_dict_round_trips_through_json(self, profile):
+        import json
+
+        payload = json.dumps(profile.as_dict(), allow_nan=False, sort_keys=True)
+        decoded = json.loads(payload)
+        assert decoded["rollup"]["attributed_fraction"] >= 0.95
+        assert decoded["gap"]["floors"]["limited_by"] == "dram"
+        assert {row["tag"] for row in decoded["rollup"]["rows"]} >= {
+            "prologue", "exit",
+        }

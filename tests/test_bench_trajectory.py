@@ -88,3 +88,50 @@ def test_explicit_baseline_gates_across_regeneration(trajectory, capsys):
     assert module.main(["--check", "--baseline", str(baseline)]) == 1
     assert "regressed" in capsys.readouterr().err
     assert module.main(["--check", "--baseline", str(bench_dir / "nope.json")]) == 1
+
+
+def _set_stalls(bench_dir: Path, stalls: dict[str, float]) -> None:
+    data = json.loads((bench_dir / "BENCH_tile.json").read_text())
+    data["metrics"]["tile_sgemm"]["fermi"]["stalls"] = stalls
+    (bench_dir / "BENCH_tile.json").write_text(json.dumps(data))
+
+
+def test_stall_breakdowns_collect_into_the_stall_ladder(trajectory):
+    module, bench_dir = trajectory
+    _set_stalls(bench_dir, {"scoreboard": 100.0, "ldst_pipe": 50.0})
+    summary = module.build_summary(bench_dir)
+    assert summary["schema"] == 2
+    ladder = summary["stall_ladder"]
+    assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:scoreboard"] == 100.0
+    assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:ldst_pipe"] == 50.0
+    # Stall figures never leak into the cycle ladder (they are not cycles).
+    assert not any("stalls" in key for key in summary["cycle_ladder"])
+
+
+def test_regression_report_names_the_grown_stall_reason(trajectory, capsys):
+    """A >2% cycle regression is blamed on the stall reason that grew most."""
+    module, bench_dir = trajectory
+    _set_stalls(bench_dir, {"scoreboard": 100.0, "ldst_pipe": 50.0})
+    assert module.main([]) == 0
+    _regress(bench_dir, 1.05)
+    _set_stalls(bench_dir, {"scoreboard": 103.0, "ldst_pipe": 400.0})
+    assert module.main(["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "golden_schedule_opt" in err
+    assert "stall:ldst_pipe grew 50 -> 400" in err
+    assert "scoreboard" not in err
+
+
+def test_regression_without_stall_siblings_stays_unblamed(trajectory, capsys):
+    """Baselines predating the stall ladder still gate; blame is just omitted."""
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    summary_path = bench_dir / module.SUMMARY_NAME
+    stripped = json.loads(summary_path.read_text())
+    stripped.pop("stall_ladder", None)
+    summary_path.write_text(json.dumps(stripped))
+    _regress(bench_dir, 1.05)
+    assert module.main(["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "regressed" in err
+    assert "stall:" not in err
