@@ -28,6 +28,9 @@ BENCH_KERNELS_PATH = Path(__file__).parent / "BENCH_kernels.json"
 #: Where the tile-IR schedule comparison metrics land (next to this file).
 BENCH_TILE_PATH = Path(__file__).parent / "BENCH_tile.json"
 
+#: Where the simulator-throughput metrics land (next to this file).
+BENCH_SIM_PATH = Path(__file__).parent / "BENCH_sim.json"
+
 #: Metrics recorded this session, keyed by output path.
 _REPORTS: dict[Path, dict[str, object]] = {}
 
@@ -54,6 +57,11 @@ def record_kernel_metric(name: str, payload: dict[str, object]) -> None:
 def record_tile_metric(name: str, payload: dict[str, object]) -> None:
     """Record one naive/scheduled/golden comparison blob for BENCH_tile.json."""
     _record(BENCH_TILE_PATH, name, payload)
+
+
+def record_sim_metric(name: str, payload: dict[str, object]) -> None:
+    """Record one simulator-throughput blob for BENCH_sim.json."""
+    _record(BENCH_SIM_PATH, name, payload)
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:

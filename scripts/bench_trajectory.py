@@ -24,6 +24,11 @@ Suites may record a per-reason ``stalls`` breakdown next to a cycle figure
 those are collected into a parallel ``stall_ladder``, and a regressed cycle
 entry's report names the sibling stall reason that grew the most — the
 gate says not just *that* a kernel got slower but *why*.
+
+Simulator wall-clock throughput figures (``benchmarks/bench_sim.py``) are
+collected into a ``throughput_ladder`` and gated in the opposite direction:
+a fresh record more than the tolerance *below* the baseline fails, flagging
+a >2% simulator-throughput regression.
 """
 
 from __future__ import annotations
@@ -55,27 +60,41 @@ REGRESSION_TOLERANCE = 0.02
 #: Key under which suites record a per-reason stall breakdown dict.
 STALL_KEY = "stalls"
 
+#: Leaf keys that denote a simulator-throughput figure (higher is better).
+#: These come from wall-clock measurements (``benchmarks/bench_sim.py``
+#: records best-of-N), so unlike the cycle ladders they are only comparable
+#: when re-recorded on comparable hardware; the --check gate flags a fresh
+#: value more than ``REGRESSION_TOLERANCE`` *below* the baseline record.
+THROUGHPUT_KEYS = frozenset({
+    "candidates_per_s",
+    "warp_instructions_per_s",
+})
+
 
 def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float],
-                    stalls: dict[str, float]) -> None:
-    """Walk one metrics blob, recording cycle-like and stall-breakdown leaves."""
+                    stalls: dict[str, float],
+                    throughput: dict[str, float]) -> None:
+    """Walk one metrics blob, recording cycle, stall and throughput leaves."""
     if isinstance(blob, dict):
         for key in sorted(blob):
             value = blob[key]
             if key in CYCLE_KEYS and isinstance(value, (int, float)):
                 ladder[":".join(path + (key,))] = float(value)
+            elif key in THROUGHPUT_KEYS and isinstance(value, (int, float)):
+                throughput[":".join(path + (key,))] = float(value)
             elif key == STALL_KEY and isinstance(value, dict):
                 for reason in sorted(value):
                     if isinstance(value[reason], (int, float)):
                         stalls[":".join(path + (key, reason))] = float(value[reason])
             else:
-                _collect_cycles(value, path + (key,), ladder, stalls)
+                _collect_cycles(value, path + (key,), ladder, stalls, throughput)
 
 
 def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
     """The aggregate of every BENCH_*.json currently on disk."""
     ladder: dict[str, float] = {}
     stalls: dict[str, float] = {}
+    throughput: dict[str, float] = {}
     sources: list[str] = []
     for bench_file in sorted(bench_dir.glob("BENCH_*.json")):
         if bench_file.name == SUMMARY_NAME:
@@ -83,12 +102,14 @@ def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
         with open(bench_file, encoding="utf-8") as handle:
             data = json.load(handle)
         sources.append(bench_file.name)
-        _collect_cycles(data.get("metrics", data), (bench_file.stem,), ladder, stalls)
+        _collect_cycles(data.get("metrics", data), (bench_file.stem,),
+                        ladder, stalls, throughput)
     return {
-        "schema": 2,
+        "schema": 3,
         "sources": sources,
         "cycle_ladder": dict(sorted(ladder.items())),
         "stall_ladder": dict(sorted(stalls.items())),
+        "throughput_ladder": dict(sorted(throughput.items())),
     }
 
 
@@ -148,12 +169,22 @@ def main(argv: list[str] | None = None) -> int:
         baseline_summary = json.loads(baseline_path.read_text(encoding="utf-8"))
         baseline = baseline_summary.get("cycle_ladder", {})
         baseline_stalls = baseline_summary.get("stall_ladder", {})
+        baseline_throughput = baseline_summary.get("throughput_ladder", {})
         fresh = summary["cycle_ladder"]
         fresh_stalls = summary["stall_ladder"]
+        fresh_throughput = summary["throughput_ladder"]
         regressions = [
             (key, baseline[key], fresh[key])
             for key in sorted(set(baseline) & set(fresh))
             if fresh[key] > baseline[key] * (1.0 + REGRESSION_TOLERANCE)
+        ]
+        # Throughput regresses downwards: a fresh record more than the
+        # tolerance *below* the baseline fails (simulator got slower).
+        throughput_regressions = [
+            (key, baseline_throughput[key], fresh_throughput[key])
+            for key in sorted(set(baseline_throughput) & set(fresh_throughput))
+            if fresh_throughput[key]
+            < baseline_throughput[key] * (1.0 - REGRESSION_TOLERANCE)
         ]
         if regressions:
             print(
@@ -171,6 +202,18 @@ def main(argv: list[str] | None = None) -> int:
                     line += (f" — stall:{reason} grew "
                              f"{stall_was:.0f} -> {stall_now:.0f}")
                 print(line, file=sys.stderr)
+            return 1
+        if throughput_regressions:
+            print(
+                f"{len(throughput_regressions)} throughput-ladder entr"
+                f"{'y' if len(throughput_regressions) == 1 else 'ies'} dropped "
+                f"more than {REGRESSION_TOLERANCE:.0%} against "
+                f"{baseline_path.name}:",
+                file=sys.stderr,
+            )
+            for key, was, now in throughput_regressions:
+                print(f"  {key}: {was:.1f} -> {now:.1f} "
+                      f"({100 * (now / was - 1):+.1f}%)", file=sys.stderr)
             return 1
         if summary_path.read_text(encoding="utf-8") != text:
             print(f"{summary_path} is stale; run scripts/bench_trajectory.py",

@@ -37,6 +37,17 @@ class RegisterBank(str, Enum):
         return self in (RegisterBank.EVEN0, RegisterBank.EVEN1)
 
 
+# Bank by index % 8: even indices alternate EVEN0/EVEN1 across the low/high
+# half of the residue ring, odd indices ODD0/ODD1.
+_BANK_BY_RESIDUE = (
+    RegisterBank.EVEN0, RegisterBank.ODD0, RegisterBank.EVEN0, RegisterBank.ODD0,
+    RegisterBank.EVEN1, RegisterBank.ODD1, RegisterBank.EVEN1, RegisterBank.ODD1,
+)
+
+# Same mapping as small ints (EVEN0, EVEN1, ODD0, ODD1) for counting loops.
+_BANK_CODE_BY_RESIDUE = (0, 2, 0, 2, 1, 3, 1, 3)
+
+
 def register_bank(index: int) -> RegisterBank:
     """Return the bank that register ``R<index>`` resides on.
 
@@ -47,15 +58,7 @@ def register_bank(index: int) -> RegisterBank:
     """
     if index < 0:
         raise ArchitectureError(f"register index must be non-negative, got {index}")
-    low_half = index % 8 < 4
-    even = index % 2 == 0
-    if even and low_half:
-        return RegisterBank.EVEN0
-    if even and not low_half:
-        return RegisterBank.EVEN1
-    if not even and low_half:
-        return RegisterBank.ODD0
-    return RegisterBank.ODD1
+    return _BANK_BY_RESIDUE[index % 8]
 
 
 def bank_conflict_degree(source_registers: list[int]) -> int:
@@ -66,14 +69,11 @@ def bank_conflict_degree(source_registers: list[int]) -> int:
     Duplicate register indices never conflict with themselves — reading the
     same register twice is a single port access.
     """
-    distinct = sorted(set(r for r in source_registers if r >= 0))
-    counts: dict[RegisterBank, int] = {}
-    for reg in distinct:
-        bank = register_bank(reg)
-        counts[bank] = counts.get(bank, 0) + 1
-    if not counts:
-        return 1
-    return max(counts.values())
+    counts = [0, 0, 0, 0]
+    for reg in set(source_registers):
+        if reg >= 0:
+            counts[_BANK_CODE_BY_RESIDUE[reg % 8]] += 1
+    return max(counts) or 1
 
 
 @dataclass(frozen=True)

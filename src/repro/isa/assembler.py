@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import AssemblyError
+from repro.isa.instructions import cached_property
 from repro.isa.control_notation import (
     ControlNotation,
     GROUP_SIZE,
@@ -64,19 +65,23 @@ class Kernel:
         """Number of instructions in the kernel."""
         return len(self.instructions)
 
-    @property
+    @cached_property
     def register_count(self) -> int:
         """Number of architectural registers the kernel touches.
 
         Computed as 1 + the highest register index read or written (ignoring
         RZ), which matches how the hardware allocates a contiguous register
-        window per thread.
+        window per thread.  Cached: kernels are immutable and the walk over
+        every operand of every instruction is hot in autotune sweeps.
         """
         highest = -1
         for instruction in self.instructions:
-            for register in instruction.registers_written + instruction.registers_read:
-                if not register.is_zero:
-                    highest = max(highest, register.index)
+            for register in instruction.registers_written:
+                if register.index > highest and not register.is_zero:
+                    highest = register.index
+            for register in instruction.registers_read:
+                if register.index > highest and not register.is_zero:
+                    highest = register.index
         return highest + 1
 
     def instruction_mix(self) -> dict[str, int]:

@@ -220,6 +220,12 @@ class KernelBuilder:
             opcode=Opcode.LOP_AND, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
         )
 
+    def lop_or(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
+        """``LOP.OR Rd, Ra, b``."""
+        return self._emit(
+            opcode=Opcode.LOP_OR, dest=_as_register(dest), sources=(_as_register(a), _as_operand(b))
+        )
+
     def lop_xor(self, dest: RegisterLike, a: RegisterLike, b: OperandLike) -> Instruction:
         """``LOP.XOR Rd, Ra, b``."""
         return self._emit(

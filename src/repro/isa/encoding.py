@@ -100,12 +100,19 @@ def _bits_to_float(bits: int) -> float:
 def encode_instruction(instruction: Instruction) -> EncodedInstruction:
     """Encode one instruction into its binary words.
 
+    The encoding is a pure function of the (immutable) instruction, so the
+    result is memoized on the instance: optimization pipelines re-assemble
+    the same instruction objects several times per kernel.
+
     Raises
     ------
     EncodingError
         If any operand does not fit its field — most importantly a register
         index above 63.
     """
+    cached = instruction.__dict__.get("_encoded")
+    if cached is not None:
+        return cached
     opcode_code = _OPCODE_CODES[instruction.opcode]
 
     word = 0
@@ -134,14 +141,24 @@ def encode_instruction(instruction: Instruction) -> EncodedInstruction:
             kind = 0
         elif isinstance(operand, Immediate):
             if isinstance(operand.value, float):
-                extension |= _float_bits(operand.value) << (32 * source_slot) if source_slot < 2 else 0
                 if source_slot >= 2:
                     raise EncodingError("float immediates only encodable in slots 0 and 1")
+                extension |= _float_bits(operand.value) << (32 * source_slot)
             else:
                 imm = int(operand.value) & 0xFFFFFFFF
                 if source_slot >= 2:
-                    raise EncodingError("immediates only encodable in slots 0 and 1")
-                extension |= imm << (32 * source_slot)
+                    # The extension word only has room for two 32-bit
+                    # operands; a third integer immediate rides in the free
+                    # top bits of the primary word instead.  Five bits cover
+                    # the one producer of slot-2 immediates, ISCADD's shift
+                    # count — the same field width real hardware gives it.
+                    if not 0 <= int(operand.value) < 32:
+                        raise EncodingError(
+                            "slot-2 immediates must fit the 5-bit shift field"
+                        )
+                    word |= (imm & 0x1F) << 59
+                else:
+                    extension |= imm << (32 * source_slot)
             kind = 1 if isinstance(operand.value, int) else 2
         elif isinstance(operand, ConstRef):
             if source_slot >= 2:
@@ -168,7 +185,9 @@ def encode_instruction(instruction: Instruction) -> EncodedInstruction:
         # Branch displacement is resolved by the assembler; the raw encoding
         # stores a placeholder in the extension word's top half.
         extension |= 0x1 << 63
-    return EncodedInstruction(primary=word, extension=extension)
+    encoded = EncodedInstruction(primary=word, extension=extension)
+    instruction.__dict__["_encoded"] = encoded
+    return encoded
 
 
 def decode_instruction(encoded: EncodedInstruction) -> Instruction:
@@ -203,7 +222,10 @@ def decode_instruction(encoded: EncodedInstruction) -> Instruction:
         if kind == 0:
             sources.append(Register(reg_field))
         elif kind == 1:
-            sources.append(Immediate(ext_field if ext_field < 2**31 else ext_field - 2**32))
+            if slot >= 2:  # 5-bit shift field in the primary word (ISCADD)
+                sources.append(Immediate((word >> 59) & 0x1F))
+            else:
+                sources.append(Immediate(ext_field if ext_field < 2**31 else ext_field - 2**32))
         elif kind == 2:
             sources.append(Immediate(_bits_to_float(ext_field)))
         elif kind == 3:

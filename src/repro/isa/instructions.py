@@ -26,6 +26,31 @@ from repro.errors import IsaError
 from repro.isa.registers import PT, Predicate, Register, SpecialRegister
 
 
+class cached_property:  # noqa: N801 — drop-in for functools.cached_property
+    """Lock-free cached property.
+
+    Python 3.11's :class:`functools.cached_property` acquires an RLock on
+    every cache miss; instruction objects are created by the hundred
+    thousand across an autotuning sweep, making that lock measurable.
+    Instances here are effectively immutable, so the lock buys nothing.
+    """
+
+    def __init__(self, func):
+        self.func = func
+        self.attrname = None
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        self.attrname = name
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        value = self.func(instance)
+        instance.__dict__[self.attrname] = value
+        return value
+
+
 class Opcode(str, Enum):
     """Mnemonics of the modelled instruction set."""
 
@@ -301,52 +326,52 @@ class Instruction:
     # Classification helpers used throughout the simulator and analyses. #
     # ------------------------------------------------------------------ #
 
-    @property
+    @cached_property
     def is_math(self) -> bool:
         """Whether the instruction executes on the SP pipeline."""
         return self.opcode in _SP_OPCODES
 
-    @property
+    @cached_property
     def is_ffma(self) -> bool:
         """Whether the instruction is a fused multiply-add."""
         return self.opcode is Opcode.FFMA
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         """Whether the instruction executes on the LD/ST pipeline."""
         return self.opcode in _LDST_OPCODES
 
-    @property
+    @cached_property
     def is_shared_load(self) -> bool:
         """Whether the instruction is an LDS of any width."""
         return self.opcode is Opcode.LDS
 
-    @property
+    @cached_property
     def is_shared_store(self) -> bool:
         """Whether the instruction is an STS of any width."""
         return self.opcode is Opcode.STS
 
-    @property
+    @cached_property
     def is_global_load(self) -> bool:
         """Whether the instruction is a global-memory load."""
         return self.opcode is Opcode.LD
 
-    @property
+    @cached_property
     def is_global_store(self) -> bool:
         """Whether the instruction is a global-memory store."""
         return self.opcode is Opcode.ST
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         """Whether the instruction is handled by the control path."""
         return self.opcode in _CONTROL_OPCODES
 
-    @property
+    @cached_property
     def is_barrier(self) -> bool:
         """Whether the instruction is a block-wide barrier."""
         return self.opcode is Opcode.BAR
 
-    @property
+    @cached_property
     def flop_count(self) -> int:
         """Floating-point operations performed per thread (2 for FFMA)."""
         if self.opcode is Opcode.FFMA:
@@ -355,7 +380,7 @@ class Instruction:
             return 1
         return 0
 
-    @property
+    @cached_property
     def memory_space(self) -> MemSpace | None:
         """Memory space touched, if any."""
         if self.opcode in (Opcode.LDS, Opcode.STS):
@@ -364,7 +389,7 @@ class Instruction:
             return MemSpace.GLOBAL
         return None
 
-    @property
+    @cached_property
     def registers_written(self) -> tuple[Register, ...]:
         """Destination registers, expanding wide loads to register pairs/quads."""
         if self.dest is None or self.dest.is_zero:
@@ -374,7 +399,7 @@ class Instruction:
             return tuple(self.dest.offset(i) for i in range(count))
         return (self.dest,)
 
-    @property
+    @cached_property
     def registers_read(self) -> tuple[Register, ...]:
         """Source registers, expanding wide stores and memory bases."""
         regs: list[Register] = []
@@ -392,7 +417,7 @@ class Instruction:
                     regs.append(operand.base)
         return tuple(regs)
 
-    @property
+    @cached_property
     def source_register_indices(self) -> tuple[int, ...]:
         """Indices of plain register sources (used by bank-conflict analysis)."""
         return tuple(
@@ -401,7 +426,7 @@ class Instruction:
             if isinstance(operand, Register) and not operand.is_zero
         )
 
-    @property
+    @cached_property
     def memory_operand(self) -> MemRef | None:
         """The memory operand of a load/store, if any."""
         for operand in self.sources:
@@ -443,7 +468,7 @@ class Instruction:
             provenance=provenance,
         )
 
-    @property
+    @cached_property
     def mnemonic(self) -> str:
         """Opcode text including the width suffix for memory instructions."""
         if self.opcode in (Opcode.LDS, Opcode.STS, Opcode.LD, Opcode.ST) and self.width > 32:

@@ -55,7 +55,15 @@ class DefUse:
 
 
 def def_use(instruction: Instruction) -> DefUse:
-    """Classify the register/predicate defs and uses of ``instruction``."""
+    """Classify the register/predicate defs and uses of ``instruction``.
+
+    The classification is a pure function of the (immutable) instruction, so
+    it is memoized on the instance — the fixed-point passes below re-derive
+    it for the same instruction stream many times per kernel.
+    """
+    cached = instruction.__dict__.get("_def_use")
+    if cached is not None:
+        return cached
     reg_defs = tuple(r.index for r in instruction.registers_written)
     reg_uses = tuple(r.index for r in instruction.registers_read)
     pred_defs: tuple[int, ...] = ()
@@ -64,13 +72,15 @@ def def_use(instruction: Instruction) -> DefUse:
     pred_uses: tuple[int, ...] = ()
     if not instruction.predicate.is_true:
         pred_uses = (instruction.predicate.index,)
-    return DefUse(
+    result = DefUse(
         reg_defs=reg_defs,
         reg_uses=reg_uses,
         pred_defs=pred_defs,
         pred_uses=pred_uses,
         killing=instruction.predicate.is_true,
     )
+    instruction.__dict__["_def_use"] = result
+    return result
 
 
 def successors(kernel: Kernel, index: int) -> tuple[int, ...]:
@@ -147,30 +157,66 @@ def analyse_liveness(kernel: Kernel) -> LivenessInfo:
         for register in du.reg_uses:
             use_points.setdefault(register, []).append(index)
 
-    live_in: list[set[int]] = [set() for _ in range(count)]
-    live_out: list[set[int]] = [set() for _ in range(count)]
+    # Hoisted loop invariants: the CFG and per-instruction def/use sets do
+    # not change across fixed-point passes.  For a predicated (non-killing)
+    # def the kill set is empty and ``defs & out`` is a subset of ``out``,
+    # so new_in reduces to ``uses | out`` — the destination of a predicated
+    # def stays allocated because it flows through untouched.  Register
+    # indices are bounded (6-bit encoding), so the sets fit in machine-int
+    # bitsets and the fixed point runs on bitwise ops instead of set algebra.
+    succs = [
+        tuple(s for s in successors(kernel, index) if s < count)
+        for index in range(count)
+    ]
+    uses = [0] * count
+    masks = [0] * count  # complement of the kill set (all-ones if non-killing)
+    for index, du in enumerate(info):
+        use_bits = 0
+        for register in du.reg_uses:
+            use_bits |= 1 << register
+        uses[index] = use_bits
+        kill_bits = 0
+        if du.killing:
+            for register in du.reg_defs:
+                kill_bits |= 1 << register
+        masks[index] = ~kill_bits
+
+    live_in = [0] * count
+    live_out = [0] * count
     changed = True
     while changed:
         changed = False
         for index in range(count - 1, -1, -1):
-            du = info[index]
-            out: set[int] = set()
-            for successor in successors(kernel, index):
-                if successor < count:
-                    out |= live_in[successor]
-            kills = set(du.reg_defs) if du.killing else set()
-            new_in = set(du.reg_uses) | (out - kills)
-            if not du.killing:
-                # A predicated def still needs its destination allocated.
-                new_in |= set(du.reg_defs) & out
+            out = 0
+            for successor in succs[index]:
+                out |= live_in[successor]
+            new_in = uses[index] | (out & masks[index])
             if out != live_out[index] or new_in != live_in[index]:
                 live_out[index] = out
                 live_in[index] = new_in
                 changed = True
 
+    # Live sets change slowly along straight-line code, so the same bitset
+    # value recurs at many indices — convert each distinct value only once.
+    conversions: dict[int, frozenset[int]] = {}
+
+    def _bits_to_set(bits: int) -> frozenset[int]:
+        cached = conversions.get(bits)
+        if cached is not None:
+            return cached
+        remaining = bits
+        result = []
+        while remaining:
+            low = remaining & -remaining
+            result.append(low.bit_length() - 1)
+            remaining ^= low
+        converted = frozenset(result)
+        conversions[bits] = converted
+        return converted
+
     return LivenessInfo(
-        live_in=tuple(frozenset(s) for s in live_in),
-        live_out=tuple(frozenset(s) for s in live_out),
+        live_in=tuple(_bits_to_set(bits) for bits in live_in),
+        live_out=tuple(_bits_to_set(bits) for bits in live_out),
         def_points={r: tuple(points) for r, points in def_points.items()},
         use_points={r: tuple(points) for r, points in use_points.items()},
     )

@@ -40,7 +40,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace as dc_replace
 
-from repro.arch.register_file import RegisterBank, register_bank
+from repro.arch.register_file import (
+    _BANK_CODE_BY_RESIDUE,
+    RegisterBank,
+    register_bank,
+)
 from repro.errors import RegisterAllocationError
 from repro.isa.assembler import Kernel
 from repro.isa.instructions import Instruction, MemRef, Opcode, Register
@@ -203,15 +207,21 @@ class _Unit:
     def is_run(self) -> bool:
         return len(self.registers) > 1
 
+    def __post_init__(self) -> None:
+        self._position = {reg: i for i, reg in enumerate(self.registers)}
+
     def bank_of(self, register: int, offset: int | None = None) -> RegisterBank:
         """Bank of ``register`` when the unit sits at ``offset`` (mod 8)."""
         base = self.offset if offset is None else offset
-        position = self.registers.index(register)
-        return register_bank((base + position) % 8)
+        return register_bank((base + self._position[register]) % 8)
 
 
 def _tuple_penalty(banks: list[RegisterBank]) -> int:
-    """Conflict penalty of one instruction's distinct sources: degree - 1."""
+    """Conflict penalty of one instruction's distinct sources: degree - 1.
+
+    The solver inlines this computation in its hot loops; this helper states
+    the rule and serves the cold paths.
+    """
     counts: dict[RegisterBank, int] = {}
     for bank in banks:
         counts[bank] = counts.get(bank, 0) + 1
@@ -238,31 +248,51 @@ class _BankSolver:
         for regs in tuples:
             for register in regs:
                 self._tuples_of.setdefault(register, []).append(regs)
-
-    def _bank(self, register: int, moved: _Unit | None = None, offset: int | None = None) -> RegisterBank:
-        unit = self._unit_of[register]
-        if moved is not None and unit is moved:
-            return unit.bank_of(register, offset)
-        return unit.bank_of(register)
+        # Static per-tuple membership: (unit, position-in-unit) per register,
+        # and the de-duplicated tuple list around each unit.  The penalty
+        # loops below run ~100k times during the local search; resolving
+        # unit/position once keeps them to integer arithmetic.
+        self._members: dict[tuple[int, ...], list[tuple[_Unit, int]]] = {
+            regs: [(self._unit_of[r], self._unit_of[r]._position[r]) for r in regs]
+            for regs in tuples
+        }
+        self._around: dict[int, list[tuple[tuple[int, ...], int, list[tuple[_Unit, int]]]]] = {}
+        for unit in units:
+            seen: set[tuple[int, ...]] = set()
+            entries = []
+            for register in unit.registers:
+                for regs in self._tuples_of.get(register, ()):
+                    if regs in seen:
+                        continue
+                    seen.add(regs)
+                    entries.append((regs, tuples[regs], self._members[regs]))
+            self._around[id(unit)] = entries
 
     def _penalty_around(self, unit: _Unit, offset: int | None = None) -> int:
         """Weighted penalty of all tuples touching ``unit`` (at ``offset``)."""
-        seen: set[tuple[int, ...]] = set()
+        base = unit.offset if offset is None else offset
+        codes = _BANK_CODE_BY_RESIDUE
         total = 0
-        for register in unit.registers:
-            for regs in self._tuples_of.get(register, ()):
-                if regs in seen:
-                    continue
-                seen.add(regs)
-                banks = [self._bank(r, unit, offset) for r in regs]
-                total += _tuple_penalty(banks) * self._tuples[regs]
+        for _, weight, members in self._around[id(unit)]:
+            counts = [0, 0, 0, 0]
+            for member, position in members:
+                member_base = base if member is unit else member.offset
+                counts[codes[(member_base + position) % 8]] += 1
+            worst = max(counts)
+            if worst > 1:
+                total += (worst - 1) * weight
         return total
 
     def total_penalty(self) -> int:
+        codes = _BANK_CODE_BY_RESIDUE
         total = 0
         for regs, weight in self._tuples.items():
-            banks = [self._bank(r) for r in regs]
-            total += _tuple_penalty(banks) * weight
+            counts = [0, 0, 0, 0]
+            for member, position in self._members[regs]:
+                counts[codes[(member.offset + position) % 8]] += 1
+            worst = max(counts)
+            if worst > 1:
+                total += (worst - 1) * weight
         return total
 
     def _demand(self) -> dict[RegisterBank, int]:
@@ -312,15 +342,17 @@ class _BankSolver:
         excluded_tuples: set[tuple[int, ...]] = set()
         for register in excluded.registers:
             excluded_tuples.update(self._tuples_of.get(register, ()))
+        codes = _BANK_CODE_BY_RESIDUE
         total = 0
-        seen: set[tuple[int, ...]] = set()
-        for register in unit.registers:
-            for regs in self._tuples_of.get(register, ()):
-                if regs in seen or regs in excluded_tuples:
-                    continue
-                seen.add(regs)
-                banks = [self._bank(r) for r in regs]
-                total += _tuple_penalty(banks) * self._tuples[regs]
+        for regs, weight, members in self._around[id(unit)]:
+            if regs in excluded_tuples:
+                continue
+            counts = [0, 0, 0, 0]
+            for member, position in members:
+                counts[codes[(member.offset + position) % 8]] += 1
+            worst = max(counts)
+            if worst > 1:
+                total += (worst - 1) * weight
         return total
 
     def _partners_of(self, unit: _Unit) -> list[_Unit]:
@@ -511,22 +543,40 @@ def _assign_indices(
 def _rename_register(register: Register, mapping: dict[int, int]) -> Register:
     if register.is_zero:
         return register
-    return Register(mapping.get(register.index, register.index))
+    new_index = mapping.get(register.index, register.index)
+    if new_index == register.index:
+        return register
+    return Register(new_index)
 
 
 def rename_registers(instruction: Instruction, mapping: dict[int, int]) -> Instruction:
-    """``instruction`` with every register operand renamed through ``mapping``."""
+    """``instruction`` with every register operand renamed through ``mapping``.
+
+    Returns ``instruction`` itself when no operand actually changes — the
+    identity mapping is common and ``dataclasses.replace`` is not free.
+    """
+    changed = False
     new_sources = []
     for operand in instruction.sources:
         if isinstance(operand, Register):
-            new_sources.append(_rename_register(operand, mapping))
+            renamed = _rename_register(operand, mapping)
+            changed = changed or renamed is not operand
+            new_sources.append(renamed)
         elif isinstance(operand, MemRef):
-            new_sources.append(MemRef(base=_rename_register(operand.base, mapping), offset=operand.offset))
+            base = _rename_register(operand.base, mapping)
+            if base is operand.base:
+                new_sources.append(operand)
+            else:
+                changed = True
+                new_sources.append(MemRef(base=base, offset=operand.offset))
         else:
             new_sources.append(operand)
     dest = instruction.dest
     if dest is not None:
         dest = _rename_register(dest, mapping)
+        changed = changed or dest is not instruction.dest
+    if not changed:
+        return instruction
     return dc_replace(instruction, dest=dest, sources=tuple(new_sources))
 
 

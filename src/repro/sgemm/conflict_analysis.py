@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.register_file import bank_conflict_degree
+from repro.arch.register_file import _BANK_CODE_BY_RESIDUE
 from repro.isa.assembler import Kernel
 
 
@@ -63,35 +63,45 @@ class ConflictReport:
 
 
 def analyse_ffma_conflicts(kernel: Kernel) -> ConflictReport:
-    """Classify every FFMA of ``kernel`` by operand register-bank conflict degree."""
+    """Classify every FFMA of ``kernel`` by operand register-bank conflict degree.
+
+    Memoized per kernel instance: the optimization pipeline and the autotuner
+    both analyse the same (immutable) kernel several times.
+    """
+    cached = kernel.__dict__.get("_ffma_conflict_report")
+    if cached is not None:
+        return cached
     ffma_count = 0
     no_conflict = 0
     two_way = 0
     three_way = 0
+    codes = _BANK_CODE_BY_RESIDUE
     for instruction in kernel.instructions:
         if not instruction.is_ffma:
             continue
         ffma_count += 1
-        sources = list(instruction.source_register_indices)
-        distinct = set(sources)
-        if len(distinct) < 3:
-            # Duplicate sources never conflict with themselves.
-            degree = bank_conflict_degree(list(distinct))
-        else:
-            degree = bank_conflict_degree(sources)
+        # Duplicate sources never conflict with themselves, hence the set;
+        # the counting loop inlines ``bank_conflict_degree`` for speed.
+        counts = [0, 0, 0, 0]
+        for reg in set(instruction.source_register_indices):
+            if reg >= 0:
+                counts[codes[reg % 8]] += 1
+        degree = max(counts)
         if degree <= 1:
             no_conflict += 1
         elif degree == 2:
             two_way += 1
         else:
             three_way += 1
-    return ConflictReport(
+    report = ConflictReport(
         kernel_name=kernel.name,
         ffma_count=ffma_count,
         no_conflict=no_conflict,
         two_way=two_way,
         three_way=three_way,
     )
+    kernel.__dict__["_ffma_conflict_report"] = report
+    return report
 
 
 def format_conflict_table(reports: list[ConflictReport]) -> str:

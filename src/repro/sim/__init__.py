@@ -18,9 +18,11 @@ lanes of a warp) so that generated SGEMM kernels can be validated numerically.
 """
 
 from repro.sim.launch import BlockGrid, LaunchConfig
-from repro.sim.memory import GlobalMemory, KernelParams
+from repro.sim.memory import GlobalMemory, KernelParams, SharedMemoryArray
+from repro.sim.reference import ReferenceExecutor, run_block_reference
 from repro.sim.results import SimResult, StallBreakdown
-from repro.sim.sm_sim import SmSimulator
+from repro.sim.sm_sim import EXECUTORS, SmSimulator
+from repro.sim.vectorized import VectorizedEngine, WarpTrace
 from repro.sim.gpu_sim import GpuSimulator, simulate_kernel
 
 __all__ = [
@@ -28,9 +30,15 @@ __all__ = [
     "LaunchConfig",
     "GlobalMemory",
     "KernelParams",
+    "SharedMemoryArray",
+    "ReferenceExecutor",
+    "run_block_reference",
     "SimResult",
     "StallBreakdown",
+    "EXECUTORS",
     "SmSimulator",
+    "VectorizedEngine",
+    "WarpTrace",
     "GpuSimulator",
     "simulate_kernel",
 ]

@@ -1,306 +1,14 @@
-"""Functional (architectural) execution of instructions for one warp.
+"""Backwards-compatible aliases for the functional-execution split.
 
-Execution is vectorised across the 32 lanes of a warp with NumPy.  Guard
-predicates mask lanes; RZ reads as zero and discards writes; wide loads and
-stores move register pairs/quads.  Control flow (BRA/EXIT/BAR) is resolved by
-the SM simulator, not here — this module only computes register, shared-memory
-and global-memory effects.
+The per-warp functional executor and the shared-memory array used to live in
+this module.  The scalar executor is now the differential-testing oracle in
+:mod:`repro.sim.reference` (the production fast path is
+:mod:`repro.sim.vectorized`), and :class:`~repro.sim.memory.SharedMemoryArray`
+lives with the other memory models in :mod:`repro.sim.memory`.  Import from
+those modules in new code.
 """
 
-from __future__ import annotations
+from repro.sim.memory import SharedMemoryArray
+from repro.sim.reference import ReferenceExecutor as FunctionalExecutor
 
-import numpy as np
-
-from repro.errors import SimulationError
-from repro.isa.instructions import ConstRef, Immediate, Instruction, MemRef, Opcode
-from repro.isa.registers import Register, SpecialRegister
-from repro.sim.memory import GlobalMemory, KernelParams
-from repro.sim.warp import WARP_SIZE, WarpState
-
-
-class SharedMemoryArray:
-    """Shared-memory backing store for one block."""
-
-    def __init__(self, size_bytes: int) -> None:
-        if size_bytes < 0:
-            raise SimulationError("shared memory size must be non-negative")
-        self._data = np.zeros(max(size_bytes, 4), dtype=np.uint8)
-        self._size = size_bytes
-
-    @property
-    def size_bytes(self) -> int:
-        """Configured shared-memory size for the block."""
-        return self._size
-
-    def load_words(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
-        """Gather one 32-bit word per lane (masked lanes read zero)."""
-        result = np.zeros(addresses.shape, dtype=np.uint32)
-        for lane in np.flatnonzero(mask):
-            address = int(addresses[lane])
-            if address < 0 or address + 4 > self._data.size:
-                raise SimulationError(f"shared-memory load out of bounds at {address:#x}")
-            result[lane] = self._data[address : address + 4].view(np.uint32)[0]
-        return result
-
-    def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
-        """Scatter one 32-bit word per lane (masked lanes skipped)."""
-        for lane in np.flatnonzero(mask):
-            address = int(addresses[lane])
-            if address < 0 or address + 4 > self._data.size:
-                raise SimulationError(f"shared-memory store out of bounds at {address:#x}")
-            self._data[address : address + 4] = (
-                np.array([values[lane]], dtype=np.uint32).view(np.uint8)
-            )
-
-
-class FunctionalExecutor:
-    """Executes instruction semantics for warps of one kernel launch."""
-
-    def __init__(
-        self,
-        global_memory: GlobalMemory | None,
-        params: KernelParams | None,
-        block_dim: tuple[int, int],
-        grid_dim: tuple[int, int] = (1, 1),
-    ) -> None:
-        self._global_memory = global_memory
-        self._params = params
-        self._block_dim = block_dim
-        self._grid_dim = grid_dim
-
-    # ------------------------------------------------------------------ #
-    # Operand evaluation.                                                 #
-    # ------------------------------------------------------------------ #
-
-    def _read_f32(self, warp: WarpState, operand: object) -> np.ndarray:
-        if isinstance(operand, Register):
-            return warp.read_f32(operand.index)
-        if isinstance(operand, Immediate):
-            return np.full(WARP_SIZE, np.float32(operand.as_float()), dtype=np.float32)
-        if isinstance(operand, ConstRef):
-            return np.full(
-                WARP_SIZE,
-                np.array([self._read_constant(operand)], dtype=np.uint32).view(np.float32)[0],
-                dtype=np.float32,
-            )
-        raise SimulationError(f"operand {operand!r} cannot be read as float")
-
-    def _read_s32(self, warp: WarpState, operand: object) -> np.ndarray:
-        if isinstance(operand, Register):
-            return warp.read_s32(operand.index)
-        if isinstance(operand, Immediate):
-            return np.full(WARP_SIZE, int(operand.as_int()), dtype=np.int64)
-        if isinstance(operand, ConstRef):
-            raw = self._read_constant(operand)
-            signed = raw - 2**32 if raw >= 2**31 else raw
-            return np.full(WARP_SIZE, signed, dtype=np.int64)
-        raise SimulationError(f"operand {operand!r} cannot be read as integer")
-
-    def _read_constant(self, ref: ConstRef) -> int:
-        if self._params is None:
-            raise SimulationError("kernel reads constants but no parameters were provided")
-        if ref.bank != 0:
-            raise SimulationError(f"only constant bank 0 is modelled, got bank {ref.bank}")
-        return self._params.read_word(ref.offset)
-
-    def _memory_addresses(self, warp: WarpState, operand: MemRef) -> np.ndarray:
-        base = warp.read_u32(operand.base.index).astype(np.int64)
-        return base + operand.offset
-
-    # ------------------------------------------------------------------ #
-    # Instruction execution.                                              #
-    # ------------------------------------------------------------------ #
-
-    def execute(
-        self,
-        warp: WarpState,
-        instruction: Instruction,
-        shared_memory: SharedMemoryArray,
-    ) -> None:
-        """Apply ``instruction``'s architectural effects to ``warp``.
-
-        Control-flow opcodes are no-ops here (handled by the scheduler).
-        """
-        mask = warp.active_mask & warp.read_predicate(
-            instruction.predicate.index, instruction.predicate_negated
-        )
-        opcode = instruction.opcode
-
-        if opcode in (Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP):
-            return
-
-        if opcode is Opcode.FFMA:
-            a, b, c = (self._read_f32(warp, op) for op in instruction.sources)
-            result = np.float32(a) * np.float32(b) + np.float32(c)
-            warp.write_f32(instruction.dest.index, result, mask)
-            return
-        if opcode is Opcode.FADD:
-            a, b = (self._read_f32(warp, op) for op in instruction.sources)
-            warp.write_f32(instruction.dest.index, np.float32(a) + np.float32(b), mask)
-            return
-        if opcode is Opcode.FMUL:
-            a, b = (self._read_f32(warp, op) for op in instruction.sources)
-            warp.write_f32(instruction.dest.index, np.float32(a) * np.float32(b), mask)
-            return
-
-        if opcode is Opcode.IADD:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a + b).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.IMUL:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a * b).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.IMAD:
-            a, b, c = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a * b + c).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.ISCADD:
-            a, b, shift = instruction.sources
-            base = self._read_s32(warp, a)
-            addend = self._read_s32(warp, b)
-            amount = int(shift.as_int()) if isinstance(shift, Immediate) else 0
-            warp.write_u32(instruction.dest.index, ((base << amount) + addend).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.SHL:
-            a, amount = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a << amount).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.SHR:
-            a, amount = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(
-                instruction.dest.index,
-                (warp.read_u32(instruction.sources[0].index) >> amount.astype(np.uint32)).astype(np.uint32)
-                if isinstance(instruction.sources[0], Register)
-                else (a >> amount).astype(np.uint32),
-                mask,
-            )
-            return
-        if opcode is Opcode.LOP_AND:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a & b).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.LOP_OR:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a | b).astype(np.uint32), mask)
-            return
-        if opcode is Opcode.LOP_XOR:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            warp.write_u32(instruction.dest.index, (a ^ b).astype(np.uint32), mask)
-            return
-
-        if opcode in (Opcode.MOV, Opcode.MOV32I):
-            source = instruction.sources[0]
-            if isinstance(source, Register):
-                warp.write_u32(instruction.dest.index, warp.read_u32(source.index), mask)
-            elif isinstance(source, Immediate) and isinstance(source.value, float):
-                warp.write_f32(
-                    instruction.dest.index,
-                    np.full(WARP_SIZE, np.float32(source.value), dtype=np.float32),
-                    mask,
-                )
-            elif isinstance(source, Immediate):
-                warp.write_u32(
-                    instruction.dest.index,
-                    np.full(WARP_SIZE, source.as_int() & 0xFFFFFFFF, dtype=np.uint32),
-                    mask,
-                )
-            elif isinstance(source, ConstRef):
-                warp.write_u32(
-                    instruction.dest.index,
-                    np.full(WARP_SIZE, self._read_constant(source), dtype=np.uint32),
-                    mask,
-                )
-            else:
-                raise SimulationError(f"MOV source {source!r} not supported")
-            return
-
-        if opcode is Opcode.S2R:
-            warp.write_u32(
-                instruction.dest.index, self._special_value(warp, instruction.special), mask
-            )
-            return
-
-        if opcode is Opcode.ISETP:
-            a, b = (self._read_s32(warp, op) for op in instruction.sources)
-            comparisons = {
-                "LT": a < b,
-                "LE": a <= b,
-                "EQ": a == b,
-                "NE": a != b,
-                "GE": a >= b,
-                "GT": a > b,
-            }
-            warp.write_predicate(instruction.dest_predicate.index, comparisons[instruction.compare_op], mask)
-            return
-
-        if opcode in (Opcode.LDS, Opcode.LD):
-            self._execute_load(warp, instruction, shared_memory, mask)
-            return
-        if opcode in (Opcode.STS, Opcode.ST):
-            self._execute_store(warp, instruction, shared_memory, mask)
-            return
-
-        raise SimulationError(f"functional semantics for {opcode.value} are not implemented")
-
-    def _special_value(self, warp: WarpState, special: SpecialRegister) -> np.ndarray:
-        values = {
-            SpecialRegister.TID_X: warp.lane_tid_x,
-            SpecialRegister.TID_Y: warp.lane_tid_y,
-            SpecialRegister.TID_Z: np.zeros(WARP_SIZE, dtype=np.int64),
-            SpecialRegister.CTAID_X: np.full(WARP_SIZE, warp.block_idx[0], dtype=np.int64),
-            SpecialRegister.CTAID_Y: np.full(WARP_SIZE, warp.block_idx[1], dtype=np.int64),
-            SpecialRegister.CTAID_Z: np.zeros(WARP_SIZE, dtype=np.int64),
-            SpecialRegister.LANEID: np.arange(WARP_SIZE, dtype=np.int64),
-            SpecialRegister.WARPID: np.full(WARP_SIZE, warp.warp_id, dtype=np.int64),
-        }
-        return values[special].astype(np.uint32)
-
-    def _execute_load(
-        self,
-        warp: WarpState,
-        instruction: Instruction,
-        shared_memory: SharedMemoryArray,
-        mask: np.ndarray,
-    ) -> None:
-        operand = instruction.memory_operand
-        if operand is None:
-            raise SimulationError(f"{instruction.mnemonic} has no memory operand")
-        addresses = self._memory_addresses(warp, operand)
-        words = instruction.width // 32
-        for word in range(words):
-            word_addresses = addresses + 4 * word
-            if instruction.opcode is Opcode.LDS:
-                values = shared_memory.load_words(word_addresses, mask)
-            else:
-                if self._global_memory is None:
-                    raise SimulationError("kernel loads global memory but none was provided")
-                values = self._global_memory.load_words(word_addresses, mask)
-            warp.write_u32(instruction.dest.index + word, values, mask)
-
-    def _execute_store(
-        self,
-        warp: WarpState,
-        instruction: Instruction,
-        shared_memory: SharedMemoryArray,
-        mask: np.ndarray,
-    ) -> None:
-        operand = instruction.memory_operand
-        if operand is None:
-            raise SimulationError(f"{instruction.mnemonic} has no memory operand")
-        data_registers = [op for op in instruction.sources if isinstance(op, Register)]
-        data_registers = [r for r in data_registers if r is not operand.base]
-        if not data_registers:
-            raise SimulationError(f"{instruction.mnemonic} has no data register")
-        source = data_registers[-1]
-        addresses = self._memory_addresses(warp, operand)
-        words = instruction.width // 32
-        for word in range(words):
-            values = warp.read_u32(source.index + word)
-            word_addresses = addresses + 4 * word
-            if instruction.opcode is Opcode.STS:
-                shared_memory.store_words(word_addresses, values, mask)
-            else:
-                if self._global_memory is None:
-                    raise SimulationError("kernel stores global memory but none was provided")
-                self._global_memory.store_words(word_addresses, values, mask)
+__all__ = ["FunctionalExecutor", "SharedMemoryArray"]

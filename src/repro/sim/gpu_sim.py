@@ -65,13 +65,18 @@ def simulate_kernel(
     params: KernelParams | None = None,
     functional: bool = True,
     max_cycles: int = 5_000_000,
+    executor: str = "vectorized",
 ) -> SimResult:
     """Convenience wrapper: simulate all blocks of ``grid`` on one SM.
 
     Suitable for small functional-validation runs and micro-benchmarks where
-    the grid fits on (or is intended for) a single SM.
+    the grid fits on (or is intended for) a single SM.  ``executor`` selects
+    the functional engine (``"vectorized"`` fast path or the scalar
+    ``"reference"`` oracle); both produce bit-identical results.
     """
-    simulator = SmSimulator(gpu, kernel, global_memory=global_memory, params=params)
+    simulator = SmSimulator(
+        gpu, kernel, global_memory=global_memory, params=params, executor=executor
+    )
     config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
     return simulator.run(config)
 
@@ -98,9 +103,12 @@ class GpuSimulator:
         params: KernelParams | None = None,
         functional: bool = True,
         max_cycles: int = 5_000_000,
+        executor: str = "vectorized",
     ) -> SimResult:
         """Simulate a single block of a launch (functional validation entry point)."""
-        simulator = SmSimulator(self._gpu, kernel, global_memory=global_memory, params=params)
+        simulator = SmSimulator(
+            self._gpu, kernel, global_memory=global_memory, params=params, executor=executor
+        )
         config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
         return simulator.run(config, block_indices=[block_idx])
 
@@ -115,6 +123,7 @@ class GpuSimulator:
         functional: bool = True,
         max_cycles: int = 5_000_000,
         blocks_per_sm: int | None = None,
+        executor: str = "vectorized",
     ) -> tuple[SimResult, int]:
         """Simulate one SM running its full resident set of blocks.
 
@@ -132,7 +141,9 @@ class GpuSimulator:
             blocks_per_sm = occupancy.active_blocks
         blocks_per_sm = max(1, min(blocks_per_sm, grid.block_count))
         block_indices = grid.block_indices()[:blocks_per_sm]
-        simulator = SmSimulator(self._gpu, kernel, global_memory=global_memory, params=params)
+        simulator = SmSimulator(
+            self._gpu, kernel, global_memory=global_memory, params=params, executor=executor
+        )
         config = LaunchConfig(grid=grid, functional=functional, max_cycles=max_cycles)
         result = simulator.run(config, block_indices=block_indices)
         return result, blocks_per_sm
@@ -148,6 +159,7 @@ class GpuSimulator:
         params: KernelParams | None = None,
         functional: bool = True,
         max_cycles: int = 5_000_000,
+        executor: str = "vectorized",
     ) -> GridEstimate:
         """Estimate full-grid execution by simulating one resident set per wave.
 
@@ -166,6 +178,7 @@ class GpuSimulator:
             params=params,
             functional=functional,
             max_cycles=max_cycles,
+            executor=executor,
         )
         blocks_per_wave = blocks_per_sm * self._gpu.sm_count
         waves = -(-grid.block_count // blocks_per_wave)

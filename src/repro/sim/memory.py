@@ -1,9 +1,28 @@
-"""Global memory and kernel-parameter storage for the simulator.
+"""Simulated memories: global memory, shared memory and kernel parameters.
 
 Global memory is a flat byte-addressable array backed by NumPy.  Host code
 allocates named buffers (matrices A, B, C for SGEMM), obtains their base
 addresses, passes them to the kernel through the constant bank
 (:class:`KernelParams`), and reads results back after simulation.
+:class:`SharedMemoryArray` is the per-block scratchpad the same kernels stage
+tiles through.
+
+Both memories expose two word-level access paths with identical semantics:
+
+* ``load_words`` / ``store_words`` — vectorised masked gather/scatter over
+  NumPy index arrays (any shape: one warp's 32 lanes, or a whole block's
+  ``(warps, 32)`` lane matrix).  This is the fast path used by
+  :mod:`repro.sim.vectorized`.
+* ``load_words_reference`` / ``store_words_reference`` — the original
+  per-lane Python loops, kept verbatim as the oracle for the differential
+  test harness (:mod:`repro.sim.reference`).
+
+Semantics the two paths share (and the differential tests pin): masked-off
+lanes touch nothing and read zero; bounds are checked per 32-bit word and the
+*first* offending lane (flat C order) raises with its address; duplicate store
+addresses resolve last-lane-wins; DRAM byte counters count active lanes and
+are incremented before the bounds check, so a partially out-of-bounds access
+leaves the same books either way.
 """
 
 from __future__ import annotations
@@ -13,6 +32,119 @@ import struct
 import numpy as np
 
 from repro.errors import SimulationError
+
+#: Byte offsets of one little-endian 32-bit word, used to split unaligned
+#: word accesses into byte gathers/scatters.
+_WORD_BYTES = np.arange(4, dtype=np.int64)
+
+
+def _gather_words(
+    data: np.ndarray, limit: int, addresses: np.ndarray, mask: np.ndarray, what: str
+) -> np.ndarray:
+    """Masked vectorised gather of one 32-bit word per lane.
+
+    ``data`` is the uint8 backing store (padded to a multiple of 4 bytes so a
+    uint32 view exists); ``limit`` is the logical size bounds are checked
+    against.  ``addresses`` and ``mask`` may be any matching shape.
+    """
+    result = np.zeros(addresses.shape, dtype=np.uint32)
+    flat_addresses = np.ascontiguousarray(addresses, dtype=np.int64).reshape(-1)
+    flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+    active = flat_addresses[flat_mask]
+    if active.size == 0:
+        return result
+    bad = (active < 0) | (active + 4 > limit)
+    if bad.any():
+        address = int(active[int(np.argmax(bad))])
+        raise SimulationError(f"{what} out of bounds at {address:#x}")
+    if not (active & 3).any():
+        values = data.view(np.uint32)[active >> 2]
+    else:
+        values = data[active[:, None] + _WORD_BYTES].view(np.uint32).reshape(-1)
+    result.reshape(-1)[flat_mask] = values
+    return result
+
+
+def _scatter_words(
+    data: np.ndarray,
+    limit: int,
+    addresses: np.ndarray,
+    values: np.ndarray,
+    mask: np.ndarray,
+    what: str,
+) -> None:
+    """Masked vectorised scatter of one 32-bit word per lane.
+
+    Duplicate addresses resolve in flat C order (last lane wins), matching the
+    reference path's ascending-lane store loop.
+    """
+    flat_addresses = np.ascontiguousarray(addresses, dtype=np.int64).reshape(-1)
+    flat_mask = np.asarray(mask, dtype=bool).reshape(-1)
+    active = flat_addresses[flat_mask]
+    if active.size == 0:
+        return
+    bad = (active < 0) | (active + 4 > limit)
+    if bad.any():
+        address = int(active[int(np.argmax(bad))])
+        raise SimulationError(f"{what} out of bounds at {address:#x}")
+    active_values = np.ascontiguousarray(values, dtype=np.uint32).reshape(-1)[flat_mask]
+    if not (active & 3).any():
+        data.view(np.uint32)[active >> 2] = active_values
+    else:
+        data[active[:, None] + _WORD_BYTES] = active_values.view(np.uint8).reshape(-1, 4)
+
+
+class SharedMemoryArray:
+    """Shared-memory backing store for one block."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes < 0:
+            raise SimulationError("shared memory size must be non-negative")
+        self._size = size_bytes
+        # Bounds are checked against the logical limit; the backing store is
+        # padded to a multiple of 4 bytes so an aligned uint32 view exists.
+        self._limit = max(size_bytes, 4)
+        self._data = np.zeros(-(-self._limit // 4) * 4, dtype=np.uint8)
+
+    @property
+    def size_bytes(self) -> int:
+        """Configured shared-memory size for the block."""
+        return self._size
+
+    @property
+    def data(self) -> np.ndarray:
+        """Raw byte array (view for inspection and differential comparison)."""
+        return self._data[: self._limit]
+
+    def load_words(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather one 32-bit word per lane (masked lanes read zero)."""
+        return _gather_words(self._data, self._limit, addresses, mask, "shared-memory load")
+
+    def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """Scatter one 32-bit word per lane (masked lanes skipped)."""
+        _scatter_words(self._data, self._limit, addresses, values, mask, "shared-memory store")
+
+    def load_words_reference(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Per-lane scalar gather: the differential-testing oracle."""
+        result = np.zeros(addresses.shape, dtype=np.uint32)
+        for lane in np.flatnonzero(mask):
+            address = int(addresses[lane])
+            if address < 0 or address + 4 > self._limit:
+                raise SimulationError(f"shared-memory load out of bounds at {address:#x}")
+            result[lane] = self._data[address : address + 4].view(np.uint32)[0]
+        return result
+
+    def store_words_reference(
+        self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Per-lane scalar scatter: the differential-testing oracle."""
+        for lane in np.flatnonzero(mask):
+            address = int(addresses[lane])
+            if address < 0 or address + 4 > self._limit:
+                raise SimulationError(f"shared-memory store out of bounds at {address:#x}")
+            self._data[address : address + 4] = (
+                np.array([values[lane]], dtype=np.uint32).view(np.uint8)
+            )
 
 
 class GlobalMemory:
@@ -31,7 +163,10 @@ class GlobalMemory:
     def __init__(self, size_bytes: int = 256 * 1024 * 1024) -> None:
         if size_bytes <= 0:
             raise SimulationError("global memory size must be positive")
-        self._data = np.zeros(size_bytes, dtype=np.uint8)
+        self._size = int(size_bytes)
+        # Padded to a multiple of 4 bytes so an aligned uint32 view exists;
+        # bounds are checked against the logical size.
+        self._data = np.zeros(-(-self._size // 4) * 4, dtype=np.uint8)
         self._next_free = self.ALIGNMENT  # keep address 0 unused (null)
         self._allocations: dict[str, tuple[int, int]] = {}
         self._load_bytes = 0
@@ -60,12 +195,12 @@ class GlobalMemory:
     @property
     def size_bytes(self) -> int:
         """Capacity of the simulated memory."""
-        return int(self._data.size)
+        return self._size
 
     @property
     def data(self) -> np.ndarray:
         """Raw byte array (read-only view for inspection)."""
-        return self._data
+        return self._data[: self._size]
 
     def allocate(self, name: str, size_bytes: int) -> int:
         """Allocate ``size_bytes`` under ``name`` and return the base address."""
@@ -116,6 +251,16 @@ class GlobalMemory:
 
     def load_words(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Gather one 32-bit word per lane from ``addresses`` (masked lanes read 0)."""
+        self._load_bytes += 4 * int(np.count_nonzero(mask))
+        return _gather_words(self._data, self._size, addresses, mask, "global load")
+
+    def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
+        """Scatter one 32-bit word per lane to ``addresses`` (masked lanes skipped)."""
+        self._store_bytes += 4 * int(np.count_nonzero(mask))
+        _scatter_words(self._data, self._size, addresses, values, mask, "global store")
+
+    def load_words_reference(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Per-lane scalar gather: the differential-testing oracle."""
         result = np.zeros(addresses.shape, dtype=np.uint32)
         active = np.flatnonzero(mask)
         self._load_bytes += 4 * len(active)
@@ -126,8 +271,10 @@ class GlobalMemory:
             result[lane] = self._data[address : address + 4].view(np.uint32)[0]
         return result
 
-    def store_words(self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray) -> None:
-        """Scatter one 32-bit word per lane to ``addresses`` (masked lanes skipped)."""
+    def store_words_reference(
+        self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Per-lane scalar scatter: the differential-testing oracle."""
         active = np.flatnonzero(mask)
         self._store_bytes += 4 * len(active)
         for lane in active:

@@ -160,6 +160,11 @@ class SimResult:
         Number of blocks that ran on the SM.
     counters:
         Per-instruction counters (populated when the run was profiled).
+    executor:
+        Functional engine that produced the architectural state
+        (``"vectorized"`` or ``"reference"``; empty for timing-only runs,
+        which execute nothing).  Recorded so benchmark artifacts and the
+        differential harness can attest which engine a number came from.
     """
 
     cycles: float
@@ -172,6 +177,7 @@ class SimResult:
     warps_simulated: int = 0
     blocks_simulated: int = 0
     counters: InstructionCounters | None = None
+    executor: str = ""
 
     @property
     def instructions_per_cycle(self) -> float:

@@ -407,3 +407,83 @@ def sweep_summary(report: PruneReport, outcomes: list[TuneOutcome]) -> str:
     if best is not None:
         line += f", best {best.label} @ {best.cycles:.0f} cycles"
     return line
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """A timed generative sweep: pruning plus simulation of the survivors.
+
+    The benchmark harness (``benchmarks/bench_sim.py``) records these figures
+    into ``BENCH_sim.json``; the sweep-throughput entries feed the trajectory
+    gate (``scripts/bench_trajectory.py --check``), which flags regressions
+    in simulated candidates per second.
+
+    Attributes
+    ----------
+    prune:
+        The bound-pruning pass, including its wall time
+        (:attr:`PruneReport.elapsed_s`).
+    outcomes:
+        Simulation outcomes of the surviving candidates, best first.
+    sim_elapsed_s:
+        Host wall time of the simulation phase.
+    """
+
+    prune: PruneReport
+    outcomes: tuple[TuneOutcome, ...]
+    sim_elapsed_s: float
+
+    @property
+    def total_elapsed_s(self) -> float:
+        """End-to-end sweep wall time: pruning plus simulation."""
+        return self.prune.elapsed_s + self.sim_elapsed_s
+
+    @property
+    def candidates_per_s(self) -> float:
+        """Sweep throughput: candidates retired per second of wall time.
+
+        Counts every candidate the sweep disposed of — pruned analytically
+        or simulated — over the end-to-end time; this is the headline
+        figure the vectorized functional engine is benchmarked on.
+        """
+        if self.total_elapsed_s <= 0:
+            return 0.0
+        return self.prune.total / self.total_elapsed_s
+
+
+def run_generative_sweep(
+    gpu: GpuSpec | str,
+    *,
+    workload: str | None = None,
+    keep_within: float = 1.2,
+    workers: int | None = 1,
+    cache: AutotuneCache | None = None,
+    max_cycles: int = 2_000_000,
+    include_tails: bool = True,
+    **space_kwargs,
+) -> SweepReport:
+    """Generate, prune and simulate the schedule space, timing each phase.
+
+    The single-entry-point version of the :func:`schedule_space` →
+    :func:`prune_by_bound` → :func:`autotune_schedules` chain, with wall
+    times captured where benchmarks need them.  ``workload`` restricts the
+    space to one workload's candidates (e.g. ``"tile_sgemm"``);
+    ``include_tails=False`` additionally drops the ``@``-labelled tail
+    problem sizes, matching the benchmark harness's fixed-size sweep.
+    """
+    spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+    candidates = schedule_space(**space_kwargs)
+    if workload is not None:
+        candidates = [c for c in candidates if c.workload == workload]
+    if not include_tails:
+        candidates = [c for c in candidates if "@" not in c.label]
+    report = prune_by_bound(spec, candidates, keep_within=keep_within)
+    started = time.perf_counter()
+    outcomes = autotune_schedules(
+        spec, list(report.kept), workers=workers, cache=cache, max_cycles=max_cycles
+    )
+    return SweepReport(
+        prune=report,
+        outcomes=tuple(outcomes),
+        sim_elapsed_s=time.perf_counter() - started,
+    )

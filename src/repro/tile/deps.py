@@ -253,19 +253,25 @@ def _tighten(
     Returns tightened bounds, or ``None`` when the system is infeasible
     (which proves independence).
     """
+    # The live-coefficient sets and divisibility screen are invariant across
+    # propagation passes — hoist them out of the fixed-point loop.
+    prepared: list[tuple[dict[str, int], int]] = []
+    for coeffs, const in equations:
+        live = {v: c for v, c in coeffs.items() if c != 0}
+        if not live:
+            if const != 0:
+                return None
+            continue
+        divisor = 0
+        for c in live.values():
+            divisor = gcd(divisor, abs(c))
+        if divisor and const % divisor:
+            return None
+        prepared.append((live, const))
+
     for _ in range(64):
         changed = False
-        for coeffs, const in equations:
-            live = {v: c for v, c in coeffs.items() if c != 0}
-            if not live:
-                if const != 0:
-                    return None
-                continue
-            divisor = 0
-            for c in live.values():
-                divisor = gcd(divisor, abs(c))
-            if divisor and const % divisor:
-                return None
+        for live, const in prepared:
             lo = hi = const
             for var, c in live.items():
                 vlo, vhi = bounds[var]

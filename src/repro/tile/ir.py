@@ -68,6 +68,10 @@ class Affine:
 
     def __add__(self, other: Union["Affine", int]) -> "Affine":
         other = to_affine(other)
+        if not other.terms:
+            return Affine(const=self.const + other.const, terms=self.terms)
+        if not self.terms:
+            return Affine(const=self.const + other.const, terms=other.terms)
         merged = dict(self.terms)
         for name, coeff in other.terms:
             merged[name] = merged.get(name, 0) + coeff
@@ -81,9 +85,13 @@ class Affine:
     def __mul__(self, factor: int) -> "Affine":
         if not isinstance(factor, int):
             raise TileError("affine expressions can only be scaled by integers")
+        if factor == 0:
+            return Affine(const=0)
+        # Scaling by a non-zero factor kills no term and keeps the name order,
+        # so the result is already normalised.
         return Affine(
             const=self.const * factor,
-            terms=_normalise({name: coeff * factor for name, coeff in self.terms}),
+            terms=tuple((name, coeff * factor) for name, coeff in self.terms),
         )
 
     __rmul__ = __mul__
@@ -96,7 +104,10 @@ class Affine:
 
     def coeff(self, name: str) -> int:
         """Coefficient of ``name`` (0 when absent)."""
-        return dict(self.terms).get(name, 0)
+        for term_name, term_coeff in self.terms:
+            if term_name == name:
+                return term_coeff
+        return 0
 
     @property
     def is_constant(self) -> bool:
@@ -113,10 +124,17 @@ class Affine:
 
     def substitute(self, mapping: dict[str, "Affine"]) -> "Affine":
         """Replace variables by affine expressions."""
-        result = Affine.constant(self.const)
+        const = self.const
+        merged: dict[str, int] = {}
         for name, coeff in self.terms:
-            result = result + mapping.get(name, Affine.var(name)) * coeff
-        return result
+            repl = mapping.get(name)
+            if repl is None:
+                merged[name] = merged.get(name, 0) + coeff
+            else:
+                const += repl.const * coeff
+                for rname, rcoeff in repl.terms:
+                    merged[rname] = merged.get(rname, 0) + rcoeff * coeff
+        return Affine(const=const, terms=_normalise(merged))
 
     def bounds(self, ranges: dict[str, int]) -> tuple[int, int]:
         """(min, max) over ``var in [0, ranges[var])`` for every variable."""
@@ -488,20 +506,34 @@ class Proc:
     body: tuple[Stmt, ...]
     buffers: tuple[Buffer, ...] = field(default=())
 
-    def param(self, name: str) -> TensorParam:
-        for param in self.params:
-            if param.name == name:
-                return param
-        raise TileError(f"proc '{self.name}' has no tensor parameter '{name}'")
+    def _param_map(self) -> dict[str, TensorParam]:
+        cached = self.__dict__.get("_params_by_name")
+        if cached is None:
+            cached = {p.name: p for p in self.params}
+            object.__setattr__(self, "_params_by_name", cached)
+        return cached
 
-    def buffer(self, name: str) -> Buffer:
-        for buffer in self.buffers:
-            if buffer.name == name:
-                return buffer
-        raise TileError(f"proc '{self.name}' has no staging buffer '{name}'")
+    def _buffer_map(self) -> dict[str, "Buffer"]:
+        cached = self.__dict__.get("_buffers_by_name")
+        if cached is None:
+            cached = {b.name: b for b in self.buffers}
+            object.__setattr__(self, "_buffers_by_name", cached)
+        return cached
+
+    def param(self, name: str) -> TensorParam:
+        param = self._param_map().get(name)
+        if param is None:
+            raise TileError(f"proc '{self.name}' has no tensor parameter '{name}'")
+        return param
+
+    def buffer(self, name: str) -> "Buffer":
+        buffer = self._buffer_map().get(name)
+        if buffer is None:
+            raise TileError(f"proc '{self.name}' has no staging buffer '{name}'")
+        return buffer
 
     def is_buffer(self, name: str) -> bool:
-        return any(b.name == name for b in self.buffers)
+        return name in self._buffer_map()
 
     def outputs(self) -> tuple[str, ...]:
         """Names of tensor parameters the proc writes (in param order)."""
@@ -514,13 +546,22 @@ class Proc:
         return tuple(p.name for p in self.params if p.name in written)
 
     def loops(self) -> dict[str, Loop]:
-        """Every loop keyed by its variable name."""
+        """Every loop keyed by its variable name.
+
+        Cached per (immutable) proc: the schedule primitives and the
+        dependence analysis look loops up far more often than trees change.
+        Callers treat the mapping as read-only.
+        """
+        cached = self.__dict__.get("_loops_by_var")
+        if cached is not None:
+            return cached
         found: dict[str, Loop] = {}
         for stmt in walk_stmts(self.body):
             if isinstance(stmt, Loop):
                 if stmt.var in found:
                     raise TileError(f"duplicate loop variable '{stmt.var}'")
                 found[stmt.var] = stmt
+        object.__setattr__(self, "_loops_by_var", found)
         return found
 
     def find_loop(self, var: str) -> Loop:
@@ -573,10 +614,16 @@ def map_stmts(stmts: tuple[Stmt, ...], fn) -> tuple[Stmt, ...]:
     """
     result: list[Stmt] = []
     for stmt in stmts:
-        if isinstance(stmt, Loop):
-            stmt = replace(stmt, body=map_stmts(stmt.body, fn))
-        elif isinstance(stmt, Guard):
-            stmt = replace(stmt, body=map_stmts(stmt.body, fn))
+        if isinstance(stmt, (Loop, Guard)):
+            # Rebuild only when the body actually changed (same objects in the
+            # same order) — most primitives rewrite one region and leave the
+            # rest of the tree untouched.
+            body = map_stmts(stmt.body, fn)
+            old = stmt.body
+            if len(body) != len(old) or any(
+                n is not o for n, o in zip(body, old)
+            ):
+                stmt = replace(stmt, body=body)
         mapped = fn(stmt)
         if mapped is None:
             continue
@@ -629,7 +676,13 @@ def check_proc(proc: Proc) -> None:
     unknown tensors, multiply-bound block/thread axes, or any access whose
     static interval (every loop variable ranging over its extent) can fall
     outside the tensor or buffer shape.
+
+    A proc that passed once is marked and not re-checked: every schedule
+    primitive checks its result, and the same object then reaches the
+    lowering and the interpreter.
     """
+    if proc.__dict__.get("_check_proc_passed"):
+        return
     proc.loops()  # raises on duplicate loop variables
 
     names = {p.name for p in proc.params} | {b.name for b in proc.buffers}
@@ -770,3 +823,4 @@ def check_proc(proc: Proc) -> None:
                              stmt.limits)
 
     recurse(proc.body, {})
+    object.__setattr__(proc, "_check_proc_passed", True)

@@ -304,6 +304,11 @@ class _Lowering:
         self._wide_shared = lds_width_bits == 64
         self._wide_global = ld_width_bits == 64
         self._pool_size = pool_size
+        # (tensor, index) -> _split_access result; accesses are resolved once
+        # per unroll iteration but classify identically every time.
+        self._split_cache: dict[tuple, tuple] = {}
+        # id(Read) -> env-independent half of _resolve_read.
+        self._resolve_cache: dict[int, tuple] = {}
         self._geometry = launch_geometry(proc)
         if not any(
             stmt.kind.is_thread
@@ -389,6 +394,10 @@ class _Lowering:
 
     def _split_access(self, tensor: str, index: tuple[Affine, ...]):
         """(runtime_terms, seq_terms, unroll_affine) of a flattened access."""
+        key = (tensor, index)
+        cached = self._split_cache.get(key)
+        if cached is not None:
+            return cached
         flat = self._flatten(tensor, index)
         runtime: list[tuple[str, int]] = []
         seq: dict[str, int] = {}
@@ -403,7 +412,9 @@ class _Lowering:
                 unroll_terms[var] = coeff
         unroll_affine = Affine(const=flat.const,
                                terms=tuple(sorted(unroll_terms.items())))
-        return tuple(sorted(runtime)), seq, unroll_affine
+        result = (tuple(sorted(runtime)), seq, unroll_affine)
+        self._split_cache[key] = result
+        return result
 
     def _pointer_for(self, tensor: str, runtime_terms: tuple[tuple[str, int], ...],
                      seq_terms: dict[str, int]) -> _Pointer:
@@ -1017,11 +1028,18 @@ class _Lowering:
 
     def _fold_guard(self, stmt: Guard, env: dict[str, int]):
         """(decision, residual): 'taken'/'skipped' when static, else 'runtime'."""
-        expr = stmt.expr.substitute({v: Affine.constant(c) for v, c in env.items()})
-        runtime_vars = sorted(expr.vars())
-        if not runtime_vars:
+        const = stmt.expr.const
+        residual: dict[str, int] = {}
+        for var, coeff in stmt.expr.terms:
+            value = env.get(var)
+            if value is None:
+                residual[var] = residual.get(var, 0) + coeff
+            else:
+                const += coeff * value
+        expr = Affine(const=const, terms=tuple(sorted(residual.items())))
+        if not expr.terms:
             return ("taken" if expr.const < stmt.bound else "skipped"), expr
-        ranges = {var: self._extents[var] for var in runtime_vars}
+        ranges = {var: self._extents[var] for var, _ in expr.terms}
         lo, hi = expr.bounds(ranges)
         if hi < stmt.bound:
             return "taken", expr
@@ -1637,36 +1655,58 @@ class _Lowering:
 
     def _resolve_read(self, read_: Read, env: dict[str, int]):
         """A loadable read → ('mem', base_reg, offset, space) or ('reg', register)."""
-        tensor = read_.tensor
-        if self._proc.is_buffer(tensor) and self._proc.buffer(tensor).memory == "register":
-            return ("reg", self._register_element(tensor, read_.index, env))
-        runtime, seq, unroll_affine = self._split_access(tensor, read_.index)
-        offset = unroll_affine.substitute(
-            {v: Affine.constant(c) for v, c in env.items()}
-        )
-        if not offset.is_constant:
-            raise LoweringError(
-                f"access {read_} keeps unresolved unrolled terms {offset}; "
-                f"unroll the loops it indexes with"
-            )
-        pointer = self._pointer_for(tensor, runtime, seq)
-        shared = self._proc.is_buffer(tensor)
+        # The pointer, seq pattern and unroll affine of a read are all
+        # env-independent; only the constant fold of the unroll terms varies
+        # across iterations.  Key by identity: the template Read objects stay
+        # alive (and are re-visited per unroll value) for the whole lowering.
+        cached = self._resolve_cache.get(id(read_))
+        if cached is None:
+            tensor = read_.tensor
+            if (
+                self._proc.is_buffer(tensor)
+                and self._proc.buffer(tensor).memory == "register"
+            ):
+                cached = (read_, None, None, 0, False, None)
+            else:
+                runtime, seq, unroll_affine = self._split_access(tensor, read_.index)
+                pointer = self._pointer_for(tensor, runtime, seq)
+                shared = self._proc.is_buffer(tensor)
+                extra = pointer.shared_base if shared else 0
+                cached = (read_, pointer, unroll_affine, extra, shared, seq)
+            self._resolve_cache[id(read_)] = cached
+        _, pointer, unroll_affine, extra, shared, seq = cached
+        if pointer is None:
+            return ("reg", self._register_element(read_.tensor, read_.index, env))
+        total = unroll_affine.const
+        for var, coeff in unroll_affine.terms:
+            value = env.get(var)
+            if value is None:
+                offset = unroll_affine.substitute(
+                    {v: Affine.constant(c) for v, c in env.items()}
+                )
+                raise LoweringError(
+                    f"access {read_} keeps unresolved unrolled terms {offset}; "
+                    f"unroll the loops it indexes with"
+                )
+            total += coeff * value
         base = pointer.reg if pointer.reg is not None else RZ
-        extra = pointer.shared_base if shared else 0
-        return ("mem", pointer, base, offset.const + extra, shared, dict(seq))
+        return ("mem", pointer, base, total + extra, shared, seq)
 
     def _register_element(self, buffer_name: str, index: tuple[Affine, ...],
                           env: dict[str, int]) -> Register:
         buffer = self._proc.buffer(buffer_name)
         coords = []
         for expr in index:
-            value = expr.substitute({v: Affine.constant(c) for v, c in env.items()})
-            if not value.is_constant:
-                raise LoweringError(
-                    f"register buffer '{buffer_name}' indexed by non-unrolled "
-                    f"expression {expr}"
-                )
-            coords.append(value.const)
+            total = expr.const
+            for var, coeff in expr.terms:
+                value = env.get(var)
+                if value is None:
+                    raise LoweringError(
+                        f"register buffer '{buffer_name}' indexed by non-unrolled "
+                        f"expression {expr}"
+                    )
+                total += coeff * value
+            coords.append(total)
         flat = int(np.ravel_multi_index(tuple(coords), buffer.shape))
         return self._buffer_regs[buffer_name][flat]
 

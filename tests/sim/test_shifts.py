@@ -1,0 +1,118 @@
+"""Pinned shift semantics: SHR is logical, amounts are unsigned and clamp at 32.
+
+An earlier executor arithmetically shifted the sign-extended value when the
+shift amount came from an immediate or constant (register amounts took the
+logical path), so ``SHR R, R, 1`` on ``0x80000000`` produced ``0xC0000000``
+instead of ``0x40000000`` depending on the operand *kind*.  These tests pin
+the fixed semantics on **both** executors and on every operand kind:
+
+* SHR always shifts in zeros (logical shift on the 32-bit value);
+* shift amounts are read as unsigned and clamp at 32 — shifting by 32 or
+  more yields 0 for SHL and SHR alike (so a "negative" register amount like
+  ``-1 = 0xFFFFFFFF`` clamps to 32 and also yields 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import KernelBuilder
+from repro.isa.instructions import MemRef
+from repro.isa.registers import SpecialRegister, reg
+from repro.sim import BlockGrid, GlobalMemory, simulate_kernel
+
+EXECUTORS = ("reference", "vectorized")
+
+
+def _run_shift(fermi, executor, *, op, value, amount, amount_in_register):
+    """One warp computes ``value <op> amount`` and stores the result."""
+    memory = GlobalMemory(size_bytes=64 * 1024)
+    out_base = memory.allocate("out", 4 * 32)
+    builder = KernelBuilder(shared_memory_bytes=0, threads_per_block=32)
+    b = builder
+    b.mov32i(1, value)
+    emit = b.shl if op == "SHL" else b.shr
+    if amount_in_register:
+        b.mov32i(2, amount)
+        emit(3, 1, reg(2))
+    else:
+        emit(3, 1, amount)
+    b.mov32i(10, out_base)
+    b.s2r(11, SpecialRegister.LANEID)
+    b.shl(11, 11, 2)
+    b.iadd(10, 10, reg(11))
+    b.st(MemRef(base=reg(10)), 3)
+    b.exit()
+    simulate_kernel(
+        fermi, builder.build(), BlockGrid(grid_x=1, block_x=32),
+        global_memory=memory, executor=executor,
+    )
+    return int(memory.read_array("out", np.uint32, (32,))[0])
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("amount_in_register", (True, False),
+                         ids=("reg-amount", "imm-amount"))
+class TestShiftSemantics:
+    def test_shr_is_logical_on_negative_values(self, fermi, executor,
+                                               amount_in_register):
+        result = _run_shift(fermi, executor, op="SHR", value=-2147483648,
+                            amount=1, amount_in_register=amount_in_register)
+        assert result == 0x40000000  # zeros shifted in, not the sign bit
+
+    def test_shr_by_31_leaves_sign_bit(self, fermi, executor,
+                                       amount_in_register):
+        result = _run_shift(fermi, executor, op="SHR", value=-1,
+                            amount=31, amount_in_register=amount_in_register)
+        assert result == 1
+
+    @pytest.mark.parametrize("amount", (32, 33, 40))
+    def test_shr_at_or_beyond_32_is_zero(self, fermi, executor,
+                                         amount_in_register, amount):
+        result = _run_shift(fermi, executor, op="SHR", value=-1,
+                            amount=amount,
+                            amount_in_register=amount_in_register)
+        assert result == 0
+
+    @pytest.mark.parametrize("amount", (32, 33, 40))
+    def test_shl_at_or_beyond_32_is_zero(self, fermi, executor,
+                                         amount_in_register, amount):
+        result = _run_shift(fermi, executor, op="SHL", value=-1,
+                            amount=amount,
+                            amount_in_register=amount_in_register)
+        assert result == 0
+
+    def test_shl_shifts_through_sign_bit(self, fermi, executor,
+                                         amount_in_register):
+        result = _run_shift(fermi, executor, op="SHL", value=3,
+                            amount=31, amount_in_register=amount_in_register)
+        assert result == 0x80000000
+
+    def test_shift_amount_is_unsigned(self, fermi, executor,
+                                      amount_in_register):
+        """-1 reads as 0xFFFFFFFF, which clamps to 32 => result 0."""
+        if not amount_in_register:
+            pytest.skip("negative immediates encode as their 32-bit pattern; "
+                        "the register variant pins the unsigned read")
+        result = _run_shift(fermi, executor, op="SHR", value=-1,
+                            amount=-1, amount_in_register=True)
+        assert result == 0
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_shift_truth_table_matches_numpy_model(fermi, executor):
+    """Spot-check a grid of (value, amount) pairs against the pinned model."""
+    values = (0, 1, -1, 123456789, -2147483648, 0x7FFFFFFF)
+    amounts = (0, 1, 7, 31, 32, 33)
+    for value in values:
+        for amount in amounts:
+            unsigned = value & 0xFFFFFFFF
+            expected_shr = unsigned >> amount if amount < 32 else 0
+            expected_shl = (unsigned << amount) & 0xFFFFFFFF if amount < 32 else 0
+            got_shr = _run_shift(fermi, executor, op="SHR", value=value,
+                                 amount=amount, amount_in_register=True)
+            got_shl = _run_shift(fermi, executor, op="SHL", value=value,
+                                 amount=amount, amount_in_register=True)
+            assert got_shr == expected_shr, (value, amount)
+            assert got_shl == expected_shl, (value, amount)

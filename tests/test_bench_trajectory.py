@@ -100,7 +100,7 @@ def test_stall_breakdowns_collect_into_the_stall_ladder(trajectory):
     module, bench_dir = trajectory
     _set_stalls(bench_dir, {"scoreboard": 100.0, "ldst_pipe": 50.0})
     summary = module.build_summary(bench_dir)
-    assert summary["schema"] == 2
+    assert summary["schema"] == 3
     ladder = summary["stall_ladder"]
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:scoreboard"] == 100.0
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:ldst_pipe"] == 50.0
@@ -120,6 +120,56 @@ def test_regression_report_names_the_grown_stall_reason(trajectory, capsys):
     assert "golden_schedule_opt" in err
     assert "stall:ldst_pipe grew 50 -> 400" in err
     assert "scoreboard" not in err
+
+
+def _throttle(bench_dir: Path, factor: float) -> None:
+    data = json.loads((bench_dir / "BENCH_sim.json").read_text())
+    data["metrics"]["sweep"]["candidates_per_s"] *= factor
+    (bench_dir / "BENCH_sim.json").write_text(json.dumps(data))
+
+
+def test_throughput_figures_collect_into_the_throughput_ladder(trajectory):
+    module, bench_dir = trajectory
+    summary = module.build_summary(bench_dir)
+    ladder = summary["throughput_ladder"]
+    assert "BENCH_sim:sweep:candidates_per_s" in ladder
+    assert "BENCH_sim:functional:warp_instructions_per_s" in ladder
+    # Throughput figures never leak into the cycle ladder (higher is better).
+    assert not any(key.endswith("_per_s") for key in summary["cycle_ladder"])
+
+
+def test_check_fails_on_a_throughput_drop(trajectory, capsys):
+    """Simulator throughput gates in the opposite direction to cycles."""
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    baseline = bench_dir / "merge_base_summary.json"
+    shutil.copy(bench_dir / module.SUMMARY_NAME, baseline)
+    _throttle(bench_dir, 0.9)            # 10% slower > the 2% tolerance
+    assert module.main([]) == 0          # regenerated, so not stale ...
+    assert module.main(["--check", "--baseline", str(baseline)]) == 1
+    err = capsys.readouterr().err
+    assert "dropped" in err and "candidates_per_s" in err
+
+
+def test_check_tolerates_a_throughput_gain(trajectory):
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    baseline = bench_dir / "merge_base_summary.json"
+    shutil.copy(bench_dir / module.SUMMARY_NAME, baseline)
+    _throttle(bench_dir, 1.5)            # faster is never a regression
+    assert module.main([]) == 0
+    assert module.main(["--check", "--baseline", str(baseline)]) == 0
+
+
+def test_baseline_without_throughput_ladder_still_gates_cycles(trajectory):
+    """Baselines predating the throughput ladder pass the throughput gate."""
+    module, bench_dir = trajectory
+    assert module.main([]) == 0
+    baseline = bench_dir / "merge_base_summary.json"
+    stripped = json.loads((bench_dir / module.SUMMARY_NAME).read_text())
+    stripped.pop("throughput_ladder", None)
+    baseline.write_text(json.dumps(stripped))
+    assert module.main(["--check", "--baseline", str(baseline)]) == 0
 
 
 def test_regression_without_stall_siblings_stays_unblamed(trajectory, capsys):
