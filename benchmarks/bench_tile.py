@@ -164,9 +164,15 @@ def test_bound_pruned_sweep_economics(benchmark, fermi):
     pruning pass, and how many simulations the kernel-hash cache absorbed.
     The winner's cycles are recorded as ``best_cycles`` — deliberately not a
     cycle-ladder key, since the sweep space (not the kernels) defines it.
+
+    The sweep runs under an installed metrics registry, so the schedule-memo
+    and simulation cache hit rates come from the telemetry facade — the
+    ``*hit_rate`` figures land in BENCH_summary.json's rate ladder.
     """
     from repro.opt.autotune import AutotuneCache, autotune_workloads
+    from repro.telemetry.metrics import metrics_session
     from repro.tile.autotune import prune_by_bound, schedule_space, sweep_summary
+    from repro.tile.workloads import clear_schedule_caches
 
     base = TileSgemmConfig(m=16, n=16, k=8, tile=8, register_blocking=2,
                            stride=2, b_window=2)
@@ -178,17 +184,28 @@ def test_bound_pruned_sweep_economics(benchmark, fermi):
         if c.workload == "tile_sgemm"
     ]
 
-    report = benchmark.pedantic(
-        lambda: prune_by_bound(fermi, space), rounds=1, iterations=1
-    )
-    assert report.kept and report.pruned
-    assert report.elapsed_s > 0.0
+    # Start the memos cold so the recorded hit rates measure this sweep's
+    # own reuse, not whatever earlier benchmarks happened to populate.
+    clear_schedule_caches()
+    with metrics_session() as registry:
+        report = benchmark.pedantic(
+            lambda: prune_by_bound(fermi, space), rounds=1, iterations=1
+        )
+        assert report.kept and report.pruned
+        assert report.elapsed_s > 0.0
 
-    cache = AutotuneCache()
-    outcomes = autotune_workloads(fermi, list(report.kept), workers=1, cache=cache)
-    assert all(outcome.ok for outcome in outcomes)
+        cache = AutotuneCache()
+        outcomes = autotune_workloads(fermi, list(report.kept), workers=1,
+                                      cache=cache)
+        assert all(outcome.ok for outcome in outcomes)
+        summary_line = sweep_summary(report, outcomes)
     cache_hits = sum(1 for o in outcomes if o.from_cache)
     best = outcomes[0]
+
+    snapshot = registry.snapshot()
+    memo_hits = snapshot.counter_total("tile.schedule_cache.hits")
+    memo_misses = snapshot.counter_total("tile.schedule_cache.misses")
+    memo_total = memo_hits + memo_misses
 
     record_tile_metric("tile_sgemm_bound_pruned_sweep", {
         "total_candidates": report.total,
@@ -197,10 +214,16 @@ def test_bound_pruned_sweep_economics(benchmark, fermi):
         "prune_elapsed_s": round(report.elapsed_s, 3),
         "simulated": len(outcomes),
         "cache_hits": cache_hits,
+        "sim_cache_hit_rate": round(cache_hits / len(outcomes), 4),
+        "schedule_cache": {
+            "hits": memo_hits,
+            "misses": memo_misses,
+            "evictions": snapshot.counter_total("tile.schedule_cache.evictions"),
+            "hit_rate": round(memo_hits / memo_total, 4) if memo_total else 0.0,
+        },
         "fermi": {"best_label": best.label, "best_cycles": best.cycles},
     })
-    print_series("Tile IR — bound-pruned sweep economics",
-                 [sweep_summary(report, outcomes)])
+    print_series("Tile IR — bound-pruned sweep economics", [summary_line])
 
 
 def test_double_buffered_sgemm_is_bit_exact(benchmark, fermi, kepler):

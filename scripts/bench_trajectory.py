@@ -29,6 +29,13 @@ Simulator wall-clock throughput figures (``benchmarks/bench_sim.py``) are
 collected into a ``throughput_ladder`` and gated in the opposite direction:
 a fresh record more than the tolerance *below* the baseline fails, flagging
 a >2% simulator-throughput regression.
+
+Cache-economics rates recorded from the metrics facade
+(``benchmarks/bench_tile.py`` snapshots the schedule-memo and simulation
+cache hit rates of its sweep via :mod:`repro.telemetry`) are collected into
+a ``rate_ladder`` — tracked for trajectory, not gated: a hit rate moves
+whenever the sweep space changes shape, which is not by itself a
+regression.  Schema 4 added the rate ladder.
 """
 
 from __future__ import annotations
@@ -70,11 +77,17 @@ THROUGHPUT_KEYS = frozenset({
     "warp_instructions_per_s",
 })
 
+#: Leaf-key suffix of cache-economics rates (``hit_rate``,
+#: ``sim_cache_hit_rate``, ...) recorded from the metrics facade.  Collected
+#: into the rate ladder for trajectory but not regression-gated.
+RATE_SUFFIX = "hit_rate"
+
 
 def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float],
                     stalls: dict[str, float],
-                    throughput: dict[str, float]) -> None:
-    """Walk one metrics blob, recording cycle, stall and throughput leaves."""
+                    throughput: dict[str, float],
+                    rates: dict[str, float]) -> None:
+    """Walk one metrics blob, recording cycle, stall, throughput and rate leaves."""
     if isinstance(blob, dict):
         for key in sorted(blob):
             value = blob[key]
@@ -82,12 +95,15 @@ def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float
                 ladder[":".join(path + (key,))] = float(value)
             elif key in THROUGHPUT_KEYS and isinstance(value, (int, float)):
                 throughput[":".join(path + (key,))] = float(value)
+            elif key.endswith(RATE_SUFFIX) and isinstance(value, (int, float)):
+                rates[":".join(path + (key,))] = float(value)
             elif key == STALL_KEY and isinstance(value, dict):
                 for reason in sorted(value):
                     if isinstance(value[reason], (int, float)):
                         stalls[":".join(path + (key, reason))] = float(value[reason])
             else:
-                _collect_cycles(value, path + (key,), ladder, stalls, throughput)
+                _collect_cycles(value, path + (key,), ladder, stalls,
+                                throughput, rates)
 
 
 def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
@@ -95,6 +111,7 @@ def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
     ladder: dict[str, float] = {}
     stalls: dict[str, float] = {}
     throughput: dict[str, float] = {}
+    rates: dict[str, float] = {}
     sources: list[str] = []
     for bench_file in sorted(bench_dir.glob("BENCH_*.json")):
         if bench_file.name == SUMMARY_NAME:
@@ -103,13 +120,14 @@ def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
             data = json.load(handle)
         sources.append(bench_file.name)
         _collect_cycles(data.get("metrics", data), (bench_file.stem,),
-                        ladder, stalls, throughput)
+                        ladder, stalls, throughput, rates)
     return {
-        "schema": 3,
+        "schema": 4,
         "sources": sources,
         "cycle_ladder": dict(sorted(ladder.items())),
         "stall_ladder": dict(sorted(stalls.items())),
         "throughput_ladder": dict(sorted(throughput.items())),
+        "rate_ladder": dict(sorted(rates.items())),
     }
 
 

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Inspect and diff the durable run ledger (``.repro/ledger/``).
+
+The command-line front end of :mod:`repro.telemetry.ledger`:
+
+* ``list`` — every record key with its record count and latest timestamp;
+* ``show`` — the full JSON of a key's records (latest first);
+* ``summary`` — one line per key: kind, workload, GPU, latest cycles/DRAM;
+* ``diff`` — compare the latest two records of a key on the gated fields
+  (cycles, DRAM bytes) and exit non-zero on a regression beyond the same
+  >2% tolerance ``scripts/bench_trajectory.py --check`` enforces;
+* ``inject`` — append a synthetic re-stamped copy of a key's latest record
+  with scaled metrics (``--scale cycles=1.05``), the regression the CI
+  ledger smoke expects ``diff`` to catch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ledger.py list
+    PYTHONPATH=src python scripts/ledger.py diff "profile:tile_sgemm:..."
+    PYTHONPATH=src python scripts/ledger.py inject KEY --scale cycles=1.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.telemetry.ledger import (
+    DEFAULT_LEDGER_ROOT,
+    GATED_FIELDS,
+    REGRESSION_TOLERANCE,
+    RunLedger,
+    diff_records,
+    scaled_copy,
+)
+
+
+def _cmd_list(ledger: RunLedger, args: argparse.Namespace) -> int:
+    keys = ledger.keys()
+    if not keys:
+        print(f"no records under {ledger.root}")
+        return 0
+    for key in keys:
+        records = ledger.records(key=key)
+        newest = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(records[-1].timestamp)
+        )
+        print(f"{key}  ({len(records)} record{'s' if len(records) != 1 else ''}, "
+              f"latest {newest})")
+    return 0
+
+
+def _cmd_show(ledger: RunLedger, args: argparse.Namespace) -> int:
+    records = ledger.latest(args.key, count=args.count)
+    if not records:
+        print(f"no records for key {args.key!r}", file=sys.stderr)
+        return 1
+    for record in reversed(records):  # latest first
+        print(json.dumps(record.as_dict(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_summary(ledger: RunLedger, args: argparse.Namespace) -> int:
+    keys = ledger.keys()
+    if not keys:
+        print(f"no records under {ledger.root}")
+        return 0
+    for key in keys:
+        record = ledger.latest(key)[-1]
+        fields = []
+        for name in ("cycles", "dram_bytes", "candidates", "gap_fraction"):
+            value = record.metric(name)
+            if value is not None:
+                fields.append(f"{name}={value:g}")
+        print(f"{record.kind:8s} {record.workload or '-':12s} "
+              f"{record.gpu or '-':8s} {' '.join(fields)}  [{key}]")
+    return 0
+
+
+def _cmd_diff(ledger: RunLedger, args: argparse.Namespace) -> int:
+    records = ledger.latest(args.key, count=2)
+    if len(records) < 2:
+        print(f"need two records of key {args.key!r} to diff "
+              f"(have {len(records)})", file=sys.stderr)
+        return 2
+    baseline, current = records
+    diff = diff_records(baseline, current, tolerance=args.tolerance)
+    for delta in diff.deltas:
+        marker = "REGRESSION" if delta.field in diff.regressions else "ok"
+        print(f"{delta.field:16s} {delta.baseline:g} -> {delta.current:g} "
+              f"({delta.relative:+.2%})  {marker}")
+    if not diff.deltas:
+        print(f"no gated fields ({', '.join(GATED_FIELDS)}) present in both records")
+    if diff.ok:
+        print(f"diff clean within {args.tolerance:.0%} on {args.key}")
+        return 0
+    print(f"regressions beyond {args.tolerance:.0%}: "
+          f"{', '.join(diff.regressions)}", file=sys.stderr)
+    return 1
+
+
+def _parse_scale(spec: str) -> tuple[str, float]:
+    name, _, factor = spec.partition("=")
+    if not name or not factor:
+        raise argparse.ArgumentTypeError(
+            f"expected FIELD=FACTOR (e.g. cycles=1.05), got {spec!r}"
+        )
+    return name, float(factor)
+
+
+def _cmd_inject(ledger: RunLedger, args: argparse.Namespace) -> int:
+    records = ledger.latest(args.key)
+    if not records:
+        print(f"no records for key {args.key!r}", file=sys.stderr)
+        return 1
+    scales = dict(args.scale)
+    record = ledger.append(scaled_copy(records[-1], scales))
+    scaled = ", ".join(f"{n}×{f:g}" for n, f in scales.items())
+    print(f"appended synthetic record ({scaled}) for {record.key}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", type=str, default=DEFAULT_LEDGER_ROOT,
+                        help=f"ledger directory (default: {DEFAULT_LEDGER_ROOT})")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list record keys with counts")
+
+    show = commands.add_parser("show", help="print a key's records as JSON")
+    show.add_argument("key")
+    show.add_argument("--count", type=int, default=1,
+                      help="how many latest records to print (default: 1)")
+
+    commands.add_parser("summary", help="one line per key: latest headline figures")
+
+    diff = commands.add_parser(
+        "diff", help="compare a key's latest two records; exit 1 on regression"
+    )
+    diff.add_argument("key")
+    diff.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE,
+                      help=f"relative regression tolerance "
+                           f"(default: {REGRESSION_TOLERANCE})")
+
+    inject = commands.add_parser(
+        "inject", help="append a scaled synthetic copy of a key's latest record"
+    )
+    inject.add_argument("key")
+    inject.add_argument("--scale", type=_parse_scale, action="append", required=True,
+                        metavar="FIELD=FACTOR",
+                        help="metric scale, repeatable (e.g. --scale cycles=1.05)")
+
+    args = parser.parse_args(argv)
+    ledger = RunLedger(args.root)
+    handler = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "summary": _cmd_summary,
+        "diff": _cmd_diff,
+        "inject": _cmd_inject,
+    }[args.command]
+    return handler(ledger, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

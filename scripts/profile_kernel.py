@@ -18,6 +18,10 @@ Chrome trace-event file (load it in Perfetto) covering schedule application,
 lowering and the optimization passes of the profiled build.
 ``--check-attribution`` exits non-zero unless every profile attributes at
 least the given fraction of simulated cycles — the CI smoke gate.
+``--ledger`` appends one ``kind="profile"`` record per profiled GPU to the
+run ledger (``--ledger-root``, default ``.repro/ledger``) — the rollup and
+gap-attribution headline figures, diffable across runs with
+``scripts/ledger.py diff``.
 """
 
 from __future__ import annotations
@@ -29,9 +33,45 @@ from dataclasses import replace
 
 from repro.arch.specs import get_gpu_spec
 from repro.kernels.registry import get_workload, workload_names
+from repro.opt.rewrite import kernel_hash
 from repro.prof import format_profile, profile_workload, tracing
+from repro.telemetry.ledger import (
+    DEFAULT_LEDGER_ROOT,
+    RunLedger,
+    config_digest,
+    install_ledger,
+    normalize_gpu,
+    record_run,
+)
 
 DEFAULT_GPUS = ("gtx580", "gtx680")
+
+
+def _ledger_profile(profile, workload: str, config, optimized: bool) -> None:
+    """Append one profile record: cycles, stall totals and the bound gap."""
+    gpu_key = normalize_gpu(profile.gpu_name)
+    variant = "opt" if optimized else "naive"
+    metrics: dict[str, object] = {
+        "cycles": profile.result.cycles,
+        "warp_instructions": profile.result.warp_instructions,
+        "flops": profile.result.flops,
+        "attributed_fraction": profile.rollup.attributed_fraction,
+        "stall_cycles": profile.rollup.stall_cycle_totals,
+    }
+    if profile.gap is not None:
+        metrics["gap_cycles"] = profile.gap.gap_cycles
+        metrics["gap_fraction"] = profile.gap.gap_fraction
+        metrics["bound_efficiency"] = profile.gap.bound_efficiency
+        metrics["gap_terms"] = dict(profile.gap.gap_terms)
+    record_run(
+        "profile",
+        f"profile:{workload}:{config_digest(config)}:{gpu_key}:{variant}",
+        workload=workload,
+        gpu=gpu_key,
+        kernel_hash=kernel_hash(profile.kernel),
+        config=config,
+        metrics=metrics,
+    )
 
 
 def _build_config(workload_name: str, args: argparse.Namespace):
@@ -70,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FRACTION",
                         help="fail unless every profile attributes at least this "
                              "fraction of simulated cycles (e.g. 0.95)")
+    parser.add_argument("--ledger", action="store_true",
+                        help="append one run-ledger record per profiled GPU")
+    parser.add_argument("--ledger-root", type=str, default=DEFAULT_LEDGER_ROOT,
+                        help=f"ledger directory (default: {DEFAULT_LEDGER_ROOT})")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -95,6 +139,16 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.trace:
         tracer.dump(args.trace)
+
+    if args.ledger:
+        install_ledger(RunLedger(args.ledger_root))
+        try:
+            for profile in profiles:
+                _ledger_profile(profile, args.workload, config, not args.naive)
+        finally:
+            install_ledger(None)
+        print(f"ledger: appended {len(profiles)} profile record"
+              f"{'s' if len(profiles) != 1 else ''} under {args.ledger_root}")
 
     for index, profile in enumerate(profiles):
         if index:

@@ -41,6 +41,8 @@ from repro.sim.launch import BlockGrid, LaunchConfig
 from repro.sim.memory import GlobalMemory, KernelParams
 from repro.sim.results import SimResult
 from repro.sim.sm_sim import SmSimulator
+from repro.telemetry.ledger import config_digest, current_ledger, normalize_gpu, record_run
+from repro.telemetry.metrics import counter_inc, current_metrics, gauge_set
 
 
 @dataclass
@@ -229,7 +231,7 @@ def run_workload(
     if validate:
         expected = workload.reference(config, inputs)
         max_error = workload.validate(output, expected)
-    return WorkloadRun(
+    run = WorkloadRun(
         workload_name=workload.name,
         config=config,
         kernel=kernel,
@@ -240,6 +242,55 @@ def run_workload(
         dram_load_bytes=launch.memory.load_bytes,
         dram_store_bytes=launch.memory.store_bytes,
     )
+    if current_metrics() is not None or current_ledger() is not None:
+        _record_workload_run(gpu, run)
+    return run
+
+
+def _record_workload_run(gpu: GpuSpec, run: WorkloadRun) -> None:
+    """Publish one ``run_workload`` execution to the telemetry spine.
+
+    The metrics series and the ledger record carry the simulator's own
+    books — ``SimResult.cycles`` and the global memory's byte counts (the
+    sums of the per-instruction :class:`~repro.sim.results
+    .InstructionCounters` when the run was profiled) — so telemetry never
+    disagrees with the simulation it describes.
+    """
+    from repro.opt.rewrite import kernel_hash
+
+    labels = (
+        ("workload", run.workload_name),
+        ("variant", "opt" if run.optimized else "naive"),
+    )
+    stalls = run.result.stalls.as_dict()
+    if current_metrics() is not None:
+        counter_inc("sim.runs", 1, labels)
+        gauge_set("sim.cycles", run.result.cycles, labels)
+        gauge_set("sim.dram_bytes", float(run.dram_bytes), labels)
+        gauge_set("sim.stall_total", float(run.result.stalls.total()), labels)
+    if current_ledger() is not None:
+        digest = config_digest(run.config)
+        gpu_key = normalize_gpu(gpu.name)
+        variant = "opt" if run.optimized else "naive"
+        record_run(
+            "sim",
+            f"run:{run.workload_name}:{digest}:{gpu_key}:{variant}",
+            workload=run.workload_name,
+            gpu=gpu_key,
+            kernel_hash=kernel_hash(run.kernel),
+            config=run.config,
+            metrics={
+                "cycles": run.result.cycles,
+                "dram_load_bytes": run.dram_load_bytes,
+                "dram_store_bytes": run.dram_store_bytes,
+                "dram_bytes": run.dram_bytes,
+                "thread_instructions": run.result.thread_instructions,
+                "flops": run.result.flops,
+                "max_error": run.max_error,
+                "stall_total": run.result.stalls.total(),
+                "stalls": stalls,
+            },
+        )
 
 
 def workload_cycles(

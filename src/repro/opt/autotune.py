@@ -39,6 +39,7 @@ from repro.sgemm.conflict_analysis import analyse_ffma_conflicts
 from repro.sgemm.generator import generate_naive_sgemm_kernel, generate_sgemm_kernel
 from repro.sim.launch import BlockGrid, LaunchConfig
 from repro.sim.sm_sim import SmSimulator
+from repro.telemetry.metrics import counter_inc, current_metrics
 
 
 @dataclass(frozen=True)
@@ -478,6 +479,13 @@ def _sweep(
             with multiprocessing.Pool(processes=workers) as pool:
                 outcomes = pool.map(_evaluate_star, jobs)
         span["cache_hits"] = sum(1 for o in outcomes if o.ok and o.from_cache)
+    if current_metrics() is not None:
+        hits = sum(1 for o in outcomes if o.ok and o.from_cache)
+        errors = sum(1 for o in outcomes if not o.ok)
+        counter_inc("autotune.candidates_evaluated", len(outcomes))
+        counter_inc("autotune.sim_cache.hits", hits)
+        counter_inc("autotune.sim_cache.misses", len(outcomes) - hits - errors)
+        counter_inc("autotune.candidate_errors", errors)
     for outcome in outcomes:
         trace_instant(
             f"candidate.{outcome.label}",

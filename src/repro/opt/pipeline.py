@@ -33,6 +33,7 @@ from repro.opt.reallocation import reallocate_registers
 from repro.opt.scheduling import schedule_kernel
 from repro.prof.trace import trace_span
 from repro.sgemm.conflict_analysis import analyse_ffma_conflicts
+from repro.telemetry.metrics import counter_inc, current_metrics, observe, time_block
 
 
 @dataclass
@@ -175,10 +176,32 @@ class PassPipeline:
             before_registers = current.register_count
             with trace_span(
                 f"opt.{pipeline_pass.name}", category="opt", kernel=kernel.name
-            ):
+            ), time_block("opt.pass_seconds", (("pass", pipeline_pass.name),)):
                 transformed = pipeline_pass.run(current, context)
             _verify_invariants(pipeline_pass.name, current, transformed)
             after_conflicts = analyse_ffma_conflicts(transformed)
+            if current_metrics() is not None:
+                pass_labels = (("pass", pipeline_pass.name),)
+                counter_inc("opt.passes_run", 1, pass_labels)
+                # The structural invariant pins the delta at zero; recording
+                # it makes any future pass that grows/shrinks code visible
+                # in the same ledgered series instead of only as a raise.
+                observe(
+                    "opt.pass.instruction_delta",
+                    transformed.instruction_count - current.instruction_count,
+                    pass_labels,
+                )
+                observe(
+                    "opt.pass.register_delta",
+                    transformed.register_count - before_registers,
+                    pass_labels,
+                )
+                observe(
+                    "opt.pass.conflict_delta",
+                    (after_conflicts.two_way + after_conflicts.three_way)
+                    - (before_conflicts.two_way + before_conflicts.three_way),
+                    pass_labels,
+                )
             # Notes accumulate in the context (later passes may read earlier
             # passes' annotations); each pass's stats carry its own namespace.
             own_notes = {

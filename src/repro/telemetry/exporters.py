@@ -1,0 +1,155 @@
+"""Metrics snapshot exporters: JSON (lossless) and Prometheus text format.
+
+Two consumers, two formats:
+
+* :func:`snapshot_to_json` / :func:`snapshot_from_json` — the lossless
+  round-trip the run ledger embeds in its records (and tests pin).  Each
+  series is one ``{"name", "labels", ...}`` object, so arbitrary label
+  values (commas, equals signs, quotes) survive exactly;
+* :func:`to_prometheus` — the Prometheus text exposition format (the
+  ``# TYPE`` + ``name{labels} value`` lines a scrape endpoint or textfile
+  collector ingests), with metric names sanitised and label values escaped
+  per the exposition-format rules (backslash, double quote, newline).
+
+Histogram series export as Prometheus summaries without quantiles:
+``name_count`` / ``name_sum`` plus ``name_min`` / ``name_max`` — the
+figures :class:`~repro.telemetry.metrics.HistogramStat` tracks exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.telemetry.metrics import HistogramStat, LabelPairs, MetricsSnapshot
+
+__all__ = [
+    "escape_label_value",
+    "snapshot_from_json",
+    "snapshot_to_dict",
+    "snapshot_to_json",
+    "to_prometheus",
+]
+
+#: Characters legal in a Prometheus metric name; everything else becomes "_".
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _series(name: str, labels: LabelPairs, **payload: object) -> dict[str, object]:
+    """One exported series object (labels as a list of [key, value] pairs)."""
+    return {"name": name, "labels": [list(pair) for pair in labels], **payload}
+
+
+def _labels(entry: dict) -> LabelPairs:
+    return tuple((str(key), str(value)) for key, value in entry.get("labels", []))
+
+
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict[str, object]:
+    """The JSON-ready view of a snapshot (sorted, nested plain types)."""
+    return {
+        "counters": [
+            _series(name, labels, value=value)
+            for (name, labels), value in sorted(snapshot.counters.items())
+        ],
+        "gauges": [
+            _series(name, labels, value=value)
+            for (name, labels), value in sorted(snapshot.gauges.items())
+        ],
+        "histograms": [
+            _series(name, labels, **stat.as_dict())
+            for (name, labels), stat in sorted(snapshot.histograms.items())
+        ],
+    }
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot) -> str:
+    """Serialise a snapshot losslessly (see :func:`snapshot_from_json`)."""
+    return json.dumps(snapshot_to_dict(snapshot), indent=1, sort_keys=True)
+
+
+def snapshot_from_dict(payload: dict[str, object]) -> MetricsSnapshot:
+    """Rebuild a snapshot from :func:`snapshot_to_dict` output (exact inverse)."""
+    return MetricsSnapshot(
+        counters={
+            (str(entry["name"]), _labels(entry)): float(entry["value"])
+            for entry in payload.get("counters", [])
+        },
+        gauges={
+            (str(entry["name"]), _labels(entry)): float(entry["value"])
+            for entry in payload.get("gauges", [])
+        },
+        histograms={
+            (str(entry["name"]), _labels(entry)): HistogramStat.from_dict(entry)
+            for entry in payload.get("histograms", [])
+        },
+    )
+
+
+def snapshot_from_json(text: str) -> MetricsSnapshot:
+    """Rebuild a snapshot from :func:`snapshot_to_json` output (exact inverse)."""
+    return snapshot_from_dict(json.loads(text))
+
+
+def escape_label_value(value: str) -> str:
+    """Escape one label value per the Prometheus exposition format.
+
+    Backslash, double quote and newline are the three characters the format
+    requires escaping inside a quoted label value.
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prometheus_name(name: str) -> str:
+    """A legal Prometheus metric name (dots and dashes become underscores)."""
+    return _NAME_ILLEGAL.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    """Integral floats render without the trailing ``.0`` (stable, compact)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _prometheus_series(name: str, labels: LabelPairs, value: float) -> str:
+    """One exposition line: ``name{k="v",...} value``."""
+    if labels:
+        rendered = ",".join(
+            f'{_prometheus_name(key)}="{escape_label_value(item)}"'
+            for key, item in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    counters: dict[str, list[str]] = {}
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        metric = _prometheus_name(name)
+        counters.setdefault(metric, []).append(_prometheus_series(metric, labels, value))
+    gauges: dict[str, list[str]] = {}
+    for (name, labels), value in sorted(snapshot.gauges.items()):
+        metric = _prometheus_name(name)
+        gauges.setdefault(metric, []).append(_prometheus_series(metric, labels, value))
+    summaries: dict[str, list[str]] = {}
+    for (name, labels), stat in sorted(snapshot.histograms.items()):
+        metric = _prometheus_name(name)
+        lines = summaries.setdefault(metric, [])
+        lines.append(_prometheus_series(f"{metric}_count", labels, float(stat.count)))
+        lines.append(_prometheus_series(f"{metric}_sum", labels, stat.sum))
+        if stat.count:
+            lines.append(_prometheus_series(f"{metric}_min", labels, stat.min))
+            lines.append(_prometheus_series(f"{metric}_max", labels, stat.max))
+
+    out: list[str] = []
+    for metric in sorted(counters):
+        out.append(f"# TYPE {metric} counter")
+        out.extend(counters[metric])
+    for metric in sorted(gauges):
+        out.append(f"# TYPE {metric} gauge")
+        out.extend(gauges[metric])
+    for metric in sorted(summaries):
+        out.append(f"# TYPE {metric} summary")
+        out.extend(summaries[metric])
+    return "\n".join(out) + ("\n" if out else "")

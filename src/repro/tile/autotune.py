@@ -39,6 +39,8 @@ from repro.opt.autotune import (
     autotune_workloads,
 )
 from repro.prof.trace import trace_span
+from repro.telemetry.ledger import config_digest, current_ledger, normalize_gpu, record_run
+from repro.telemetry.metrics import counter_inc, current_metrics, observe
 from repro.tile.resources import proc_occupancy
 from repro.tile.workloads import TileSgemmConfig, TileSgemvConfig, TileTransposeConfig
 
@@ -285,6 +287,11 @@ def prune_by_bound(
         report = _prune_by_bound(spec, candidates, keep_within, started)
         span["kept"] = len(report.kept)
         span["pruned"] = len(report.pruned)
+    if current_metrics() is not None:
+        counter_inc("autotune.candidates_generated", report.total)
+        counter_inc("autotune.candidates_pruned", len(report.pruned))
+        counter_inc("autotune.candidates_kept", len(report.kept))
+        observe("autotune.prune_seconds", report.elapsed_s)
     return report
 
 
@@ -387,6 +394,26 @@ def autotune_schedules(
     )
 
 
+def schedule_cache_stats() -> dict[str, float] | None:
+    """Schedule-memo economics read from the installed metrics facade.
+
+    The scheduled-proc and lowered-kernel memos (:mod:`repro.tile.workloads`)
+    report their hits, misses and FIFO evictions through
+    :mod:`repro.telemetry.metrics`; this aggregates both caches' series.
+    Returns None when no registry is installed — the caches' private dicts
+    are deliberately not consulted.
+    """
+    registry = current_metrics()
+    if registry is None:
+        return None
+    snapshot = registry.snapshot()
+    return {
+        "hits": snapshot.counter_total("tile.schedule_cache.hits"),
+        "misses": snapshot.counter_total("tile.schedule_cache.misses"),
+        "evictions": snapshot.counter_total("tile.schedule_cache.evictions"),
+    }
+
+
 def sweep_summary(report: PruneReport, outcomes: list[TuneOutcome]) -> str:
     """One-line sweep log: candidate economics at a glance.
 
@@ -396,6 +423,13 @@ def sweep_summary(report: PruneReport, outcomes: list[TuneOutcome]) -> str:
 
         swept 63 candidates: pruned 41 by bound in 0.52s, simulated 22
         (9 cache hits), best tile_sgemm:golden @ 8125 cycles
+
+    With a metrics registry installed (:func:`repro.telemetry.metrics
+    .metrics_session`), the schedule-memo economics — hits, misses and the
+    previously invisible FIFO evictions — ride along, read from the facade
+    rather than from the caches' private state::
+
+        ...; schedule cache 30 hits / 12 misses / 3 evictions
     """
     cache_hits = sum(1 for outcome in outcomes if outcome.ok and outcome.from_cache)
     best = next((outcome for outcome in outcomes if outcome.ok), None)
@@ -406,6 +440,12 @@ def sweep_summary(report: PruneReport, outcomes: list[TuneOutcome]) -> str:
     )
     if best is not None:
         line += f", best {best.label} @ {best.cycles:.0f} cycles"
+    stats = schedule_cache_stats()
+    if stats is not None:
+        line += (
+            f"; schedule cache {stats['hits']:.0f} hits / "
+            f"{stats['misses']:.0f} misses / {stats['evictions']:.0f} evictions"
+        )
     return line
 
 
@@ -482,8 +522,63 @@ def run_generative_sweep(
     outcomes = autotune_schedules(
         spec, list(report.kept), workers=workers, cache=cache, max_cycles=max_cycles
     )
-    return SweepReport(
+    sweep = SweepReport(
         prune=report,
         outcomes=tuple(outcomes),
         sim_elapsed_s=time.perf_counter() - started,
+    )
+    if current_ledger() is not None:
+        _ledger_sweep(
+            sweep,
+            spec,
+            workload,
+            config={
+                "keep_within": keep_within,
+                "max_cycles": max_cycles,
+                "include_tails": include_tails,
+                **space_kwargs,
+            },
+        )
+    return sweep
+
+
+def _ledger_sweep(
+    sweep: SweepReport,
+    spec: GpuSpec,
+    workload: str | None,
+    *,
+    config: dict[str, object],
+) -> None:
+    """Append one ``kind="sweep"`` record for a finished generative sweep.
+
+    The key is stable across runs of the same (workload, GPU) sweep so
+    ``scripts/ledger.py diff`` can compare the latest two; the best
+    candidate's cycles are the gated figure.
+    """
+    gpu_key = normalize_gpu(spec.name)
+    best = next((o for o in sweep.outcomes if o.ok), None)
+    metrics: dict[str, object] = {
+        "candidates": sweep.prune.total,
+        "pruned": len(sweep.prune.pruned),
+        "simulated": len(sweep.outcomes),
+        "sim_cache_hits": sum(1 for o in sweep.outcomes if o.ok and o.from_cache),
+        "prune_seconds": sweep.prune.elapsed_s,
+        "sim_seconds": sweep.sim_elapsed_s,
+        "candidates_per_s": sweep.candidates_per_s,
+    }
+    kernel_hash = ""
+    if best is not None:
+        metrics["best_label"] = best.label
+        metrics["cycles"] = best.cycles
+        metrics["gflops"] = best.gflops
+        metrics["efficiency"] = best.efficiency
+        kernel_hash = best.kernel_hash
+    record_run(
+        "sweep",
+        f"sweep:{workload or 'all'}:{gpu_key}:{config_digest(config)}",
+        workload=workload or "all",
+        gpu=gpu_key,
+        kernel_hash=kernel_hash,
+        config=config,
+        metrics=metrics,
     )

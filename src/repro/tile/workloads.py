@@ -27,6 +27,7 @@ from repro.kernels.registry import register_workload
 from repro.model.workload_bounds import WorkloadResources
 from repro.sim.launch import BlockGrid
 from repro.sim.memory import GlobalMemory, KernelParams
+from repro.telemetry.metrics import counter_inc
 from repro.tile import library
 from repro.tile.interp import interpret
 from repro.tile.ir import Proc
@@ -44,12 +45,24 @@ _SCHEDULE_CACHE_LIMIT = 256
 _SCHEDULED_PROCS: dict[tuple[str, object], Proc] = {}
 _LOWERED_KERNELS: dict[tuple[str, object], Kernel] = {}
 
+#: Metrics-facade label sets of the two memo caches (constant tuples, so the
+#: uninstalled facade path allocates nothing at these call sites).
+_SCHEDULED_LABELS = (("cache", "scheduled_procs"),)
+_LOWERED_LABELS = (("cache", "lowered_kernels"),)
 
-def _cache_put(cache: dict, key, value):
+
+def _cache_put(cache: dict, key, value, labels):
     if len(cache) >= _SCHEDULE_CACHE_LIMIT:
         cache.pop(next(iter(cache)))
+        counter_inc("tile.schedule_cache.evictions", 1, labels)
     cache[key] = value
     return value
+
+
+def clear_schedule_caches() -> None:
+    """Drop both memo caches (tests isolating cache-economics measurements)."""
+    _SCHEDULED_PROCS.clear()
+    _LOWERED_KERNELS.clear()
 
 
 class TileWorkload(Workload):
@@ -75,7 +88,12 @@ class TileWorkload(Workload):
         key = (self.name, config)
         proc = _SCHEDULED_PROCS.get(key)
         if proc is None:
-            proc = _cache_put(_SCHEDULED_PROCS, key, self.scheduled_proc(config))
+            counter_inc("tile.schedule_cache.misses", 1, _SCHEDULED_LABELS)
+            proc = _cache_put(
+                _SCHEDULED_PROCS, key, self.scheduled_proc(config), _SCHEDULED_LABELS
+            )
+        else:
+            counter_inc("tile.schedule_cache.hits", 1, _SCHEDULED_LABELS)
         return proc
 
     def lds_width_bits(self, config) -> int:
@@ -88,12 +106,15 @@ class TileWorkload(Workload):
         key = (self.name, config)
         kernel = _LOWERED_KERNELS.get(key)
         if kernel is None:
+            counter_inc("tile.schedule_cache.misses", 1, _LOWERED_LABELS)
             proc = self.cached_scheduled_proc(config)
             kernel = _cache_put(_LOWERED_KERNELS, key, lower(
                 proc,
                 lds_width_bits=self.lds_width_bits(config),
                 ld_width_bits=self.ld_width_bits(config),
-            ))
+            ), _LOWERED_LABELS)
+        else:
+            counter_inc("tile.schedule_cache.hits", 1, _LOWERED_LABELS)
         return kernel
 
     def oracle(self, config, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:

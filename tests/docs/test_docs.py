@@ -65,10 +65,17 @@ class TestDocSnippets:
         assert results.attempted > 20
         assert results.failed == 0
 
+    def test_telemetry_md_doctests_run_clean(self):
+        results = doctest.testfile(
+            str(DOCS / "telemetry.md"), module_relative=False, verbose=False
+        )
+        assert results.attempted > 20
+        assert results.failed == 0
+
     def test_architecture_doc_names_every_layer(self):
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for layer in ("arch/", "isa/", "sim/", "model/", "sgemm/", "opt/",
-                      "kernels/", "microbench/", "tile/"):
+                      "kernels/", "microbench/", "tile/", "telemetry/"):
             assert layer in text
 
 

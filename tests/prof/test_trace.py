@@ -115,10 +115,9 @@ class TestChromeExport:
         # Other tests may have populated the tile layer's schedule/lowering
         # memoization; drop it so the traced sweep actually builds kernels
         # (and therefore emits schedule./lower. spans).
-        from repro.tile import workloads as tile_workloads
+        from repro.tile.workloads import clear_schedule_caches
 
-        tile_workloads._SCHEDULED_PROCS.clear()
-        tile_workloads._LOWERED_KERNELS.clear()
+        clear_schedule_caches()
         config = TileTransposeConfig()
         candidates = [
             WorkloadCandidate(workload="tile_transpose", config=config,

@@ -1,0 +1,99 @@
+"""Exporter correctness: lossless JSON round-trip, Prometheus escaping."""
+
+from __future__ import annotations
+
+from repro.telemetry.exporters import (
+    escape_label_value,
+    snapshot_from_json,
+    snapshot_to_dict,
+    snapshot_to_json,
+    to_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+#: A label value exercising every character class the formats must survive.
+HOSTILE = 'we"ird,=\\value\nline2'
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter_inc("tile.schedule_cache.hits", 3, (("cache", HOSTILE),))
+    registry.counter_inc("autotune.candidates_evaluated", 22)
+    registry.gauge_set("sim.cycles", 8125.0, (("workload", "tile_sgemm"),))
+    registry.observe("opt.pass_seconds", 0.25, (("pass", "schedule"),))
+    registry.observe("opt.pass_seconds", 0.75, (("pass", "schedule"),))
+    return registry
+
+
+class TestJsonRoundTrip:
+    def test_exact_inverse(self):
+        snapshot = _populated_registry().snapshot()
+        assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+    def test_hostile_label_values_survive(self):
+        snapshot = _populated_registry().snapshot()
+        rebuilt = snapshot_from_json(snapshot_to_json(snapshot))
+        key = ("tile.schedule_cache.hits", (("cache", HOSTILE),))
+        assert rebuilt.counters[key] == 3.0
+
+    def test_empty_snapshot(self):
+        snapshot = MetricsRegistry().snapshot()
+        assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+    def test_dict_shape_is_plain_json_types(self):
+        payload = snapshot_to_dict(_populated_registry().snapshot())
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        for series in payload["counters"]:
+            assert isinstance(series["name"], str)
+            assert all(isinstance(pair, list) for pair in series["labels"])
+
+    def test_histogram_summary_round_trips(self):
+        snapshot = _populated_registry().snapshot()
+        rebuilt = snapshot_from_json(snapshot_to_json(snapshot))
+        stat = rebuilt.histograms[("opt.pass_seconds", (("pass", "schedule"),))]
+        assert stat.count == 2
+        assert stat.sum == 1.0
+        assert stat.min == 0.25
+        assert stat.max == 0.75
+
+
+class TestPrometheusEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("plain") == "plain"
+
+    def test_exposition_lines(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        assert "# TYPE autotune_candidates_evaluated counter" in text
+        assert "autotune_candidates_evaluated 22" in text
+        assert '# TYPE sim_cycles gauge' in text
+        assert 'sim_cycles{workload="tile_sgemm"} 8125' in text
+
+    def test_hostile_value_escaped_on_one_line(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("tile_schedule_cache_hits")
+        )
+        # The newline in the value must appear as the two characters \n.
+        assert '\\n' in line
+        assert 'we\\"ird,=\\\\value' in line
+
+    def test_metric_names_sanitised(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        for line in text.splitlines():
+            name = line.split("{")[0].split(" ")[-1] if line.startswith("#") else \
+                line.split("{")[0].split(" ")[0]
+            assert "." not in name
+
+    def test_summary_exports_count_sum_min_max(self):
+        text = to_prometheus(_populated_registry().snapshot())
+        assert "# TYPE opt_pass_seconds summary" in text
+        assert 'opt_pass_seconds_count{pass="schedule"} 2' in text
+        assert 'opt_pass_seconds_sum{pass="schedule"} 1' in text
+        assert 'opt_pass_seconds_min{pass="schedule"} 0.25' in text
+        assert 'opt_pass_seconds_max{pass="schedule"} 0.75' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""

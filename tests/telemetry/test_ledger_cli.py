@@ -1,0 +1,98 @@
+"""``scripts/ledger.py``: the list/show/summary/diff/inject front end."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry.ledger import RunLedger, build_record
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "ledger.py"
+
+
+@pytest.fixture(scope="module")
+def cli():
+    spec = importlib.util.spec_from_file_location("ledger_cli", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules["ledger_cli"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("ledger_cli", None)
+
+
+@pytest.fixture
+def root(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger")
+    ledger.append(build_record(
+        "sim", "run:k", workload="sgemm", gpu="gtx580",
+        metrics={"cycles": 100.0, "dram_bytes": 4096},
+    ))
+    ledger.append(build_record(
+        "sim", "run:k", workload="sgemm", gpu="gtx580",
+        metrics={"cycles": 100.0, "dram_bytes": 4096},
+    ))
+    return str(tmp_path / "ledger")
+
+
+class TestCommands:
+    def test_list(self, cli, root, capsys):
+        assert cli.main(["--root", root, "list"]) == 0
+        out = capsys.readouterr().out
+        assert "run:k" in out and "2 records" in out
+
+    def test_list_empty(self, cli, tmp_path, capsys):
+        assert cli.main(["--root", str(tmp_path / "nothing"), "list"]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_show_prints_json(self, cli, root, capsys):
+        assert cli.main(["--root", root, "show", "run:k"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["key"] == "run:k"
+        assert payload["metrics"]["cycles"] == 100.0
+
+    def test_show_unknown_key(self, cli, root, capsys):
+        assert cli.main(["--root", root, "show", "nope"]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_summary(self, cli, root, capsys):
+        assert cli.main(["--root", root, "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "sim" in out and "cycles=100" in out and "dram_bytes=4096" in out
+
+    def test_diff_clean(self, cli, root, capsys):
+        assert cli.main(["--root", root, "diff", "run:k"]) == 0
+        assert "diff clean" in capsys.readouterr().out
+
+    def test_diff_needs_two_records(self, cli, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / "one")
+        ledger.append(build_record("sim", "k", metrics={"cycles": 1}))
+        assert cli.main(["--root", str(tmp_path / "one"), "diff", "k"]) == 2
+        assert "need two records" in capsys.readouterr().err
+
+    def test_inject_then_diff_flags_regression(self, cli, root, capsys):
+        assert cli.main(
+            ["--root", root, "inject", "run:k", "--scale", "cycles=1.05"]
+        ) == 0
+        assert cli.main(["--root", root, "diff", "run:k"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "cycles" in captured.err
+
+    def test_inject_within_tolerance_still_passes(self, cli, root, capsys):
+        cli.main(["--root", root, "inject", "run:k", "--scale", "cycles=1.01"])
+        assert cli.main(["--root", root, "diff", "run:k"]) == 0
+
+    def test_diff_custom_tolerance(self, cli, root, capsys):
+        cli.main(["--root", root, "inject", "run:k", "--scale", "cycles=1.05"])
+        assert cli.main(
+            ["--root", root, "diff", "run:k", "--tolerance", "0.10"]
+        ) == 0
+
+    def test_inject_bad_scale_spec(self, cli, root):
+        with pytest.raises(SystemExit):
+            cli.main(["--root", root, "inject", "run:k", "--scale", "cycles"])

@@ -1,0 +1,180 @@
+"""Facade semantics of :mod:`repro.telemetry.metrics`.
+
+Covers the registry's series algebra (counters, gauges, histogram summaries,
+injectable-clock timers), the install point's nesting discipline, and the
+facade's strictest promise: with no registry installed, every instrumented
+call is a no-op that retains zero allocations.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.telemetry.metrics import (
+    HistogramStat,
+    MetricsRegistry,
+    counter_inc,
+    current_metrics,
+    gauge_set,
+    install_metrics,
+    metrics_session,
+    observe,
+    time_block,
+)
+
+LABELS = (("cache", "scheduled_procs"),)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("hits", 1, LABELS)
+        registry.counter_inc("hits", 2, LABELS)
+        registry.counter_inc("hits", 10, (("cache", "lowered"),))
+        assert registry.counter_value("hits", LABELS) == 3.0
+        assert registry.counter_value("hits", (("cache", "lowered"),)) == 10.0
+        assert registry.counter_value("hits") == 0.0  # unlabeled series distinct
+
+    def test_label_order_does_not_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("n", 1, (("a", "1"), ("b", "2")))
+        registry.counter_inc("n", 1, (("b", "2"), ("a", "1")))
+        assert registry.counter_value("n", (("a", "1"), ("b", "2"))) == 2.0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        assert registry.gauge_value("cycles") is None
+        registry.gauge_set("cycles", 100.0)
+        registry.gauge_set("cycles", 42.0)
+        assert registry.gauge_value("cycles") == 42.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (3.0, 1.0, 2.0):
+            registry.observe("delta", value)
+        stat = registry.histogram_stat("delta")
+        assert stat.count == 3
+        assert stat.sum == 6.0
+        assert stat.min == 1.0
+        assert stat.max == 3.0
+        assert stat.mean == 2.0
+
+    def test_timer_uses_injected_clock(self):
+        ticks = iter([10.0, 12.5])
+        registry = MetricsRegistry(clock=lambda: next(ticks))
+        with registry.timer("span_seconds", LABELS):
+            pass
+        assert registry.histogram_stat("span_seconds", LABELS).sum == 2.5
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("n")
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        registry.counter_inc("n")
+        registry.observe("h", 5.0)
+        assert snap.counters[("n", ())] == 1.0
+        assert snap.histograms[("h", ())].count == 1
+
+    def test_counter_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter_inc("hits", 2, (("cache", "a"),))
+        registry.counter_inc("hits", 3, (("cache", "b"),))
+        assert registry.snapshot().counter_total("hits") == 5.0
+
+
+class TestFacade:
+    def test_uninstalled_calls_are_noops(self):
+        assert current_metrics() is None
+        counter_inc("n")
+        gauge_set("g", 1.0)
+        observe("h", 1.0)
+        with time_block("t"):
+            pass  # nothing raised, nothing recorded anywhere
+
+    def test_session_installs_and_restores(self):
+        assert current_metrics() is None
+        with metrics_session() as registry:
+            assert current_metrics() is registry
+            counter_inc("n", 7)
+            assert registry.counter_value("n") == 7.0
+        assert current_metrics() is None
+
+    def test_sessions_nest(self):
+        with metrics_session() as outer:
+            counter_inc("n")
+            with metrics_session() as inner:
+                counter_inc("n")
+                assert inner.counter_value("n") == 1.0
+            assert current_metrics() is outer
+            assert outer.counter_value("n") == 1.0
+
+    def test_install_returns_previous(self):
+        registry = MetricsRegistry()
+        assert install_metrics(registry) is None
+        assert install_metrics(None) is registry
+        assert current_metrics() is None
+
+    def test_uninstalled_facade_retains_zero_allocations(self):
+        """The acceptance-criterion pin: the no-op path allocates nothing.
+
+        Labels at real call sites are constant tuples (folded at compile
+        time), so after warmup the only work per call is a global read and
+        a None check — tracemalloc must see zero retained bytes across a
+        block of facade calls.
+        """
+        assert current_metrics() is None
+
+        def exercise() -> None:
+            for _ in range(100):
+                counter_inc("tile.schedule_cache.hits", 1, (("cache", "sp"),))
+                gauge_set("sim.cycles", 8125.0, (("workload", "tile_sgemm"),))
+                observe("opt.pass.instruction_delta", 0.0, (("pass", "schedule"),))
+                with time_block("opt.pass_seconds", (("pass", "schedule"),)):
+                    pass
+
+        exercise()  # warm up code objects, constant tuples, method caches
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            exercise()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before == 0
+
+    def test_installed_facade_records(self):
+        with metrics_session() as registry:
+            counter_inc("n", 2, LABELS)
+            gauge_set("g", 3.0)
+            observe("h", 4.0)
+            with time_block("t"):
+                pass
+        assert registry.counter_value("n", LABELS) == 2.0
+        assert registry.gauge_value("g") == 3.0
+        assert registry.histogram_stat("h").sum == 4.0
+        assert registry.histogram_stat("t").count == 1
+
+
+class TestHistogramStatRoundTrip:
+    def test_as_dict_from_dict(self):
+        stat = HistogramStat()
+        stat.observe(1.5)
+        stat.observe(-2.0)
+        assert HistogramStat.from_dict(stat.as_dict()) == stat
+
+    def test_empty_round_trip_drops_infinities(self):
+        empty = HistogramStat()
+        payload = empty.as_dict()
+        assert "min" not in payload and "max" not in payload
+        assert HistogramStat.from_dict(payload) == empty
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_registry():
+    """Every test in this module starts and ends with the facade off."""
+    assert current_metrics() is None
+    yield
+    install_metrics(None)

@@ -100,12 +100,50 @@ def test_stall_breakdowns_collect_into_the_stall_ladder(trajectory):
     module, bench_dir = trajectory
     _set_stalls(bench_dir, {"scoreboard": 100.0, "ldst_pipe": 50.0})
     summary = module.build_summary(bench_dir)
-    assert summary["schema"] == 3
+    assert summary["schema"] == 4
     ladder = summary["stall_ladder"]
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:scoreboard"] == 100.0
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:ldst_pipe"] == 50.0
     # Stall figures never leak into the cycle ladder (they are not cycles).
     assert not any("stalls" in key for key in summary["cycle_ladder"])
+
+
+def _set_sweep_rates(bench_dir: Path) -> None:
+    data = json.loads((bench_dir / "BENCH_tile.json").read_text())
+    data["metrics"]["tile_sgemm_bound_pruned_sweep"] = {
+        "sim_cache_hit_rate": 0.5,
+        "schedule_cache": {"hits": 30, "misses": 10, "hit_rate": 0.75},
+    }
+    (bench_dir / "BENCH_tile.json").write_text(json.dumps(data))
+
+
+def test_cache_hit_rates_collect_into_the_rate_ladder(trajectory):
+    module, bench_dir = trajectory
+    _set_sweep_rates(bench_dir)
+    summary = module.build_summary(bench_dir)
+    ladder = summary["rate_ladder"]
+    key = "BENCH_tile:tile_sgemm_bound_pruned_sweep"
+    assert ladder[f"{key}:sim_cache_hit_rate"] == 0.5
+    assert ladder[f"{key}:schedule_cache:hit_rate"] == 0.75
+    # Rates are tracked, not gated: raw hit/miss counts stay out of every
+    # ladder, and the rate ladder never leaks into the cycle ladder.
+    assert not any("hit_rate" in k for k in summary["cycle_ladder"])
+    assert f"{key}:schedule_cache:hits" not in summary["cycle_ladder"]
+
+
+def test_rate_changes_do_not_trip_the_regression_gate(trajectory, capsys):
+    """A moved hit rate makes the summary stale but is never a regression."""
+    module, bench_dir = trajectory
+    _set_sweep_rates(bench_dir)
+    assert module.main([]) == 0
+    data = json.loads((bench_dir / "BENCH_tile.json").read_text())
+    data["metrics"]["tile_sgemm_bound_pruned_sweep"]["sim_cache_hit_rate"] = 0.1
+    (bench_dir / "BENCH_tile.json").write_text(json.dumps(data))
+    assert module.main(["--check"]) == 1
+    err = capsys.readouterr().err
+    assert "stale" in err and "regressed" not in err
+    assert module.main([]) == 0
+    assert module.main(["--check"]) == 0
 
 
 def test_regression_report_names_the_grown_stall_reason(trajectory, capsys):
