@@ -31,6 +31,9 @@ BENCH_TILE_PATH = Path(__file__).parent / "BENCH_tile.json"
 #: Where the simulator-throughput metrics land (next to this file).
 BENCH_SIM_PATH = Path(__file__).parent / "BENCH_sim.json"
 
+#: Where the kernel-cache economics metrics land (next to this file).
+BENCH_KCACHE_PATH = Path(__file__).parent / "BENCH_kcache.json"
+
 #: Metrics recorded this session, keyed by output path.
 _REPORTS: dict[Path, dict[str, object]] = {}
 
@@ -62,6 +65,11 @@ def record_tile_metric(name: str, payload: dict[str, object]) -> None:
 def record_sim_metric(name: str, payload: dict[str, object]) -> None:
     """Record one simulator-throughput blob for BENCH_sim.json."""
     _record(BENCH_SIM_PATH, name, payload)
+
+
+def record_kcache_metric(name: str, payload: dict[str, object]) -> None:
+    """Record one kernel-cache economics blob for BENCH_kcache.json."""
+    _record(BENCH_KCACHE_PATH, name, payload)
 
 
 def pytest_sessionfinish(session, exitstatus) -> None:

@@ -32,10 +32,13 @@ a >2% simulator-throughput regression.
 
 Cache-economics rates recorded from the metrics facade
 (``benchmarks/bench_tile.py`` snapshots the schedule-memo and simulation
-cache hit rates of its sweep via :mod:`repro.telemetry`) are collected into
+cache hit rates of its sweep via :mod:`repro.telemetry`;
+``benchmarks/bench_kcache.py`` records the persistent kernel cache's
+warm-hit speedup and warm-start simulation savings) are collected into
 a ``rate_ladder`` — tracked for trajectory, not gated: a hit rate moves
-whenever the sweep space changes shape, which is not by itself a
-regression.  Schema 4 added the rate ladder.
+whenever the sweep space changes shape, and a wall-clock speedup moves
+with the machine, which is not by itself a regression.  Schema 4 added
+the rate ladder; schema 5 widened it to ``*_speedup`` figures.
 """
 
 from __future__ import annotations
@@ -77,10 +80,11 @@ THROUGHPUT_KEYS = frozenset({
     "warp_instructions_per_s",
 })
 
-#: Leaf-key suffix of cache-economics rates (``hit_rate``,
-#: ``sim_cache_hit_rate``, ...) recorded from the metrics facade.  Collected
-#: into the rate ladder for trajectory but not regression-gated.
-RATE_SUFFIX = "hit_rate"
+#: Leaf-key suffixes of cache-economics figures (``hit_rate``,
+#: ``sim_cache_hit_rate``, ``warm_speedup``, ``simulations_saved_rate``,
+#: ...) recorded from the metrics facade or the kernel-cache benchmark.
+#: Collected into the rate ladder for trajectory but not regression-gated.
+RATE_SUFFIXES = ("_rate", "speedup")
 
 
 def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float],
@@ -95,7 +99,8 @@ def _collect_cycles(blob: object, path: tuple[str, ...], ladder: dict[str, float
                 ladder[":".join(path + (key,))] = float(value)
             elif key in THROUGHPUT_KEYS and isinstance(value, (int, float)):
                 throughput[":".join(path + (key,))] = float(value)
-            elif key.endswith(RATE_SUFFIX) and isinstance(value, (int, float)):
+            elif (isinstance(value, (int, float))
+                  and any(key.endswith(suffix) for suffix in RATE_SUFFIXES)):
                 rates[":".join(path + (key,))] = float(value)
             elif key == STALL_KEY and isinstance(value, dict):
                 for reason in sorted(value):
@@ -122,7 +127,7 @@ def build_summary(bench_dir: Path = BENCH_DIR) -> dict[str, object]:
         _collect_cycles(data.get("metrics", data), (bench_file.stem,),
                         ladder, stalls, throughput, rates)
     return {
-        "schema": 4,
+        "schema": 5,
         "sources": sources,
         "cycle_ladder": dict(sorted(ladder.items())),
         "stall_ladder": dict(sorted(stalls.items())),

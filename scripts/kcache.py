@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Inspect and manage the durable kernel cache (``.repro/kcache/``).
+
+The command-line front end of :mod:`repro.kcache`:
+
+* ``list`` — every committed routine key with kind, workload, GPU and size;
+* ``show <key>`` — the full meta JSON of one entry (artifact names, kernel
+  hashes, recorded metrics, winner schedule, provenance);
+* ``stats`` — entry counts and on-disk bytes, grouped by entry kind;
+* ``gc --max-bytes N`` — evict oldest entries until the store fits the
+  budget, sweeping stale build claims in the same pass;
+* ``warm <workload>`` — tune-and-publish one workload's shape into the
+  store via :func:`repro.kcache.get_kernel`, so later processes start warm.
+
+Every command takes ``--json`` for machine-readable output.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kcache.py list
+    PYTHONPATH=src python scripts/kcache.py stats --json
+    PYTHONPATH=src python scripts/kcache.py gc --max-bytes 50000000
+    PYTHONPATH=src python scripts/kcache.py warm tile_sgemm --m 193 --n 161 --k 97
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.kcache import DEFAULT_KCACHE_ROOT, KernelStore
+
+
+def _cmd_list(store: KernelStore, args: argparse.Namespace) -> int:
+    metas = list(store.metas())
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "key": meta.get("key"),
+                    "kind": meta.get("kind"),
+                    "workload": meta.get("workload"),
+                    "gpu": meta.get("gpu"),
+                    "bytes": store.entry_bytes(str(meta.get("key"))),
+                    "created_at": meta.get("created_at"),
+                }
+                for meta in metas
+            ],
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    if not metas:
+        print(f"no entries under {store.root}")
+        return 0
+    for meta in metas:
+        key = str(meta.get("key"))
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(float(meta.get("created_at", 0.0)))
+        )
+        print(f"{meta.get('kind', '-'):6s} {meta.get('workload') or '-':14s} "
+              f"{meta.get('gpu') or '-':8s} {store.entry_bytes(key):>9d}B  "
+              f"{stamp}  {key}")
+    return 0
+
+
+def _cmd_show(store: KernelStore, args: argparse.Namespace) -> int:
+    meta = store.load_meta(args.key)
+    if meta is None:
+        print(f"no entry for key {args.key!r}", file=sys.stderr)
+        return 1
+    print(json.dumps(meta, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_stats(store: KernelStore, args: argparse.Namespace) -> int:
+    stats = store.stats()
+    if args.json:
+        print(json.dumps(
+            {
+                "root": str(store.root),
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+                "by_kind": stats.by_kind,
+                "corrupt_discarded": stats.corrupt_discarded,
+            },
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    print(f"{stats.entries} entr{'y' if stats.entries == 1 else 'ies'}, "
+          f"{stats.total_bytes} bytes under {store.root}")
+    for kind, count in stats.by_kind.items():
+        print(f"  {kind:8s} {count}")
+    if stats.corrupt_discarded:
+        print(f"  ({stats.corrupt_discarded} corrupt entr"
+              f"{'y' if stats.corrupt_discarded == 1 else 'ies'} detected)")
+    return 0
+
+
+def _cmd_gc(store: KernelStore, args: argparse.Namespace) -> int:
+    report = store.gc(args.max_bytes, stale_lock_s=args.stale_lock_s)
+    if args.json:
+        print(json.dumps(
+            {
+                "evicted": list(report.evicted),
+                "freed_bytes": report.freed_bytes,
+                "kept_bytes": report.kept_bytes,
+                "stale_locks_removed": report.stale_locks_removed,
+            },
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    print(f"evicted {len(report.evicted)} entr"
+          f"{'y' if len(report.evicted) == 1 else 'ies'} "
+          f"({report.freed_bytes} bytes), kept {report.kept_bytes} bytes "
+          f"<= budget {args.max_bytes}")
+    if report.stale_locks_removed:
+        print(f"swept {report.stale_locks_removed} stale build claim"
+              f"{'' if report.stale_locks_removed == 1 else 's'}")
+    return 0
+
+
+def _warm_config(workload_name: str, args: argparse.Namespace):
+    from dataclasses import replace
+
+    from repro.kernels.registry import get_workload
+
+    config = get_workload(workload_name).default_config()
+    overrides = {
+        dim: getattr(args, dim)
+        for dim in ("m", "n", "k")
+        if getattr(args, dim, None) is not None and hasattr(config, dim)
+    }
+    return replace(config, **overrides) if overrides else config
+
+
+def _cmd_warm(store: KernelStore, args: argparse.Namespace) -> int:
+    from repro.kcache import get_kernel
+
+    config = _warm_config(args.workload, args)
+    reply = get_kernel(
+        args.workload, config, args.gpu,
+        tune=args.tune, store=store, workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "key": reply.key,
+                "source": reply.source,
+                "cycles": reply.cycles,
+                "build_s": reply.build_s,
+                "lookup_s": reply.lookup_s,
+            },
+            indent=1, sort_keys=True,
+        ))
+        return 0
+    cycles = f"{reply.cycles:.0f} cycles" if reply.cycles is not None else "unmeasured"
+    print(f"{reply.source}: {reply.key} ({cycles}, "
+          f"build {reply.build_s:.2f}s, lookup {reply.lookup_s * 1e3:.1f}ms)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--root", type=str, default=DEFAULT_KCACHE_ROOT,
+                        help=f"store directory (default: {DEFAULT_KCACHE_ROOT})")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list committed entries")
+
+    show = commands.add_parser("show", help="print one entry's meta as JSON")
+    show.add_argument("key")
+
+    commands.add_parser("stats", help="entry counts and bytes by kind")
+
+    gc = commands.add_parser(
+        "gc", help="evict oldest entries until the store fits a byte budget"
+    )
+    gc.add_argument("--max-bytes", type=int, required=True)
+    gc.add_argument("--stale-lock-s", type=float, default=300.0,
+                    help="sweep build claims older than this (default: 300)")
+
+    warm = commands.add_parser(
+        "warm", help="build-and-publish one workload request into the store"
+    )
+    warm.add_argument("workload", help="registry name, e.g. tile_sgemm")
+    warm.add_argument("--gpu", default="gtx580")
+    warm.add_argument("--m", type=int, default=None)
+    warm.add_argument("--n", type=int, default=None)
+    warm.add_argument("--k", type=int, default=None)
+    warm.add_argument("--tune", action="store_true",
+                      help="run the warm-started generative sweep on a miss")
+    warm.add_argument("--workers", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    store = KernelStore(args.root)
+    handler = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "stats": _cmd_stats,
+        "gc": _cmd_gc,
+        "warm": _cmd_warm,
+    }[args.command]
+    return handler(store, args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

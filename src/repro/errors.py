@@ -73,3 +73,7 @@ class ScheduleError(TileError):
 
 class LoweringError(TileError):
     """Raised when a scheduled loop nest cannot be lowered to SASS."""
+
+
+class KernelCacheError(ReproError):
+    """Raised when the durable kernel cache cannot serve or build a request."""

@@ -1,0 +1,143 @@
+"""In-flight build claims: dedupe identical tune requests across processes.
+
+N requesters hitting one cold key must trigger exactly one schedule + sweep.
+The claim is a lock *file* created with ``O_CREAT | O_EXCL`` — an atomic
+test-and-set the filesystem arbitrates for threads and processes alike:
+
+* the winner builds, publishes the entry (:meth:`KernelStore.put`) and then
+  releases the claim;
+* everyone else polls for the committed entry (the meta is the commit
+  marker) and returns it without scheduling, lowering or simulating a thing;
+* a claim whose holder died (stale mtime, or a recorded pid that no longer
+  exists) is broken and re-contended, so a crashed builder delays the next
+  requester instead of wedging the key forever.
+
+The claim file carries ``{pid, host, created_at}`` for diagnosis; its
+*content* is advisory — only its existence synchronises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["BuildClaim", "ClaimTimeout", "claim_build", "wait_for"]
+
+#: A claim older than this is presumed dead and may be broken (seconds).
+STALE_CLAIM_S = 60.0
+
+#: Default poll interval while waiting on another builder (seconds).
+POLL_S = 0.02
+
+
+class ClaimTimeout(ReproError):
+    """Waited longer than the timeout for another process's build."""
+
+
+@dataclass(frozen=True)
+class BuildClaim:
+    """A held claim on one key: release it after publishing the entry."""
+
+    path: Path
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "BuildClaim":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+
+def _holder_alive(path: Path, stale_after: float) -> bool:
+    """Whether the claim at ``path`` still looks held by a live builder."""
+    try:
+        age = time.time() - path.stat().st_mtime
+    except OSError:
+        return False  # vanished: not held
+    if age > stale_after:
+        return False
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        pid = int(payload.get("pid", 0))
+    except (OSError, json.JSONDecodeError, ValueError):
+        return True  # claim just being written: give it the benefit
+    if pid <= 0 or payload.get("host") != os.uname().nodename:
+        return True  # a foreign host's claim: age is the only signal
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def claim_build(path: Path, *, stale_after: float = STALE_CLAIM_S) -> BuildClaim | None:
+    """Try to claim the build of one key; None when someone else holds it.
+
+    A stale claim (dead or too old a holder) is broken first, then
+    re-contended — breaking and claiming are separate atomic steps, so two
+    breakers still end with exactly one winner.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(
+        {"pid": os.getpid(), "host": os.uname().nodename, "created_at": time.time()}
+    )
+    for _ in range(2):  # at most: once fresh, once after breaking a stale claim
+        try:
+            handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if _holder_alive(path, stale_after):
+                return None
+            try:  # break the stale claim and re-contend
+                os.unlink(path)
+            except OSError:
+                pass
+            continue
+        with os.fdopen(handle, "w", encoding="utf-8") as f:
+            f.write(payload)
+        return BuildClaim(path=path)
+    return None
+
+
+def wait_for(
+    ready,
+    claim_path: Path,
+    *,
+    timeout: float = 120.0,
+    poll_s: float = POLL_S,
+    stale_after: float = STALE_CLAIM_S,
+):
+    """Poll ``ready()`` until it returns a value, the claim dies, or timeout.
+
+    Returns ``ready()``'s first non-None value, or None when the claim
+    disappeared without an entry materialising (the builder failed — the
+    caller should re-contend the claim).  Raises :class:`ClaimTimeout` after
+    ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = ready()
+        if value is not None:
+            return value
+        if not claim_path.exists() or not _holder_alive(claim_path, stale_after):
+            # One final read: the builder may have published between our
+            # ready() probe and the claim check.
+            return ready()
+        if time.monotonic() >= deadline:
+            raise ClaimTimeout(
+                f"timed out after {timeout:.0f}s waiting for another process "
+                f"to build {claim_path.stem!r}"
+            )
+        time.sleep(poll_s)

@@ -1,0 +1,337 @@
+"""The request front-end: ``get_kernel(workload, config, gpu)``.
+
+Three outcomes, in order of preference:
+
+* **hit** — the store holds a committed entry for the routine key: the
+  artifacts are unpickled and returned in O(lookup), with no scheduling,
+  lowering, optimization or simulation (the acceptance test asserts this
+  through the telemetry facade);
+* **deduped** — another thread/process holds the build claim
+  (:mod:`repro.kcache.locks`): the request polls for the committed entry and
+  returns it, so N concurrent requesters of one cold key trigger exactly one
+  build;
+* **built** — the claim was won: the kernel is built (directly at the
+  requested schedule point, or — with ``tune=True`` — by a warm-started
+  generative sweep over the requested problem size), published durably, and
+  the claim released.
+
+Economics flow through :mod:`repro.telemetry.metrics`: ``kcache.hits`` /
+``kcache.misses`` / ``kcache.builds`` counters (labelled by request mode)
+plus lookup/build/dedupe-wait second histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import KernelCacheError
+from repro.kcache.keys import routine_key, shape_of
+from repro.kcache.locks import STALE_CLAIM_S, claim_build, wait_for
+from repro.kcache.store import KernelStore, StoreEntry, current_store
+from repro.kcache.warmstart import SCHEDULE_FIELDS
+from repro.telemetry.metrics import counter_inc, observe
+
+__all__ = ["KernelReply", "get_kernel"]
+
+#: Constant label tuples (the uninstalled facade path allocates nothing).
+_DIRECT_LABELS = (("mode", "direct"),)
+_TUNED_LABELS = (("mode", "tuned"),)
+
+#: Which :func:`repro.tile.autotune.schedule_space` keyword carries each
+#: tunable workload's base configuration.  Workloads outside this map fall
+#: back to a direct build at the requested configuration.
+_SPACE_FIELD = {
+    "tile_sgemm": "sgemm",
+    "tile_transpose": "transpose",
+    "tile_sgemv": "sgemv",
+}
+
+
+@dataclass(frozen=True)
+class KernelReply:
+    """One served request: the committed entry plus how it was obtained.
+
+    ``source`` is ``"hit"`` (served from the store), ``"built"`` (this
+    request won the claim and built the entry) or ``"deduped"`` (another
+    in-flight request built it; this one only waited).
+    """
+
+    key: str
+    source: str
+    entry: StoreEntry
+    lookup_s: float = 0.0
+    build_s: float = 0.0
+    wait_s: float = 0.0
+
+    @property
+    def proc(self):
+        """The scheduled Proc, when the workload has one."""
+        return self.entry.artifacts.get("proc")
+
+    @property
+    def kernel(self):
+        """The best kernel on record: optimized when present, else naive."""
+        return self.entry.artifacts.get("kernel_opt") or self.entry.artifacts.get("kernel")
+
+    @property
+    def naive_kernel(self):
+        """The lowered (pre-pipeline) kernel."""
+        return self.entry.artifacts.get("kernel")
+
+    @property
+    def cycles(self) -> float | None:
+        """Recorded simulated cycles of :attr:`kernel`, when measured."""
+        return self.entry.metric("cycles")
+
+
+def _resolve(workload, config, gpu):
+    """Normalise the request triple to (workload obj, name, config, spec, gpu key)."""
+    from repro.arch.specs import get_gpu_spec
+    from repro.kernels.registry import get_workload
+    from repro.telemetry.ledger import normalize_gpu
+
+    obj = get_workload(workload) if isinstance(workload, str) else workload
+    if config is None:
+        config = obj.default_config()
+    spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
+    return obj, obj.name, config, spec, normalize_gpu(spec.name)
+
+
+def _schedule_dict(config) -> dict:
+    """The schedule knobs present on ``config`` (the warm-start seed record)."""
+    return {
+        name: getattr(config, name)
+        for name in SCHEDULE_FIELDS
+        if hasattr(config, name)
+    }
+
+
+def _entry_payload(workload, config, spec, winner_label: str, *, optimize: bool = True):
+    """Build the artifact dict and kernel hashes for one schedule point.
+
+    Uses the workload's own memoized build chain, so a build that the sweep
+    already performed in-process costs only the pickle.
+    """
+    from repro.opt.rewrite import kernel_hash
+
+    artifacts: dict = {}
+    hashes: dict[str, str] = {}
+    cached_proc = getattr(workload, "cached_scheduled_proc", None)
+    if cached_proc is not None:
+        artifacts["proc"] = cached_proc(config)
+    naive = workload.generate_naive(config)
+    artifacts["kernel"] = naive
+    hashes["kernel"] = kernel_hash(naive)
+    if optimize:
+        optimized, _ = workload.generate_optimized(config, spec)
+        artifacts["kernel_opt"] = optimized
+        hashes["kernel_opt"] = kernel_hash(optimized)
+    return artifacts, hashes
+
+
+def _provenance_metrics(workload, config, spec, result) -> dict:
+    """Cycles plus compulsory-traffic provenance for the meta document."""
+    from repro.errors import ReproError
+
+    metrics = {
+        "cycles": float(result.cycles),
+        "gflops": float(result.gflops(spec)),
+        "efficiency": float(result.efficiency(spec)),
+    }
+    try:
+        resources = workload.resources(config)
+        metrics["dram_bytes"] = float(resources.dram_bytes)
+        metrics["flops"] = float(resources.flops)
+    except ReproError:
+        pass
+    return metrics
+
+
+def _build_direct(store, key, workload, name, config, spec, gpu_key, *, max_cycles):
+    """Cold-miss path without tuning: build the requested point and publish."""
+    from repro.opt.autotune import simulate_one_block
+
+    artifacts, hashes = _entry_payload(workload, config, spec, name)
+    result = simulate_one_block(spec, artifacts["kernel_opt"], max_cycles=max_cycles)
+    return store.put(
+        key,
+        kind="tuned",
+        artifacts=artifacts,
+        workload=name,
+        gpu=gpu_key,
+        config=config,
+        kernel_hashes=hashes,
+        metrics=_provenance_metrics(workload, config, spec, result),
+        extra={
+            "tune_mode": "direct",
+            "winner_schedule": _schedule_dict(config),
+            "shape": [list(pair) for pair in shape_of(config)],
+        },
+    )
+
+
+def _build_tuned(
+    store, key, workload, name, config, spec, gpu_key,
+    *, max_cycles, keep_within, workers, warm_start, space,
+):
+    """Cold-miss path with tuning: warm-started sweep over the problem size."""
+    from repro.opt.autotune import simulate_one_block
+    from repro.tile.autotune import run_generative_sweep
+
+    space_field = _SPACE_FIELD.get(name)
+    if space_field is None:
+        return _build_direct(
+            store, key, workload, name, config, spec, gpu_key, max_cycles=max_cycles
+        )
+    space_kwargs = {"tail_sizes": (), **(space or {}), space_field: config}
+    sweep = run_generative_sweep(
+        spec,
+        workload=name,
+        keep_within=keep_within,
+        workers=workers,
+        max_cycles=max_cycles,
+        warm_start=warm_start,
+        store=store,
+        **space_kwargs,
+    )
+    winner = next((o for o in sweep.outcomes if o.ok), None)
+    if winner is None:
+        # Nothing in the swept space was viable for this shape (e.g. every
+        # generative tile is structurally invalid): the requested point
+        # itself is still buildable.
+        return _build_direct(
+            store, key, workload, name, config, spec, gpu_key, max_cycles=max_cycles
+        )
+    by_label = {c.display_label: c for c in (*sweep.seed_candidates, *sweep.prune.kept)}
+    candidate = by_label.get(winner.label)
+    if candidate is None:
+        raise KernelCacheError(f"sweep winner {winner.label!r} has no candidate for {key!r}")
+    artifacts, hashes = _entry_payload(
+        workload, candidate.config, spec, winner.label, optimize=candidate.optimize
+    )
+    measured = artifacts.get("kernel_opt") or artifacts["kernel"]
+    result = simulate_one_block(spec, measured, max_cycles=max_cycles)
+    metrics = _provenance_metrics(workload, candidate.config, spec, result)
+    metrics.update(
+        sweep_candidates=float(sweep.prune.total),
+        sweep_pruned=float(len(sweep.prune.pruned)),
+        sweep_simulated=float(len(sweep.outcomes)),
+        sweep_warm_seeds=float(len(sweep.seed_candidates)),
+        sweep_warm_pruned=float(sweep.warm_pruned),
+        sweep_seconds=float(sweep.total_elapsed_s),
+    )
+    return store.put(
+        key,
+        kind="tuned",
+        artifacts=artifacts,
+        workload=name,
+        gpu=gpu_key,
+        config=config,
+        kernel_hashes=hashes,
+        metrics=metrics,
+        extra={
+            "tune_mode": "sweep",
+            "winner_label": winner.label,
+            "winner_config": repr(candidate.config),
+            "winner_schedule": _schedule_dict(candidate.config),
+            "shape": [list(pair) for pair in shape_of(config)],
+        },
+    )
+
+
+def get_kernel(
+    workload,
+    config=None,
+    gpu="gtx580",
+    *,
+    tune: bool = False,
+    store: KernelStore | None = None,
+    workers: int | None = 1,
+    max_cycles: int = 2_000_000,
+    keep_within: float = 1.2,
+    warm_start: bool = True,
+    space: dict | None = None,
+    timeout: float = 120.0,
+    stale_after: float = STALE_CLAIM_S,
+) -> KernelReply:
+    """Serve one kernel request from the store, deduping in-flight builds.
+
+    Parameters
+    ----------
+    workload:
+        Registry name (``"tile_sgemm"``) or a workload object.
+    config:
+        Workload configuration; ``None`` uses the workload's default.
+    gpu:
+        Machine description or its name (``"gtx580"``, ``"gtx680"``).
+    tune:
+        On a cold miss, run the warm-started generative sweep over the
+        requested problem size and store its winner, instead of building the
+        requested schedule point directly.
+    store:
+        Explicit store; defaults to the installed one
+        (:func:`repro.kcache.store.current_store`), else the default root.
+    workers / max_cycles / keep_within / warm_start:
+        Forwarded to the sweep on a tuned cold miss.
+    space:
+        Extra :func:`repro.tile.autotune.schedule_space` axes for the tuned
+        sweep (e.g. ``{"tiles": (4, 8)}`` for small problems).
+    timeout / stale_after:
+        Dedupe-wait budget and claim staleness threshold (seconds).
+    """
+    obj, name, config, spec, gpu_key = _resolve(workload, config, gpu)
+    if store is None:
+        store = current_store() or KernelStore()
+    key = routine_key(name, config, gpu_key)
+    labels = _TUNED_LABELS if tune else _DIRECT_LABELS
+
+    started = time.perf_counter()
+    entry = store.load(key)
+    lookup_s = time.perf_counter() - started
+    if entry is not None:
+        counter_inc("kcache.hits", 1, labels)
+        observe("kcache.lookup_seconds", lookup_s)
+        return KernelReply(key=key, source="hit", entry=entry, lookup_s=lookup_s)
+    counter_inc("kcache.misses", 1, labels)
+
+    while True:
+        claim = claim_build(store.lock_path(key), stale_after=stale_after)
+        if claim is not None:
+            with claim:
+                # A racer may have published between our miss and our claim.
+                entry = store.load(key)
+                if entry is not None:
+                    counter_inc("kcache.hits", 1, labels)
+                    return KernelReply(key=key, source="hit", entry=entry, lookup_s=lookup_s)
+                built_at = time.perf_counter()
+                if tune:
+                    entry = _build_tuned(
+                        store, key, obj, name, config, spec, gpu_key,
+                        max_cycles=max_cycles, keep_within=keep_within,
+                        workers=workers, warm_start=warm_start, space=space,
+                    )
+                else:
+                    entry = _build_direct(
+                        store, key, obj, name, config, spec, gpu_key,
+                        max_cycles=max_cycles,
+                    )
+                build_s = time.perf_counter() - built_at
+            counter_inc("kcache.builds", 1, labels)
+            observe("kcache.build_seconds", build_s)
+            return KernelReply(key=key, source="built", entry=entry, build_s=build_s,
+                               lookup_s=lookup_s)
+        waited_at = time.perf_counter()
+        entry = wait_for(
+            lambda: store.load(key),
+            store.lock_path(key),
+            timeout=timeout,
+            stale_after=stale_after,
+        )
+        wait_s = time.perf_counter() - waited_at
+        if entry is not None:
+            counter_inc("kcache.dedupe.waits", 1, labels)
+            observe("kcache.dedupe.wait_seconds", wait_s)
+            return KernelReply(key=key, source="deduped", entry=entry, wait_s=wait_s,
+                               lookup_s=lookup_s)
+        # The claim holder died without publishing: re-contend the claim.

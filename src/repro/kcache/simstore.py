@@ -1,0 +1,85 @@
+"""Durable simulation records: the kcache backing of ``AutotuneCache``.
+
+The legacy scheme was one monolithic JSON file rewritten in full on every
+sweep — unsharded, torn by concurrent writers, and a second cache format
+next to the kernel store.  A :class:`SimRecordStore` keeps one *immutable*
+record per simulation key (``<kernel_digest>:<gpu_key>:<max_cycles>``) under
+the same ``<shard>/`` layout and atomic-rename discipline as
+:class:`repro.kcache.store.KernelStore`::
+
+    <root>/<shard>/sim-<digest24>.json    # {"key": ..., "metrics": {...}}
+
+A simulation result is a pure function of its key (the kernel content hash
+pins the instructions, the GPU and cycle cap pin the machine), so records
+are written once and never updated: ``save`` publishes only the keys not
+already on disk, which makes incremental saves O(new results) instead of
+O(cache).  Torn or unreadable records are skipped on load and rewritten by
+the next save.  A legacy monolithic cache *file* at ``root`` is read once
+and migrated to the sharded layout on the next save.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from hashlib import sha256
+from pathlib import Path
+
+__all__ = ["SimRecordStore"]
+
+#: Hex chars of the record-file digest (of the full simulation key).
+_RECORD_DIGEST_CHARS = 24
+
+
+class SimRecordStore:
+    """Sharded write-once simulation records rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    def record_path(self, key: str) -> Path:
+        digest = sha256(key.encode("utf-8")).hexdigest()
+        return self.root / digest[:2] / f"sim-{digest[:_RECORD_DIGEST_CHARS]}.json"
+
+    def load_all(self) -> dict[str, dict[str, float]]:
+        """Every readable record, as the ``AutotuneCache.entries`` mapping."""
+        if self.root.is_file():  # legacy monolithic cache file
+            try:
+                entries = json.loads(self.root.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                return {}
+            return entries if isinstance(entries, dict) else {}
+        entries: dict[str, dict[str, float]] = {}
+        if not self.root.is_dir():
+            return entries
+        for path in sorted(self.root.glob("*/sim-*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue  # torn record: the next save rewrites it
+            key = record.get("key") if isinstance(record, dict) else None
+            metrics = record.get("metrics") if isinstance(record, dict) else None
+            if isinstance(key, str) and isinstance(metrics, dict):
+                entries[key] = metrics
+        return entries
+
+    def save(self, entries: dict[str, dict[str, float]]) -> int:
+        """Publish the records not yet on disk; returns how many were written."""
+        if self.root.is_file():  # migrate: the sharded layout replaces the file
+            try:
+                os.unlink(self.root)
+            except OSError:
+                pass
+        written = 0
+        for key, metrics in entries.items():
+            path = self.record_path(key)
+            if path.exists():
+                continue
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+            data = json.dumps({"key": key, "metrics": metrics}, sort_keys=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+            written += 1
+        return written

@@ -1,0 +1,376 @@
+"""The durable, sharded, content-addressed kernel store.
+
+One entry per routine key (:mod:`repro.kcache.keys`), laid out as::
+
+    .repro/kcache/<shard>/<key>.json   # meta: the commit marker
+    .repro/kcache/<shard>/<key>.pkl    # pickled artifacts (Proc, Kernels, ...)
+
+Write discipline (the segment-file lesson of :mod:`repro.telemetry.ledger`,
+applied to two-file entries):
+
+* each file is written to a ``.tmp-<pid>-<seq>`` sibling and published with
+  :func:`os.replace` — readers never observe a half-written file;
+* the payload is published *first*, the meta last: the meta is the commit
+  marker, and it carries the payload's SHA-256 and byte count, so a reader
+  that finds a meta whose payload is missing, truncated or torn detects the
+  mismatch, discards the entry and rebuilds — a damaged entry can cost a
+  rebuild, never a wrong kernel;
+* concurrent writers of the same key race benignly: both publish complete
+  entries and the last :func:`os.replace` wins atomically.
+
+Artifacts are pickled because bit-exactness is the contract: a reloaded
+kernel must hash (:func:`repro.opt.rewrite.kernel_hash`) identically to a
+fresh schedule→lower→optimize run, including the provenance tags and control
+notations a text round-trip would drop.  Integrity is checked against the
+pickle bytes' SHA-256 (cheap), not by re-hashing the kernel on every read.
+
+Like the metrics facade and the run ledger, the store has a process-wide
+install point: :func:`install_store` / :func:`store_session` make the tile
+schedule memos and the autotuner publish to (and serve from) the durable
+store; without one installed, everything stays in-process exactly as before.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterator
+
+from repro.kcache.keys import shard_of
+
+__all__ = [
+    "DEFAULT_KCACHE_ROOT",
+    "KCACHE_SCHEMA",
+    "GcReport",
+    "KernelStore",
+    "StoreEntry",
+    "StoreStats",
+    "current_store",
+    "install_store",
+    "store_session",
+]
+
+#: Entry format version, stamped into every meta.
+KCACHE_SCHEMA = 1
+
+#: Where the store lives unless told otherwise (relative to the CWD).
+DEFAULT_KCACHE_ROOT = ".repro/kcache"
+
+#: Per-process temp-file sequence (uniquifies concurrent writes in one pid).
+_TMP_SEQ = iter(range(1, 1 << 62))
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One loaded store entry: the meta document plus the artifact dict.
+
+    ``meta`` is the committed JSON object (key, kind, workload, gpu, config
+    repr, kernel hashes, metrics, provenance, payload checksum).
+    ``artifacts`` maps artifact names (``"proc"``, ``"kernel"``,
+    ``"kernel_opt"``, ...) to the unpickled objects.
+    """
+
+    key: str
+    meta: dict
+    artifacts: dict
+
+    @property
+    def kind(self) -> str:
+        """What produced the entry: ``"build"``, ``"tuned"``, ..."""
+        return str(self.meta.get("kind", ""))
+
+    def metric(self, name: str) -> float | None:
+        """One numeric metric from the meta, or None."""
+        value = self.meta.get("metrics", {}).get(name)
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate figures of one store: entry counts and on-disk bytes."""
+
+    entries: int
+    total_bytes: int
+    by_kind: dict[str, int] = field(default_factory=dict)
+    corrupt_discarded: int = 0
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """Outcome of one :meth:`KernelStore.gc` pass."""
+
+    evicted: tuple[str, ...]
+    freed_bytes: int
+    kept_bytes: int
+    stale_locks_removed: int = 0
+
+
+class KernelStore:
+    """A sharded on-disk kernel store rooted at one directory."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_KCACHE_ROOT) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths.                                                              #
+    # ------------------------------------------------------------------ #
+
+    def meta_path(self, key: str) -> Path:
+        return self.root / shard_of(key) / f"{key}.json"
+
+    def payload_path(self, key: str) -> Path:
+        return self.root / shard_of(key) / f"{key}.pkl"
+
+    def lock_path(self, key: str) -> Path:
+        return self.root / shard_of(key) / f"{key}.lock"
+
+    def _publish(self, path: Path, data: bytes) -> None:
+        """Atomically place ``data`` at ``path`` (tmp file + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{next(_TMP_SEQ)}")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Write / read.                                                       #
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        key: str,
+        *,
+        kind: str,
+        artifacts: dict,
+        workload: str = "",
+        gpu: str = "",
+        config: object = None,
+        kernel_hashes: dict[str, str] | None = None,
+        metrics: dict | None = None,
+        extra: dict | None = None,
+    ) -> StoreEntry:
+        """Durably publish one entry; returns the committed view.
+
+        The payload lands before the meta, so a reader either sees the full
+        entry or (by checksum) no entry at all.
+        """
+        from repro.telemetry.ledger import environment_provenance
+        from repro.telemetry.metrics import counter_inc
+
+        payload = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
+        meta = {
+            "schema": KCACHE_SCHEMA,
+            "key": key,
+            "kind": kind,
+            "workload": workload,
+            "gpu": gpu,
+            "config": "" if config is None else repr(config),
+            "kernel_hashes": dict(kernel_hashes or {}),
+            "metrics": dict(metrics or {}),
+            "artifacts": sorted(artifacts),
+            "payload_sha256": sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "provenance": environment_provenance(),
+            "created_at": time.time(),
+            "pid": os.getpid(),
+        }
+        if extra:
+            meta.update(extra)
+        self._publish(self.payload_path(key), payload)
+        self._publish(
+            self.meta_path(key),
+            (json.dumps(meta, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        counter_inc("kcache.store.puts", 1, (("kind", kind),))
+        counter_inc("kcache.store.put_bytes", len(payload), (("kind", kind),))
+        return StoreEntry(key=key, meta=meta, artifacts=dict(artifacts))
+
+    def load_meta(self, key: str) -> dict | None:
+        """The committed meta of ``key``, or None (unreadable metas count as absent)."""
+        try:
+            text = self.meta_path(key).read_text(encoding="utf-8")
+            meta = json.loads(text)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return meta if isinstance(meta, dict) and meta.get("key") == key else None
+
+    def load(self, key: str) -> StoreEntry | None:
+        """The full entry of ``key``, integrity-checked; None on miss.
+
+        A torn, truncated or otherwise corrupt entry (payload checksum or
+        byte count disagreeing with the committed meta, or an unpicklable
+        payload) is *discarded* — both files removed — so the caller's
+        rebuild republishes a clean entry instead of tripping forever.
+        """
+        from repro.telemetry.metrics import counter_inc
+
+        meta = self.load_meta(key)
+        if meta is None:
+            return None
+        try:
+            payload = self.payload_path(key).read_bytes()
+        except OSError:
+            payload = b""
+        if (
+            len(payload) != meta.get("payload_bytes")
+            or sha256(payload).hexdigest() != meta.get("payload_sha256")
+        ):
+            self.discard(key)
+            counter_inc("kcache.store.corrupt", 1)
+            return None
+        try:
+            artifacts = pickle.loads(payload)
+        except Exception:  # pickle raises broadly on hostile/torn bytes
+            self.discard(key)
+            counter_inc("kcache.store.corrupt", 1)
+            return None
+        return StoreEntry(key=key, meta=meta, artifacts=artifacts)
+
+    def contains(self, key: str) -> bool:
+        """Whether a committed meta exists for ``key`` (no payload check)."""
+        return self.load_meta(key) is not None
+
+    def discard(self, key: str) -> None:
+        """Remove ``key``'s files (missing files are fine)."""
+        for path in (self.meta_path(key), self.payload_path(key)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Enumeration / economics.                                            #
+    # ------------------------------------------------------------------ #
+
+    def keys(self) -> list[str]:
+        """Every committed key, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.root.glob("*/*.json")
+            if not path.name.endswith(".lock")
+        )
+
+    def metas(self) -> Iterator[dict]:
+        """Every committed meta document (unreadable ones skipped)."""
+        for key in self.keys():
+            meta = self.load_meta(key)
+            if meta is not None:
+                yield meta
+
+    def entry_bytes(self, key: str) -> int:
+        """On-disk footprint of one entry (meta + payload)."""
+        total = 0
+        for path in (self.meta_path(key), self.payload_path(key)):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def stats(self) -> StoreStats:
+        """Entry counts and byte totals, grouped by entry kind."""
+        by_kind: dict[str, int] = {}
+        total = 0
+        entries = 0
+        corrupt = 0
+        for meta in self.metas():
+            key = str(meta["key"])
+            payload = self.payload_path(key)
+            try:
+                size = payload.stat().st_size
+            except OSError:
+                size = -1
+            if size != meta.get("payload_bytes"):
+                corrupt += 1
+                continue
+            entries += 1
+            footprint = self.entry_bytes(key)
+            total += footprint
+            kind = str(meta.get("kind", ""))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        return StoreStats(
+            entries=entries,
+            total_bytes=total,
+            by_kind=dict(sorted(by_kind.items())),
+            corrupt_discarded=corrupt,
+        )
+
+    def gc(self, max_bytes: int, *, stale_lock_s: float = 300.0) -> GcReport:
+        """Evict oldest entries until the store fits in ``max_bytes``.
+
+        Age is the committed ``created_at`` stamp (publish order), so a
+        warm-serving entry that was recently *rebuilt* survives over a stale
+        one.  Locks older than ``stale_lock_s`` (dead builders) are swept in
+        the same pass.
+        """
+        aged = sorted(
+            (float(meta.get("created_at", 0.0)), str(meta["key"]))
+            for meta in self.metas()
+        )
+        kept = sum(self.entry_bytes(key) for _, key in aged)
+        evicted: list[str] = []
+        freed = 0
+        for _, key in aged:
+            if kept <= max_bytes:
+                break
+            size = self.entry_bytes(key)
+            self.discard(key)
+            evicted.append(key)
+            freed += size
+            kept -= size
+        stale = 0
+        now = time.time()
+        if self.root.is_dir():
+            for lock in self.root.glob("*/*.lock"):
+                try:
+                    if now - lock.stat().st_mtime > stale_lock_s:
+                        os.unlink(lock)
+                        stale += 1
+                except OSError:
+                    pass
+        return GcReport(
+            evicted=tuple(evicted),
+            freed_bytes=freed,
+            kept_bytes=kept,
+            stale_locks_removed=stale,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The process-wide install point.                                              #
+# --------------------------------------------------------------------------- #
+
+#: The installed store instrumented code consults (None = in-process only).
+_CURRENT: KernelStore | None = None
+
+
+def install_store(store: KernelStore | None) -> KernelStore | None:
+    """Install ``store`` as the process-wide kernel store; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = store
+    return previous
+
+
+def current_store() -> KernelStore | None:
+    """The installed store, or None when durable kernel caching is off."""
+    return _CURRENT
+
+
+@contextmanager
+def store_session(root: str | os.PathLike = DEFAULT_KCACHE_ROOT) -> Iterator[KernelStore]:
+    """Install a :class:`KernelStore` at ``root`` for the ``with`` body."""
+    store = KernelStore(root)
+    previous = install_store(store)
+    try:
+        yield store
+    finally:
+        install_store(previous)

@@ -1,0 +1,204 @@
+"""Warm-start policy: seed a cold shape's sweep from nearby cached winners.
+
+A tuned entry (:mod:`repro.kcache.service`) records the winning schedule's
+parameters next to its artifacts.  When a *new* shape of the same workload
+arrives, the shapes already tuned for the same GPU are ranked by log-space
+distance and their winning schedules are re-instantiated at the new shape as
+**seed candidates**, simulated ahead of the bound-pruned enumeration.
+
+The seeds then buy a second, sound pruning pass: a seed's *measured* block
+cycles are an achieved figure in exactly the leaderboard's metric, and every
+candidate has an analytic **per-block cycle floor** (the Eq. 6/8/9 bound of
+its scheduled nest, rescaled to one block — :func:`block_cycle_floor`).  A
+candidate whose floor already exceeds the best seed's achieved cycles cannot
+win the leaderboard, so it is discarded *unsimulated*.  Because the floor is
+a lower bound and the threshold an achieved measurement, warm pruning never
+changes the sweep's winner — it only skips simulations the winner was never
+in.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.kcache.keys import shape_of
+from repro.kcache.store import KernelStore
+
+__all__ = [
+    "SCHEDULE_FIELDS",
+    "WarmSeed",
+    "block_cycle_floor",
+    "nearest_tuned",
+    "shape_distance",
+    "warm_seed_configs",
+]
+
+#: Configuration fields that make up a *schedule* (copied from a neighbour's
+#: winner onto the new shape; everything else — the problem dims — stays).
+SCHEDULE_FIELDS = (
+    "tile",
+    "register_blocking",
+    "stride",
+    "b_window",
+    "stage",
+    "prefetch",
+    "unroll_inner",
+    "double_buffer",
+    "pad",
+    "threads",
+    "k_window",
+)
+
+
+@dataclass(frozen=True)
+class WarmSeed:
+    """One neighbour-derived seed: the config plus where it came from."""
+
+    config: object
+    source_key: str
+    distance: float
+
+
+def shape_distance(a: tuple[tuple[str, int], ...], b: tuple[tuple[str, int], ...]) -> float:
+    """Log-space distance between two shapes (inf when dims disagree).
+
+    >>> round(shape_distance((("m", 96), ("n", 96)), (("m", 96), ("n", 192))), 3)
+    0.693
+    """
+    if tuple(dim for dim, _ in a) != tuple(dim for dim, _ in b):
+        return float("inf")
+    return sum(
+        abs(math.log(max(x, 1)) - math.log(max(y, 1)))
+        for (_, x), (_, y) in zip(a, b)
+    )
+
+
+def nearest_tuned(
+    store: KernelStore,
+    workload: str,
+    gpu_key: str,
+    shape: tuple[tuple[str, int], ...],
+    *,
+    limit: int = 2,
+) -> list[dict]:
+    """Metas of the nearest tuned entries: same workload and GPU, closest shape.
+
+    Entries *at* the requested shape are excluded — a same-shape entry would
+    have been a store hit, and seeding from it would be circular.
+    """
+    ranked: list[tuple[float, dict]] = []
+    for meta in store.metas():
+        if meta.get("kind") != "tuned":
+            continue
+        if meta.get("workload") != workload or meta.get("gpu") != gpu_key:
+            continue
+        winner = meta.get("winner_schedule")
+        other = tuple(
+            (dim, int(size)) for dim, size in meta.get("shape", []) if dim
+        )
+        if not isinstance(winner, dict) or not other:
+            continue
+        distance = shape_distance(shape, other)
+        if distance == 0.0 or math.isinf(distance):
+            continue
+        ranked.append((distance, meta))
+    ranked.sort(key=lambda pair: (pair[0], str(pair[1].get("key"))))
+    return [meta for _, meta in ranked[:limit]]
+
+
+def warm_seed_configs(
+    base_config: object,
+    neighbours: list[dict],
+    *,
+    valid=None,
+) -> list[WarmSeed]:
+    """Neighbour winners re-instantiated at ``base_config``'s shape.
+
+    Copies the :data:`SCHEDULE_FIELDS` present on both the neighbour's
+    recorded winner and the config; ``valid`` (when given) filters seeds the
+    target's structural rules reject — a 96-wide tile seed makes no sense on
+    a 24-wide problem class, say.  Duplicate seeds collapse to the closest.
+    """
+    seeds: list[WarmSeed] = []
+    seen: set[object] = set()
+    for meta in neighbours:
+        winner = meta.get("winner_schedule", {})
+        fields = {
+            name: winner[name]
+            for name in SCHEDULE_FIELDS
+            if name in winner and hasattr(base_config, name)
+        }
+        if not fields:
+            continue
+        try:
+            config = replace(base_config, **fields)
+        except (TypeError, ValueError):
+            continue
+        if config in seen:
+            continue
+        if valid is not None and not valid(config):
+            continue
+        seen.add(config)
+        seeds.append(
+            WarmSeed(
+                config=config,
+                source_key=str(meta.get("key", "")),
+                distance=shape_distance(
+                    shape_of(base_config),
+                    tuple((d, int(s)) for d, s in meta.get("shape", [])),
+                ),
+            )
+        )
+    return seeds
+
+
+def _max_warp_issues_per_cycle(gpu) -> float:
+    """The simulator's hard cap on warp instructions issued per cycle.
+
+    Mirrors :class:`repro.sim.sm_sim.SmSimulator`'s issue loop exactly: one
+    issue per warp scheduler, except Kepler where each scheduler's two
+    dispatch units allow dual issue.
+    """
+    from repro.arch.specs import GpuGeneration
+
+    if gpu.generation is GpuGeneration.KEPLER:
+        return float(gpu.sm.dispatch_units)
+    return float(max(1, gpu.sm.warp_schedulers))
+
+
+def block_cycle_floor(workload, config, gpu) -> float:
+    """A sound lower bound on one simulated block's cycles for ``config``.
+
+    Built on an *invariant of the simulator itself*, not the analytic
+    performance model (whose clock normalisation is not comparable to
+    simulated cycles): the issue loop retires at most
+    :func:`_max_warp_issues_per_cycle` warp instructions per cycle, and the
+    FFMA stream alone is ``flops / 2 / 32`` warp instructions.  Dividing the
+    whole problem's compulsory flops (:meth:`Workload.resources`, counted
+    off the scheduled IR) by the grid's block count gives the *average*
+    per-block FFMA work; the autotuner simulates block (0, 0) — an interior,
+    full-tile block whose share is never below the average (tail blocks are
+    clipped) — so the average is a valid floor for the simulated block.  No
+    pass pipeline removes FFMAs, so the floor holds for naive and optimized
+    candidates alike, and a candidate whose floor exceeds an *achieved*
+    cycle count cannot place above it on the leaderboard.
+
+    Returns 0.0 (prunes nothing) when the floor cannot be priced — e.g.
+    flop-free workloads like the transposes.
+    """
+    from repro.errors import ReproError
+    from repro.tile.lower import launch_geometry
+
+    scheduled = getattr(workload, "cached_scheduled_proc", None)
+    if scheduled is None:
+        return 0.0
+    try:
+        proc = scheduled(config)
+        geometry = launch_geometry(proc)
+        resources = workload.resources(config)
+    except ReproError:
+        return 0.0
+    blocks = max(1, geometry.grid_x * geometry.grid_y)
+    ffma_warps_per_block = (resources.flops / 2.0) / blocks / 32.0
+    return ffma_warps_per_block / _max_warp_issues_per_cycle(gpu)

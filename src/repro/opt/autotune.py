@@ -23,7 +23,6 @@ later sweep against a persisted cache file — share one simulation.
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 from dataclasses import asdict, dataclass, field, replace
@@ -107,8 +106,12 @@ class TuneOutcome:
 class AutotuneCache:
     """Simulation results keyed by kernel hash (optionally persisted).
 
-    The key includes the GPU and the cycle cap, so one cache file can hold
-    sweeps over several machines.
+    The key includes the GPU and the cycle cap, so one cache can hold sweeps
+    over several machines.  Persistence is backed by the sharded, write-once
+    :class:`repro.kcache.simstore.SimRecordStore` rooted at ``path`` —
+    concurrent sweeps append records atomically instead of racing to rewrite
+    one JSON file, and ``save`` only touches disk for *new* results.  A
+    legacy monolithic cache file at ``path`` is read and migrated in place.
     """
 
     path: str | None = None
@@ -120,19 +123,18 @@ class AutotuneCache:
 
     @classmethod
     def load(cls, path: str) -> "AutotuneCache":
-        """Load a cache file (an empty cache when the file does not exist)."""
-        entries: dict[str, dict[str, float]] = {}
-        if os.path.exists(path):
-            with open(path, encoding="utf-8") as handle:
-                entries = json.load(handle)
-        return cls(path=path, entries=entries)
+        """Load the records under ``path`` (empty when nothing is there yet)."""
+        from repro.kcache.simstore import SimRecordStore
+
+        return cls(path=path, entries=SimRecordStore(path).load_all())
 
     def save(self) -> None:
-        """Persist the cache when a path was configured."""
+        """Persist new records when a path was configured."""
         if self.path is None:
             return
-        with open(self.path, "w", encoding="utf-8") as handle:
-            json.dump(self.entries, handle, indent=1, sort_keys=True)
+        from repro.kcache.simstore import SimRecordStore
+
+        SimRecordStore(self.path).save(self.entries)
 
 
 def _gpu_key(gpu: GpuSpec) -> str:

@@ -464,14 +464,24 @@ class SweepReport:
         The bound-pruning pass, including its wall time
         (:attr:`PruneReport.elapsed_s`).
     outcomes:
-        Simulation outcomes of the surviving candidates, best first.
+        Simulation outcomes (warm seeds included), best first.
     sim_elapsed_s:
-        Host wall time of the simulation phase.
+        Host wall time of the simulation phase (warm seeds included).
+    seed_candidates:
+        Warm-start candidates injected from the kernel store's nearest
+        tuned shapes (:mod:`repro.kcache.warmstart`); empty when the sweep
+        ran cold.
+    warm_pruned:
+        Candidates discarded *unsimulated* because their per-block cycle
+        floor already exceeded the best warm seed's achieved cycles (a
+        sound cut: the floor is a lower bound, the threshold a measurement).
     """
 
     prune: PruneReport
     outcomes: tuple[TuneOutcome, ...]
     sim_elapsed_s: float
+    seed_candidates: tuple[WorkloadCandidate, ...] = ()
+    warm_pruned: int = 0
 
     @property
     def total_elapsed_s(self) -> float:
@@ -491,6 +501,75 @@ class SweepReport:
         return self.prune.total / self.total_elapsed_s
 
 
+#: Which :func:`schedule_space` keyword carries each workload's base config
+#: (the shape the warm-start policy measures neighbour distance against).
+_WARM_BASE_FIELD = {
+    "tile_sgemm": "sgemm",
+    "tile_transpose": "transpose",
+    "tile_sgemv": "sgemv",
+}
+
+#: Constant label set of the warm-start counters.
+_WARM_LABELS = (("stage", "warm_start"),)
+
+
+def _warm_seed_candidates(
+    store, workload: str, spec: GpuSpec, base, *, limit: int
+) -> list[WorkloadCandidate]:
+    """Warm-start candidates from the store's nearest tuned shapes."""
+    from repro.kcache.keys import shape_of
+    from repro.kcache.warmstart import nearest_tuned, warm_seed_configs
+
+    neighbours = nearest_tuned(
+        store, workload, normalize_gpu(spec.name), shape_of(base), limit=limit
+    )
+    valid = _sgemm_valid if workload == "tile_sgemm" else None
+    seeds = warm_seed_configs(base, neighbours, valid=valid)
+    return [
+        WorkloadCandidate(
+            workload=workload,
+            config=seed.config,
+            optimize=True,
+            label=f"{workload}:warm{index}",
+        )
+        for index, seed in enumerate(seeds)
+    ]
+
+
+def _warm_prune(
+    kept: list[WorkloadCandidate],
+    seed_candidates: list[WorkloadCandidate],
+    seed_outcomes: list[TuneOutcome],
+    spec: GpuSpec,
+) -> tuple[list[WorkloadCandidate], int]:
+    """Drop candidates a warm seed's *measurement* proves cannot win.
+
+    A candidate whose analytic per-block cycle floor
+    (:func:`repro.kcache.warmstart.block_cycle_floor`) exceeds the best
+    seed's achieved cycles cannot place above that seed on the leaderboard,
+    so simulating it buys nothing.  Candidates identical to a seed config
+    are dropped too — their outcome is already on the board.
+    """
+    from repro.kernels.registry import get_workload
+    from repro.kcache.warmstart import block_cycle_floor
+
+    best_seed = min((o.cycles for o in seed_outcomes if o.ok), default=None)
+    if best_seed is None:
+        return kept, 0
+    seed_points = {(c.workload, c.config) for c in seed_candidates}
+    survivors: list[WorkloadCandidate] = []
+    pruned = 0
+    for candidate in kept:
+        if (candidate.workload, candidate.config) in seed_points:
+            continue  # already measured as a seed
+        floor = block_cycle_floor(get_workload(candidate.workload), candidate.config, spec)
+        if floor > best_seed:
+            pruned += 1
+            continue
+        survivors.append(candidate)
+    return survivors, pruned
+
+
 def run_generative_sweep(
     gpu: GpuSpec | str,
     *,
@@ -500,6 +579,9 @@ def run_generative_sweep(
     cache: AutotuneCache | None = None,
     max_cycles: int = 2_000_000,
     include_tails: bool = True,
+    warm_start: bool = False,
+    store=None,
+    warm_limit: int = 2,
     **space_kwargs,
 ) -> SweepReport:
     """Generate, prune and simulate the schedule space, timing each phase.
@@ -510,6 +592,14 @@ def run_generative_sweep(
     space to one workload's candidates (e.g. ``"tile_sgemm"``);
     ``include_tails=False`` additionally drops the ``@``-labelled tail
     problem sizes, matching the benchmark harness's fixed-size sweep.
+
+    With ``warm_start=True`` and a kernel store available (``store`` or the
+    installed :func:`repro.kcache.store.current_store`), the winning
+    schedules of the nearest cached shapes are re-instantiated at this
+    sweep's shape and simulated *first*; their measured cycles then prune
+    every enumerated candidate whose analytic per-block floor proves it
+    cannot beat them (:func:`_warm_prune`) — never-worse winners in strictly
+    fewer simulations.
     """
     spec = get_gpu_spec(gpu) if isinstance(gpu, str) else gpu
     candidates = schedule_space(**space_kwargs)
@@ -517,15 +607,49 @@ def run_generative_sweep(
         candidates = [c for c in candidates if c.workload == workload]
     if not include_tails:
         candidates = [c for c in candidates if "@" not in c.label]
+
+    seed_candidates: list[WorkloadCandidate] = []
+    seed_outcomes: list[TuneOutcome] = []
+    if warm_start and workload in _WARM_BASE_FIELD:
+        if store is None:
+            from repro.kcache.store import current_store
+
+            store = current_store()
+        if store is not None:
+            base_field = _WARM_BASE_FIELD[workload]
+            base = space_kwargs.get(base_field)
+            if base is None:
+                from repro.kernels.registry import get_workload
+
+                base = get_workload(workload).default_config()
+            seed_candidates = _warm_seed_candidates(
+                store, workload, spec, base, limit=warm_limit
+            )
+
+    started = time.perf_counter()
+    if seed_candidates:
+        seed_outcomes = autotune_schedules(
+            spec, seed_candidates, workers=workers, cache=cache, max_cycles=max_cycles
+        )
+    seed_sim_s = time.perf_counter() - started
     report = prune_by_bound(spec, candidates, keep_within=keep_within)
+    kept, warm_pruned = _warm_prune(list(report.kept), seed_candidates, seed_outcomes, spec)
     started = time.perf_counter()
     outcomes = autotune_schedules(
-        spec, list(report.kept), workers=workers, cache=cache, max_cycles=max_cycles
+        spec, kept, workers=workers, cache=cache, max_cycles=max_cycles
+    )
+    if seed_candidates:
+        counter_inc("kcache.warm.seeds", len(seed_candidates), _WARM_LABELS)
+        counter_inc("kcache.warm.pruned", warm_pruned, _WARM_LABELS)
+    combined = sorted(
+        (*seed_outcomes, *outcomes), key=lambda o: (not o.ok, o.cycles, o.label)
     )
     sweep = SweepReport(
         prune=report,
-        outcomes=tuple(outcomes),
-        sim_elapsed_s=time.perf_counter() - started,
+        outcomes=tuple(combined),
+        sim_elapsed_s=seed_sim_s + (time.perf_counter() - started),
+        seed_candidates=tuple(seed_candidates),
+        warm_pruned=warm_pruned,
     )
     if current_ledger() is not None:
         _ledger_sweep(
@@ -562,6 +686,8 @@ def _ledger_sweep(
         "pruned": len(sweep.prune.pruned),
         "simulated": len(sweep.outcomes),
         "sim_cache_hits": sum(1 for o in sweep.outcomes if o.ok and o.from_cache),
+        "warm_seeds": len(sweep.seed_candidates),
+        "warm_pruned": sweep.warm_pruned,
         "prune_seconds": sweep.prune.elapsed_s,
         "sim_seconds": sweep.sim_elapsed_s,
         "candidates_per_s": sweep.candidates_per_s,

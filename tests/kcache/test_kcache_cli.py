@@ -1,0 +1,90 @@
+"""scripts/kcache.py: list / show / stats / gc / warm, human and --json."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.kcache import KernelStore
+
+_SCRIPT = Path(__file__).resolve().parent.parent.parent / "scripts" / "kcache.py"
+
+
+@pytest.fixture(scope="module")
+def cli():
+    spec = importlib.util.spec_from_file_location("kcache_cli", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def populated(tmp_path):
+    root = tmp_path / "kcache"
+    store = KernelStore(root)
+    store.put("build_key", kind="build", artifacts={"blob": b"x" * 1024},
+              workload="tile_sgemm", gpu="any")
+    store.put("tuned_key", kind="tuned", artifacts={"blob": b"y" * 1024},
+              workload="tile_sgemm", gpu="gtx580",
+              metrics={"cycles": 123.0})
+    return str(root)
+
+
+def test_list_names_every_entry(cli, populated, capsys):
+    assert cli.main(["--root", populated, "list"]) == 0
+    out = capsys.readouterr().out
+    assert "build_key" in out and "tuned_key" in out
+
+
+def test_list_json_is_machine_readable(cli, populated, capsys):
+    assert cli.main(["--root", populated, "--json", "list"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert {row["key"] for row in rows} == {"build_key", "tuned_key"}
+    assert all(row["bytes"] > 0 for row in rows)
+
+
+def test_show_prints_the_meta(cli, populated, capsys):
+    assert cli.main(["--root", populated, "show", "tuned_key"]) == 0
+    meta = json.loads(capsys.readouterr().out)
+    assert meta["kind"] == "tuned"
+    assert meta["metrics"]["cycles"] == 123.0
+
+
+def test_show_unknown_key_fails(cli, populated, capsys):
+    assert cli.main(["--root", populated, "show", "missing"]) == 1
+
+
+def test_stats_counts_by_kind(cli, populated, capsys):
+    assert cli.main(["--root", populated, "--json", "stats"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 2
+    assert stats["by_kind"] == {"build": 1, "tuned": 1}
+
+
+def test_gc_respects_the_byte_budget(cli, populated, capsys):
+    store = KernelStore(populated)
+    total = store.stats().total_bytes
+    assert cli.main(["--root", populated, "--json", "gc",
+                     "--max-bytes", str(total - 1)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["evicted"]
+    assert store.stats().total_bytes <= total - 1
+
+
+def test_warm_builds_then_hits(cli, tmp_path, capsys):
+    from repro.tile.workloads import clear_schedule_caches
+
+    clear_schedule_caches()
+    root = str(tmp_path / "kcache")
+    args = ["--root", root, "--json", "warm", "tile_sgemm",
+            "--m", "96", "--n", "96", "--k", "16"]
+    assert cli.main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["source"] == "built" and first["cycles"] > 0
+    assert cli.main(args) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["source"] == "hit"
+    assert second["cycles"] == first["cycles"]

@@ -1,0 +1,66 @@
+"""Routine-key grammar: deterministic, filesystem-safe, collision-pinned."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.kcache import KEY_DIGEST_CHARS, config_fingerprint, routine_key, shard_of, shape_of
+from repro.tile.workloads import TileSgemmConfig, TileTransposeConfig
+
+
+@pytest.fixture
+def config():
+    return TileSgemmConfig(m=193, n=161, k=97)
+
+
+class TestGrammar:
+    def test_key_reads_workload_shape_gpu(self, config):
+        key = routine_key("tile_sgemm", config, "gtx580")
+        assert key.startswith("tile_sgemm_m193_n161_k97_gtx580_")
+        assert len(key.rsplit("_", 1)[1]) == KEY_DIGEST_CHARS
+
+    def test_full_gpu_name_normalises(self, config):
+        assert routine_key("tile_sgemm", config, "GeForce GTX 580") == routine_key(
+            "tile_sgemm", config, "gtx580"
+        )
+
+    def test_gpu_independent_artifacts_key_as_any(self, config):
+        assert "_any_" in routine_key("tile_sgemm", config, None)
+
+    def test_double_buffer_surfaces_in_the_key(self, config):
+        db = replace(config, double_buffer=True)
+        assert "_db_" in routine_key("tile_sgemm", db, "gtx580")
+        assert "_db_" not in routine_key("tile_sgemm", config, "gtx580")
+
+    def test_shape_of_lists_present_dims_in_order(self):
+        assert shape_of(TileTransposeConfig(m=29, n=23)) == (("m", 29), ("n", 23))
+
+
+class TestIdentity:
+    def test_every_knob_changes_the_digest(self, config):
+        base = routine_key("tile_sgemm", config, "gtx580")
+        for knob in ({"stride": 8}, {"b_window": 1}, {"register_blocking": 3}):
+            assert routine_key("tile_sgemm", replace(config, **knob), "gtx580") != base
+
+    def test_same_request_same_key(self, config):
+        twin = TileSgemmConfig(m=193, n=161, k=97)
+        assert routine_key("tile_sgemm", config, "gtx580") == routine_key(
+            "tile_sgemm", twin, "gtx580"
+        )
+        assert config_fingerprint(config) == config_fingerprint(twin)
+
+    def test_gpus_do_not_share_keys(self, config):
+        assert routine_key("tile_sgemm", config, "gtx580") != routine_key(
+            "tile_sgemm", config, "gtx680"
+        )
+
+
+class TestSharding:
+    def test_shard_is_two_hex_chars_and_stable(self, config):
+        key = routine_key("tile_sgemm", config, "gtx580")
+        shard = shard_of(key)
+        assert len(shard) == 2
+        assert shard == shard_of(key)
+        assert all(c in "0123456789abcdef" for c in shard)

@@ -100,7 +100,7 @@ def test_stall_breakdowns_collect_into_the_stall_ladder(trajectory):
     module, bench_dir = trajectory
     _set_stalls(bench_dir, {"scoreboard": 100.0, "ldst_pipe": 50.0})
     summary = module.build_summary(bench_dir)
-    assert summary["schema"] == 4
+    assert summary["schema"] == 5
     ladder = summary["stall_ladder"]
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:scoreboard"] == 100.0
     assert ladder["BENCH_tile:tile_sgemm:fermi:stalls:ldst_pipe"] == 50.0
@@ -129,6 +129,20 @@ def test_cache_hit_rates_collect_into_the_rate_ladder(trajectory):
     # ladder, and the rate ladder never leaks into the cycle ladder.
     assert not any("hit_rate" in k for k in summary["cycle_ladder"])
     assert f"{key}:schedule_cache:hits" not in summary["cycle_ladder"]
+
+
+def test_kcache_speedups_collect_into_the_rate_ladder(trajectory):
+    """The kernel-cache wall-clock figures are tracked, never cycle-gated."""
+    module, bench_dir = trajectory
+    data = json.loads((bench_dir / "BENCH_kcache.json").read_text())
+    blob = data["metrics"]["tile_sgemm_193x161x97_fermi"]
+    summary = module.build_summary(bench_dir)
+    key = "BENCH_kcache:tile_sgemm_193x161x97_fermi"
+    assert summary["rate_ladder"][f"{key}:warm_speedup"] == blob["warm_speedup"]
+    assert f"{key}:cycles" in summary["cycle_ladder"]
+    # Wall-clock latencies stay out of every ladder.
+    assert not any("lookup_s" in k or "build_s" in k
+                   for k in summary["cycle_ladder"])
 
 
 def test_rate_changes_do_not_trip_the_regression_gate(trajectory, capsys):
