@@ -10,7 +10,11 @@ The command-line front end of :mod:`repro.kcache`:
 * ``gc --max-bytes N`` — evict oldest entries until the store fits the
   budget, sweeping stale build claims in the same pass;
 * ``warm <workload>`` — tune-and-publish one workload's shape into the
-  store via :func:`repro.kcache.get_kernel`, so later processes start warm.
+  store via :func:`repro.kcache.get_kernel`, so later processes start warm;
+* ``doctor`` — checksum-verify every committed entry and report torn
+  artifacts, orphan payloads, leftover tmp files, stale build claims and
+  poison markers; ``--repair`` removes what it reports.  Exits non-zero
+  while the store is unclean, so it doubles as a CI health gate.
 
 Every command takes ``--json`` for machine-readable output.
 
@@ -20,6 +24,7 @@ Usage::
     PYTHONPATH=src python scripts/kcache.py stats --json
     PYTHONPATH=src python scripts/kcache.py gc --max-bytes 50000000
     PYTHONPATH=src python scripts/kcache.py warm tile_sgemm --m 193 --n 161 --k 97
+    PYTHONPATH=src python scripts/kcache.py doctor --repair
 """
 
 from __future__ import annotations
@@ -160,6 +165,47 @@ def _cmd_warm(store: KernelStore, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_doctor(store: KernelStore, args: argparse.Namespace) -> int:
+    report = store.doctor(repair=args.repair, stale_after=args.stale_lock_s)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1, sort_keys=True))
+        return 0 if report.clean else 1
+    verified = len(report.ok)
+    print(f"{verified} entr{'y' if verified == 1 else 'ies'} verified clean "
+          f"under {store.root}")
+    for key, reason in sorted(report.torn.items()):
+        print(f"  torn: {key}: {reason}")
+    for key in report.repaired:
+        print(f"  repaired (removed): {key}")
+    for payload in report.orphan_payloads:
+        print(f"  orphan payload: {payload}")
+    if report.tmp_files:
+        print(f"  {report.tmp_files} leftover tmp file"
+              f"{'' if report.tmp_files == 1 else 's'}")
+    if report.tmp_files_removed:
+        print(f"  {report.tmp_files_removed} leftover tmp file"
+              f"{'' if report.tmp_files_removed == 1 else 's'} removed")
+    if report.stale_claims:
+        print(f"  {report.stale_claims} stale build claim"
+              f"{'' if report.stale_claims == 1 else 's'}")
+    if report.live_claims:
+        print(f"  {report.live_claims} live build claim"
+              f"{'' if report.live_claims == 1 else 's'} (left alone)")
+    for key in report.poisoned:
+        print(f"  poisoned: {key}")
+    if report.expired_poison:
+        print(f"  {report.expired_poison} expired poison marker"
+              f"{'' if report.expired_poison == 1 else 's'} cleared")
+    if report.clean:
+        print("store is clean")
+        return 0
+    if args.repair:
+        print("store repaired; damaged entries will rebuild on next request")
+        return 0
+    print("store is UNCLEAN (re-run with --repair to fix)", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--root", type=str, default=DEFAULT_KCACHE_ROOT,
@@ -194,6 +240,14 @@ def main(argv: list[str] | None = None) -> int:
                       help="run the warm-started generative sweep on a miss")
     warm.add_argument("--workers", type=int, default=1)
 
+    doctor = commands.add_parser(
+        "doctor", help="verify every entry; report (or repair) damage"
+    )
+    doctor.add_argument("--repair", action="store_true",
+                        help="discard torn entries, sweep orphans/tmp/stale claims")
+    doctor.add_argument("--stale-lock-s", type=float, default=300.0,
+                        help="claims older than this count as stale (default: 300)")
+
     args = parser.parse_args(argv)
     store = KernelStore(args.root)
     handler = {
@@ -202,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "gc": _cmd_gc,
         "warm": _cmd_warm,
+        "doctor": _cmd_doctor,
     }[args.command]
     return handler(store, args)
 

@@ -76,4 +76,53 @@ class LoweringError(TileError):
 
 
 class KernelCacheError(ReproError):
-    """Raised when the durable kernel cache cannot serve or build a request."""
+    """Raised when the durable kernel cache cannot serve or build a request.
+
+    The root of the service's typed-failure contract: under any fault —
+    injected or real — ``get_kernel`` either returns a bit-exact kernel or
+    raises a :class:`KernelCacheError` subclass, never an untyped error and
+    never a wrong kernel.
+    """
+
+
+class StoreUnavailableError(KernelCacheError):
+    """The durable store is unusable (I/O errors persisted past retries).
+
+    Carries the routine ``key`` being served and the underlying ``cause``
+    (typically an :class:`OSError` such as ``EIO`` or ``ENOSPC``).
+    """
+
+    def __init__(self, message: str, *, key: str = "", cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+        self.cause = cause
+
+
+class StoreCorruptionError(KernelCacheError):
+    """A committed entry's payload disagrees with its commit marker.
+
+    Raised only on explicit strict reads (``KernelStore.load(...,
+    on_corrupt="raise")``, the doctor's verification pass); the serving path
+    instead discards the damaged entry and rebuilds, so corruption can cost
+    a rebuild but never a wrong kernel.
+    """
+
+    def __init__(self, message: str, *, key: str = "", reason: str = "") -> None:
+        super().__init__(message)
+        self.key = key
+        self.reason = reason
+
+
+class BuildFailedError(KernelCacheError):
+    """The build of one routine key failed deterministically.
+
+    Carries the ``key`` and the causing exception.  Also raised by poisoned
+    keys: once a build fails deterministically, followers deduped onto the
+    same key fail fast with this error (until the poison TTL lapses)
+    instead of re-running the doomed build.
+    """
+
+    def __init__(self, message: str, *, key: str = "", cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.key = key
+        self.cause = cause

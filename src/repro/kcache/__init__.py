@@ -20,10 +20,19 @@ from repro.kcache.keys import (
     shape_of,
 )
 from repro.kcache.locks import BuildClaim, ClaimTimeout, claim_build, wait_for
-from repro.kcache.service import KernelReply, get_kernel
+from repro.kcache.service import (
+    DEFAULT_RETRY,
+    Deadline,
+    KernelReply,
+    RetryPolicy,
+    clear_session_store,
+    get_kernel,
+)
 from repro.kcache.store import (
     DEFAULT_KCACHE_ROOT,
+    DEFAULT_POISON_TTL_S,
     KCACHE_SCHEMA,
+    DoctorReport,
     GcReport,
     KernelStore,
     StoreEntry,
@@ -43,20 +52,26 @@ from repro.kcache.warmstart import (
 
 __all__ = [
     "DEFAULT_KCACHE_ROOT",
+    "DEFAULT_POISON_TTL_S",
+    "DEFAULT_RETRY",
     "KCACHE_SCHEMA",
     "KEY_DIGEST_CHARS",
     "SCHEDULE_FIELDS",
     "SHAPE_FIELDS",
     "BuildClaim",
     "ClaimTimeout",
+    "Deadline",
+    "DoctorReport",
     "GcReport",
     "KernelReply",
+    "RetryPolicy",
     "KernelStore",
     "StoreEntry",
     "StoreStats",
     "WarmSeed",
     "block_cycle_floor",
     "claim_build",
+    "clear_session_store",
     "config_fingerprint",
     "current_store",
     "get_kernel",

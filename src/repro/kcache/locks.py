@@ -12,8 +12,15 @@ test-and-set the filesystem arbitrates for threads and processes alike:
   exists) is broken and re-contended, so a crashed builder delays the next
   requester instead of wedging the key forever.
 
-The claim file carries ``{pid, host, created_at}`` for diagnosis; its
-*content* is advisory — only its existence synchronises.
+The claim file carries ``{pid, host, created_at, nonce}``.  Existence is
+what synchronises; the *nonce* is what makes release safe: a claim that was
+broken as stale and re-claimed by another process must not be unlinked by
+the original holder's release, so :meth:`BuildClaim.release` verifies the
+on-disk nonce still matches the one this claim stamped before unlinking.
+
+Filesystem operations pass through :mod:`repro.faults` fault points
+(``kcache.locks.claim`` / ``kcache.locks.read`` / ``kcache.locks.release``)
+so chaos schedules can reject, delay or kill claim traffic.
 """
 
 from __future__ import annotations
@@ -24,7 +31,8 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import KernelCacheError
+from repro.faults import fault_point
 
 __all__ = ["BuildClaim", "ClaimTimeout", "claim_build", "wait_for"]
 
@@ -35,17 +43,35 @@ STALE_CLAIM_S = 60.0
 POLL_S = 0.02
 
 
-class ClaimTimeout(ReproError):
-    """Waited longer than the timeout for another process's build."""
+class ClaimTimeout(KernelCacheError):
+    """The per-request deadline lapsed waiting for a build to materialise."""
 
 
 @dataclass(frozen=True)
 class BuildClaim:
-    """A held claim on one key: release it after publishing the entry."""
+    """A held claim on one key: release it after publishing the entry.
+
+    ``nonce`` identifies this particular acquisition.  Release verifies the
+    claim file still carries it before unlinking, so releasing a claim that
+    was broken as stale and re-claimed elsewhere is a no-op instead of
+    deleting the new holder's claim.
+    """
 
     path: Path
+    nonce: str = ""
 
     def release(self) -> None:
+        try:
+            fault_point("kcache.locks.release")
+        except OSError:
+            return  # release failed: the claim stays; stale-breaking recovers it
+        try:
+            if self.nonce:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+                if payload.get("nonce") not in ("", None, self.nonce):
+                    return  # broken as stale and re-claimed: not ours to unlink
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            pass  # unreadable or vanished: fall through to best-effort unlink
         try:
             os.unlink(self.path)
         except OSError:
@@ -62,6 +88,7 @@ class BuildClaim:
 def _holder_alive(path: Path, stale_after: float) -> bool:
     """Whether the claim at ``path`` still looks held by a live builder."""
     try:
+        fault_point("kcache.locks.read")
         age = time.time() - path.stat().st_mtime
     except OSError:
         return False  # vanished: not held
@@ -89,13 +116,23 @@ def claim_build(path: Path, *, stale_after: float = STALE_CLAIM_S) -> BuildClaim
     A stale claim (dead or too old a holder) is broken first, then
     re-contended — breaking and claiming are separate atomic steps, so two
     breakers still end with exactly one winner.
+
+    Raises :class:`OSError` when the claim file cannot be created at all
+    (read-only or failing store) — the service degrades on that signal.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
+    nonce = os.urandom(8).hex()
     payload = json.dumps(
-        {"pid": os.getpid(), "host": os.uname().nodename, "created_at": time.time()}
+        {
+            "pid": os.getpid(),
+            "host": os.uname().nodename,
+            "created_at": time.time(),
+            "nonce": nonce,
+        }
     )
     for _ in range(2):  # at most: once fresh, once after breaking a stale claim
         try:
+            fault_point("kcache.locks.claim")
             handle = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             if _holder_alive(path, stale_after):
@@ -107,7 +144,7 @@ def claim_build(path: Path, *, stale_after: float = STALE_CLAIM_S) -> BuildClaim
             continue
         with os.fdopen(handle, "w", encoding="utf-8") as f:
             f.write(payload)
-        return BuildClaim(path=path)
+        return BuildClaim(path=path, nonce=nonce)
     return None
 
 
@@ -124,7 +161,9 @@ def wait_for(
     Returns ``ready()``'s first non-None value, or None when the claim
     disappeared without an entry materialising (the builder failed — the
     caller should re-contend the claim).  Raises :class:`ClaimTimeout` after
-    ``timeout`` seconds.
+    ``timeout`` seconds.  The timeout is this *call's* budget; the service
+    passes the remainder of its single per-request deadline, so repeated
+    re-contention cannot extend the caller's wait.
     """
     deadline = time.monotonic() + timeout
     while True:
@@ -137,7 +176,7 @@ def wait_for(
             return ready()
         if time.monotonic() >= deadline:
             raise ClaimTimeout(
-                f"timed out after {timeout:.0f}s waiting for another process "
+                f"timed out after {timeout:.1f}s waiting for another process "
                 f"to build {claim_path.stem!r}"
             )
         time.sleep(poll_s)

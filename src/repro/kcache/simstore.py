@@ -16,6 +16,12 @@ already on disk, which makes incremental saves O(new results) instead of
 O(cache).  Torn or unreadable records are skipped on load and rewritten by
 the next save.  A legacy monolithic cache *file* at ``root`` is read once
 and migrated to the sharded layout on the next save.
+
+Sim records are a cache of a pure function — losing one costs a
+re-simulation, never correctness — so every write is *best effort*: a
+record that cannot land (``ENOSPC``, read-only store, injected fault at the
+``kcache.simstore.write`` point) is counted and skipped, and the sweep that
+produced it carries on unharmed.
 """
 
 from __future__ import annotations
@@ -24,6 +30,9 @@ import json
 import os
 from hashlib import sha256
 from pathlib import Path
+
+from repro.faults import fault_point
+from repro.telemetry.metrics import counter_inc
 
 __all__ = ["SimRecordStore"]
 
@@ -54,6 +63,7 @@ class SimRecordStore:
             return entries
         for path in sorted(self.root.glob("*/sim-*.json")):
             try:
+                fault_point("kcache.simstore.read")
                 record = json.loads(path.read_text(encoding="utf-8"))
             except (OSError, json.JSONDecodeError, UnicodeDecodeError):
                 continue  # torn record: the next save rewrites it
@@ -64,7 +74,12 @@ class SimRecordStore:
         return entries
 
     def save(self, entries: dict[str, dict[str, float]]) -> int:
-        """Publish the records not yet on disk; returns how many were written."""
+        """Publish the records not yet on disk; returns how many were written.
+
+        Best effort: a record whose write fails (full or read-only store,
+        injected fault) is skipped with a ``kcache.simstore.write_errors``
+        count — the simulation result it caches can always be recomputed.
+        """
         if self.root.is_file():  # migrate: the sharded layout replaces the file
             try:
                 os.unlink(self.root)
@@ -73,13 +88,18 @@ class SimRecordStore:
         written = 0
         for key, metrics in entries.items():
             path = self.record_path(key)
-            if path.exists():
+            try:
+                if path.exists():
+                    continue
+                fault_point("kcache.simstore.write")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+                data = json.dumps({"key": key, "metrics": metrics}, sort_keys=True)
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(data)
+                os.replace(tmp, path)
+            except OSError:
+                counter_inc("kcache.simstore.write_errors", 1)
                 continue
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-            data = json.dumps({"key": key, "metrics": metrics}, sort_keys=True)
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
             written += 1
         return written

@@ -24,6 +24,25 @@ fresh schedule→lower→optimize run, including the provenance tags and control
 notations a text round-trip would drop.  Integrity is checked against the
 pickle bytes' SHA-256 (cheap), not by re-hashing the kernel on every read.
 
+Every filesystem operation passes through a named :mod:`repro.faults` fault
+point (``kcache.store.payload.write`` … ``kcache.store.read.payload``), so
+seeded chaos schedules can tear writes, fill the disk, or kill the process
+between the payload landing and the meta committing — and the two-file
+discipline is what keeps every such schedule recoverable.
+
+Beyond entries, the store keeps two kinds of side records:
+
+* **poison markers** (``<key>.poison``) — a deterministically failing build
+  writes one so deduped followers fail fast (:class:`repro.errors
+  .BuildFailedError`) instead of re-running the doomed build; the marker
+  carries a TTL and expires on read;
+* **build claims** (``<key>.lock``, :mod:`repro.kcache.locks`).
+
+:meth:`KernelStore.doctor` is the offline counterpart of the self-healing
+read path: it checksum-verifies every entry, finds orphan payloads, stale
+tmp files, dead claims and expired poison, and (with ``repair=True``)
+removes them.
+
 Like the metrics facade and the run ledger, the store has a process-wide
 install point: :func:`install_store` / :func:`store_session` make the tile
 schedule memos and the autotuner publish to (and serve from) the durable
@@ -42,11 +61,15 @@ from hashlib import sha256
 from pathlib import Path
 from typing import Iterator
 
+from repro.errors import StoreCorruptionError
+from repro.faults import fault_mutate, fault_point
 from repro.kcache.keys import shard_of
 
 __all__ = [
     "DEFAULT_KCACHE_ROOT",
+    "DEFAULT_POISON_TTL_S",
     "KCACHE_SCHEMA",
+    "DoctorReport",
     "GcReport",
     "KernelStore",
     "StoreEntry",
@@ -62,8 +85,32 @@ KCACHE_SCHEMA = 1
 #: Where the store lives unless told otherwise (relative to the CWD).
 DEFAULT_KCACHE_ROOT = ".repro/kcache"
 
+#: How long a poison marker suppresses rebuilds of its key (seconds).
+DEFAULT_POISON_TTL_S = 60.0
+
+#: Claims older than this count as stale in a doctor pass (seconds).
+STALE_CLAIM_DOCTOR_S = 300.0
+
 #: Per-process temp-file sequence (uniquifies concurrent writes in one pid).
 _TMP_SEQ = iter(range(1, 1 << 62))
+
+#: Fault-point site triples (write/mutate, pre-commit, post-commit) per file
+#: role.  Constant tuples so the uninstalled facade path allocates nothing.
+_PAYLOAD_SITES = (
+    "kcache.store.payload.write",
+    "kcache.store.payload.commit",
+    "kcache.store.payload.committed",
+)
+_META_SITES = (
+    "kcache.store.meta.write",
+    "kcache.store.meta.commit",
+    "kcache.store.meta.committed",
+)
+_POISON_SITES = (
+    "kcache.store.poison.write",
+    "kcache.store.poison.commit",
+    "kcache.store.poison.committed",
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +131,11 @@ class StoreEntry:
     def kind(self) -> str:
         """What produced the entry: ``"build"``, ``"tuned"``, ..."""
         return str(self.meta.get("kind", ""))
+
+    @property
+    def durable(self) -> bool:
+        """Whether the entry was committed to disk (False = degraded/in-memory)."""
+        return bool(self.meta.get("durable", True))
 
     def metric(self, name: str) -> float | None:
         """One numeric metric from the meta, or None."""
@@ -111,6 +163,49 @@ class GcReport:
     stale_locks_removed: int = 0
 
 
+@dataclass(frozen=True)
+class DoctorReport:
+    """Outcome of one :meth:`KernelStore.doctor` pass.
+
+    ``torn`` maps damaged keys to what is wrong with them; after a repair
+    pass those keys move to ``repaired`` instead.  ``clean`` is the CI
+    contract: nothing torn, orphaned or stale remains on disk.
+    """
+
+    ok: tuple[str, ...] = ()
+    torn: dict[str, str] = field(default_factory=dict)
+    repaired: tuple[str, ...] = ()
+    orphan_payloads: tuple[str, ...] = ()
+    tmp_files_removed: int = 0
+    tmp_files: int = 0
+    stale_claims: int = 0
+    live_claims: int = 0
+    poisoned: tuple[str, ...] = ()
+    expired_poison: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No torn entries, orphans, stray tmp files or stale claims remain."""
+        return not self.torn and not self.orphan_payloads and not self.tmp_files \
+            and not self.stale_claims
+
+    def as_dict(self) -> dict:
+        """JSON-safe view (the ``scripts/kcache.py doctor --json`` document)."""
+        return {
+            "ok": list(self.ok),
+            "torn": dict(self.torn),
+            "repaired": list(self.repaired),
+            "orphan_payloads": list(self.orphan_payloads),
+            "tmp_files": self.tmp_files,
+            "tmp_files_removed": self.tmp_files_removed,
+            "stale_claims": self.stale_claims,
+            "live_claims": self.live_claims,
+            "poisoned": list(self.poisoned),
+            "expired_poison": self.expired_poison,
+            "clean": self.clean,
+        }
+
+
 class KernelStore:
     """A sharded on-disk kernel store rooted at one directory."""
 
@@ -130,19 +225,38 @@ class KernelStore:
     def lock_path(self, key: str) -> Path:
         return self.root / shard_of(key) / f"{key}.lock"
 
-    def _publish(self, path: Path, data: bytes) -> None:
-        """Atomically place ``data`` at ``path`` (tmp file + rename)."""
+    def poison_path(self, key: str) -> Path:
+        return self.root / shard_of(key) / f"{key}.poison"
+
+    def _publish(
+        self, path: Path, data: bytes, sites: tuple[str, str, str] | None = None
+    ) -> None:
+        """Atomically place ``data`` at ``path`` (tmp file + rename).
+
+        ``sites`` names the (write, pre-commit, post-commit) fault points;
+        a torn fault at the write site truncates/corrupts the bytes that
+        land, a crash at the commit sites models dying before/after the
+        rename.  ``None`` publishes without fault points (internal callers
+        that rewrite already-committed documents, e.g. gc bookkeeping).
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
+        if sites is not None:
+            fault_point(sites[0])
+            data = fault_mutate(sites[0], data)
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}-{next(_TMP_SEQ)}")
         with open(tmp, "wb") as handle:
             handle.write(data)
+        if sites is not None:
+            fault_point(sites[1])
         os.replace(tmp, path)
+        if sites is not None:
+            fault_point(sites[2])
 
     # ------------------------------------------------------------------ #
     # Write / read.                                                       #
     # ------------------------------------------------------------------ #
 
-    def put(
+    def compose(
         self,
         key: str,
         *,
@@ -154,14 +268,13 @@ class KernelStore:
         kernel_hashes: dict[str, str] | None = None,
         metrics: dict | None = None,
         extra: dict | None = None,
-    ) -> StoreEntry:
-        """Durably publish one entry; returns the committed view.
+    ) -> tuple[dict, bytes]:
+        """The (meta, payload) pair of one entry, composed but unpublished.
 
-        The payload lands before the meta, so a reader either sees the full
-        entry or (by checksum) no entry at all.
+        The degraded serving path uses this to stamp an in-memory entry with
+        the same meta document a durable publish would have committed.
         """
         from repro.telemetry.ledger import environment_provenance
-        from repro.telemetry.metrics import counter_inc
 
         payload = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
         meta = {
@@ -182,31 +295,112 @@ class KernelStore:
         }
         if extra:
             meta.update(extra)
-        self._publish(self.payload_path(key), payload)
+        return meta, payload
+
+    def publish(self, key: str, meta: dict, payload: bytes, artifacts: dict) -> StoreEntry:
+        """Durably publish one composed entry; returns the committed view.
+
+        The payload lands before the meta, so a reader either sees the full
+        entry or (by checksum) no entry at all.  A successful publish clears
+        any poison marker on the key — the build evidently works now.
+        """
+        from repro.telemetry.metrics import counter_inc
+
+        self._publish(self.payload_path(key), payload, _PAYLOAD_SITES)
         self._publish(
             self.meta_path(key),
             (json.dumps(meta, sort_keys=True) + "\n").encode("utf-8"),
+            _META_SITES,
         )
+        self.clear_poison(key)
+        kind = str(meta.get("kind", ""))
         counter_inc("kcache.store.puts", 1, (("kind", kind),))
         counter_inc("kcache.store.put_bytes", len(payload), (("kind", kind),))
         return StoreEntry(key=key, meta=meta, artifacts=dict(artifacts))
 
+    def put(
+        self,
+        key: str,
+        *,
+        kind: str,
+        artifacts: dict,
+        workload: str = "",
+        gpu: str = "",
+        config: object = None,
+        kernel_hashes: dict[str, str] | None = None,
+        metrics: dict | None = None,
+        extra: dict | None = None,
+    ) -> StoreEntry:
+        """Compose and durably publish one entry (compose + publish)."""
+        meta, payload = self.compose(
+            key,
+            kind=kind,
+            artifacts=artifacts,
+            workload=workload,
+            gpu=gpu,
+            config=config,
+            kernel_hashes=kernel_hashes,
+            metrics=metrics,
+            extra=extra,
+        )
+        return self.publish(key, meta, payload, artifacts)
+
     def load_meta(self, key: str) -> dict | None:
         """The committed meta of ``key``, or None (unreadable metas count as absent)."""
         try:
+            fault_point("kcache.store.read.meta")
             text = self.meta_path(key).read_text(encoding="utf-8")
             meta = json.loads(text)
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             return None
         return meta if isinstance(meta, dict) and meta.get("key") == key else None
 
-    def load(self, key: str) -> StoreEntry | None:
+    def verify(self, key: str) -> str | None:
+        """Why ``key``'s committed entry is damaged, or None when intact.
+
+        Checks meta readability, payload presence, byte count, SHA-256 and
+        unpicklability without retaining the artifacts.  A missing entry
+        (no meta) is not damage — it reports None like an intact one.
+        """
+        try:
+            text = self.meta_path(key).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            return f"meta unreadable: {exc}"
+        try:
+            meta = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return "meta is not valid JSON (torn commit marker)"
+        if not isinstance(meta, dict) or meta.get("key") != key:
+            return "meta does not describe this key"
+        try:
+            payload = self.payload_path(key).read_bytes()
+        except OSError:
+            return "payload missing or unreadable"
+        if len(payload) != meta.get("payload_bytes"):
+            return (
+                f"payload is {len(payload)} bytes, meta committed "
+                f"{meta.get('payload_bytes')}"
+            )
+        if sha256(payload).hexdigest() != meta.get("payload_sha256"):
+            return "payload SHA-256 disagrees with the commit marker"
+        try:
+            pickle.loads(payload)
+        except Exception:  # pickle raises broadly on hostile/torn bytes
+            return "payload does not unpickle"
+        return None
+
+    def load(self, key: str, *, on_corrupt: str = "discard") -> StoreEntry | None:
         """The full entry of ``key``, integrity-checked; None on miss.
 
         A torn, truncated or otherwise corrupt entry (payload checksum or
         byte count disagreeing with the committed meta, or an unpicklable
         payload) is *discarded* — both files removed — so the caller's
         rebuild republishes a clean entry instead of tripping forever.
+        With ``on_corrupt="raise"`` a damaged entry raises
+        :class:`repro.errors.StoreCorruptionError` instead (the doctor's
+        strict mode).
         """
         from repro.telemetry.metrics import counter_inc
 
@@ -214,19 +408,28 @@ class KernelStore:
         if meta is None:
             return None
         try:
+            fault_point("kcache.store.read.payload")
             payload = self.payload_path(key).read_bytes()
+            payload = fault_mutate("kcache.store.read.payload", payload)
         except OSError:
             payload = b""
+        reason = ""
+        artifacts = None
         if (
             len(payload) != meta.get("payload_bytes")
             or sha256(payload).hexdigest() != meta.get("payload_sha256")
         ):
-            self.discard(key)
-            counter_inc("kcache.store.corrupt", 1)
-            return None
-        try:
-            artifacts = pickle.loads(payload)
-        except Exception:  # pickle raises broadly on hostile/torn bytes
+            reason = "payload bytes disagree with the commit marker"
+        else:
+            try:
+                artifacts = pickle.loads(payload)
+            except Exception:  # pickle raises broadly on hostile/torn bytes
+                reason = "payload does not unpickle"
+        if reason:
+            if on_corrupt == "raise":
+                raise StoreCorruptionError(
+                    f"entry {key!r} is corrupt: {reason}", key=key, reason=reason
+                )
             self.discard(key)
             counter_inc("kcache.store.corrupt", 1)
             return None
@@ -240,9 +443,65 @@ class KernelStore:
         """Remove ``key``'s files (missing files are fine)."""
         for path in (self.meta_path(key), self.payload_path(key)):
             try:
+                fault_point("kcache.store.unlink")
                 os.unlink(path)
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------ #
+    # Poison markers.                                                     #
+    # ------------------------------------------------------------------ #
+
+    def mark_poisoned(
+        self, key: str, error: str, *, ttl_s: float = DEFAULT_POISON_TTL_S
+    ) -> bool:
+        """Durably mark ``key`` as deterministically failing for ``ttl_s``.
+
+        Returns False when the marker cannot be written (read-only or
+        failing store) — the service then falls back to its in-process
+        poison map, so followers in this process still fail fast.
+        """
+        from repro.telemetry.metrics import counter_inc
+
+        document = {
+            "key": key,
+            "error": error,
+            "created_at": time.time(),
+            "ttl_s": float(ttl_s),
+            "pid": os.getpid(),
+        }
+        try:
+            self._publish(
+                self.poison_path(key),
+                (json.dumps(document, sort_keys=True) + "\n").encode("utf-8"),
+                _POISON_SITES,
+            )
+        except OSError:
+            return False
+        counter_inc("kcache.poisoned", 1)
+        return True
+
+    def load_poison(self, key: str) -> dict | None:
+        """The live poison marker of ``key``, or None (expired ones removed)."""
+        try:
+            fault_point("kcache.store.poison.read")
+            document = json.loads(self.poison_path(key).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(document, dict) or document.get("key") != key:
+            return None
+        age = time.time() - float(document.get("created_at", 0.0))
+        if age > float(document.get("ttl_s", 0.0)):
+            self.clear_poison(key)
+            return None
+        return document
+
+    def clear_poison(self, key: str) -> None:
+        """Remove ``key``'s poison marker (a missing marker is fine)."""
+        try:
+            os.unlink(self.poison_path(key))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     # Enumeration / economics.                                            #
@@ -341,6 +600,95 @@ class KernelStore:
             freed_bytes=freed,
             kept_bytes=kept,
             stale_locks_removed=stale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Doctor.                                                             #
+    # ------------------------------------------------------------------ #
+
+    def doctor(
+        self, *, repair: bool = False, stale_after: float = STALE_CLAIM_DOCTOR_S
+    ) -> DoctorReport:
+        """Checksum-verify the whole store; optionally repair what's damaged.
+
+        Verifies every committed entry end to end (:meth:`verify`), and
+        sweeps the debris fault injection and real crashes leave behind:
+        orphan payloads (a builder died between the payload landing and the
+        meta committing), stray ``.tmp-*`` files, claims whose holder is
+        dead (:func:`repro.kcache.locks` liveness rules) and expired poison
+        markers.  With ``repair=True`` torn entries are discarded and the
+        debris removed; the following doctor pass reports ``clean``.
+        """
+        from repro.kcache.locks import _holder_alive
+
+        ok: list[str] = []
+        torn: dict[str, str] = {}
+        repaired: list[str] = []
+        for key in self.keys():
+            reason = self.verify(key)
+            if reason is None:
+                ok.append(key)
+            elif repair:
+                self.discard(key)
+                repaired.append(key)
+            else:
+                torn[key] = reason
+
+        orphans: list[str] = []
+        tmp_files = 0
+        tmp_removed = 0
+        stale_claims = 0
+        live_claims = 0
+        poisoned: list[str] = []
+        expired_poison = 0
+        if self.root.is_dir():
+            for payload in self.root.glob("*/*.pkl"):
+                if not payload.with_name(f"{payload.stem}.json").exists():
+                    if repair:
+                        try:
+                            os.unlink(payload)
+                            repaired.append(payload.stem)
+                        except OSError:
+                            orphans.append(payload.stem)
+                    else:
+                        orphans.append(payload.stem)
+            for tmp in self.root.glob("*/*.tmp-*"):
+                if repair:
+                    try:
+                        os.unlink(tmp)
+                        tmp_removed += 1
+                    except OSError:
+                        tmp_files += 1
+                else:
+                    tmp_files += 1
+            for lock in self.root.glob("*/*.lock"):
+                if _holder_alive(lock, stale_after):
+                    live_claims += 1
+                elif repair:
+                    try:
+                        os.unlink(lock)
+                        repaired.append(lock.stem)
+                    except OSError:
+                        stale_claims += 1
+                else:
+                    stale_claims += 1
+            for marker in self.root.glob("*/*.poison"):
+                key = marker.stem
+                if self.load_poison(key) is None:  # expired markers self-remove
+                    expired_poison += 1
+                else:
+                    poisoned.append(key)
+        return DoctorReport(
+            ok=tuple(sorted(ok)),
+            torn=dict(sorted(torn.items())),
+            repaired=tuple(sorted(set(repaired))),
+            orphan_payloads=tuple(sorted(orphans)),
+            tmp_files=tmp_files,
+            tmp_files_removed=tmp_removed,
+            stale_claims=stale_claims,
+            live_claims=live_claims,
+            poisoned=tuple(sorted(poisoned)),
+            expired_poison=expired_poison,
         )
 
 

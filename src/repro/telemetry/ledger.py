@@ -238,11 +238,20 @@ class RunLedger:
         return self.root / f"segment-{os.getpid()}.jsonl"
 
     def append(self, record: LedgerRecord) -> LedgerRecord:
-        """Durably append one record; returns it (for chaining/tests)."""
-        self.root.mkdir(parents=True, exist_ok=True)
+        """Durably append one record; returns it (for chaining/tests).
+
+        Raises :class:`OSError` when the append cannot land (full or
+        read-only disk, or an injected ``telemetry.ledger.append`` fault);
+        the :func:`record_run` facade absorbs that into a counter, because
+        telemetry must never fail the run it describes.
+        """
+        from repro.faults import fault_point
+
         line = json.dumps(record.as_dict(), sort_keys=True)
         if "\n" in line:  # defensive: a record is exactly one line
             raise ValueError("ledger record serialised to multiple lines")
+        fault_point("telemetry.ledger.append")
+        self.root.mkdir(parents=True, exist_ok=True)
         with open(self.segment_path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
         return record
@@ -407,21 +416,31 @@ def record_run(
     config: object = None,
     metrics: dict | None = None,
 ) -> LedgerRecord | None:
-    """Append a stamped record to the installed ledger; no-op when off."""
+    """Append a stamped record to the installed ledger; no-op when off.
+
+    A failing append (full or read-only disk) is absorbed into the
+    ``telemetry.ledger.write_errors`` counter and returns None — the run
+    being recorded must not fail because its telemetry could not land.
+    """
+    from repro.telemetry.metrics import counter_inc
+
     ledger = _CURRENT
     if ledger is None:
         return None
-    return ledger.append(
-        build_record(
-            kind,
-            key,
-            workload=workload,
-            gpu=gpu,
-            kernel_hash=kernel_hash,
-            config=config,
-            metrics=metrics,
-        )
+    record = build_record(
+        kind,
+        key,
+        workload=workload,
+        gpu=gpu,
+        kernel_hash=kernel_hash,
+        config=config,
+        metrics=metrics,
     )
+    try:
+        return ledger.append(record)
+    except OSError:
+        counter_inc("telemetry.ledger.write_errors", 1)
+        return None
 
 
 def scaled_copy(record: LedgerRecord, scales: dict[str, float]) -> LedgerRecord:

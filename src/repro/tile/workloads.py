@@ -67,6 +67,20 @@ def _durable_store():
     return current_store()
 
 
+def _store_publish(store, key: str, **kwargs) -> None:
+    """Best-effort durable publish of one memo-tier build.
+
+    The memos are caches in front of a cache: a publish that cannot land
+    (read-only or failing store, injected fault) costs the *next* process a
+    rebuild, never this one its result — so failures become a counter, not
+    an exception.
+    """
+    try:
+        store.put(key, **kwargs)
+    except OSError:
+        counter_inc("kcache.memo.publish_errors", 1)
+
+
 def _cache_put(cache: dict, key, value, labels):
     if len(cache) >= _SCHEDULE_CACHE_LIMIT:
         cache.pop(next(iter(cache)))
@@ -126,7 +140,8 @@ class TileWorkload(Workload):
             _SCHEDULED_PROCS, key, self.scheduled_proc(config), _SCHEDULED_LABELS
         )
         if store is not None:
-            store.put(
+            _store_publish(
+                store,
                 self._build_key(config),
                 kind="build",
                 artifacts={"proc": proc},
@@ -167,7 +182,8 @@ class TileWorkload(Workload):
             ld_width_bits=self.ld_width_bits(config),
         ), _LOWERED_LABELS)
         if store is not None:
-            store.put(
+            _store_publish(
+                store,
                 self._build_key(config),
                 kind="build",
                 artifacts={"proc": proc, "kernel": kernel},

@@ -72,10 +72,18 @@ class TestDocSnippets:
         assert results.attempted > 20
         assert results.failed == 0
 
+    def test_faults_md_doctests_run_clean(self):
+        results = doctest.testfile(
+            str(DOCS / "faults.md"), module_relative=False, verbose=False
+        )
+        assert results.attempted > 20
+        assert results.failed == 0
+
     def test_architecture_doc_names_every_layer(self):
         text = (DOCS / "ARCHITECTURE.md").read_text(encoding="utf-8")
         for layer in ("arch/", "isa/", "sim/", "model/", "sgemm/", "opt/",
-                      "kernels/", "microbench/", "tile/", "telemetry/"):
+                      "kernels/", "microbench/", "tile/", "telemetry/",
+                      "faults/", "kcache/"):
             assert layer in text
 
 
